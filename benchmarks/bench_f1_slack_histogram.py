@@ -1,0 +1,53 @@
+"""R-F1: the chip's timing profile -- arrival-time histogram.
+
+Reconstructs the "where does the time go" figure: the distribution of
+worst-case arrival times across every node of the datapath's critical
+phase.  Expected shape: a large early mass (local logic settles quickly)
+and a thin late tail -- the carry chain and shifter -- that defines the
+cycle.  This is the figure that told designers which 2% of the chip to
+rework.
+"""
+
+from repro import TimingAnalyzer
+from repro.bench import save_result
+from repro.circuits import mips_like_datapath
+from repro.core import format_table, slack_histogram
+
+
+def run_f1():
+    netlist, _ports = mips_like_datapath(16, 8)
+    result = TimingAnalyzer(netlist).analyze()
+    verification = result.clock_verification
+    worst = max(verification.phases.values(), key=lambda p: p.width)
+    bins = slack_histogram(worst.arrivals, bins=12)
+    total = sum(count for _lo, _hi, count in bins)
+    rows = [
+        [
+            f"{lo * 1e9:7.2f}",
+            f"{hi * 1e9:7.2f}",
+            f"{count:5d}",
+            "#" * max(1, int(50 * count / total)) if count else "",
+        ]
+        for lo, hi, count in bins
+    ]
+    table = format_table(
+        ["from (ns)", "to (ns)", "nodes", ""],
+        rows,
+        title=(
+            f"R-F1: arrival-time histogram, {worst.phase} of datapath 16x8 "
+            f"({total} switching nodes)"
+        ),
+    )
+    return table, bins, total
+
+
+def test_f1_slack_histogram(benchmark):
+    table, bins, total = benchmark.pedantic(run_f1, rounds=1, iterations=1)
+    save_result("f1_slack_histogram", table)
+    counts = [c for _lo, _hi, c in bins]
+    assert sum(counts) == total and total > 100
+    # Shape: early mass, thin late tail.
+    early = sum(counts[: len(counts) // 2])
+    late_tail = counts[-1]
+    assert early > 0.5 * total
+    assert late_tail < 0.2 * total

@@ -1,0 +1,102 @@
+"""R-F2: estimate-vs-simulation scatter over a randomized stage population.
+
+Reconstructs the accuracy scatter plot: many randomized stages (chain
+lengths, fan-ins, loads, pass depths drawn from a seeded generator), each
+measured by both engines.  Expected shape: points hug the diagonal with a
+pessimistic bias; the rank correlation is near 1 -- the property that makes
+a static analyzer's *ordering* of paths trustworthy even where absolute
+numbers drift.
+"""
+
+import random
+
+from repro.bench import compare_delay, save_result
+from repro.circuits import inverter_chain, nand, nor, pass_chain
+from repro.core import format_table
+from repro.sim import TransientOptions
+
+FAST = TransientOptions(dt=0.15e-9, settle=30e-9)
+FF = 1e-15
+
+
+def _population(seed: int = 11, count: int = 18):
+    rng = random.Random(seed)
+    cases = []
+    for i in range(count):
+        kind = rng.choice(["chain", "nand", "nor", "pass"])
+        load = rng.choice([0.0, 20 * FF, 60 * FF])
+        if kind == "chain":
+            n = rng.randint(1, 6)
+            net = inverter_chain(n, load=load)
+            cases.append((f"chain{n}/{load/FF:.0f}fF", net, "a", f"n{n-1}", "rise", {}))
+        elif kind == "nand":
+            k = rng.randint(2, 4)
+            net = nand(k)
+            net.add_cap("out", load)
+            state = {f"a{j}": 1 for j in range(k - 1)}
+            cases.append((f"nand{k}/{load/FF:.0f}fF", net, f"a{k-1}", "out", "rise", state))
+        elif kind == "nor":
+            k = rng.randint(2, 4)
+            net = nor(k)
+            net.add_cap("out", load)
+            state = {f"a{j}": 0 for j in range(1, k)}
+            cases.append((f"nor{k}/{load/FF:.0f}fF", net, "a0", "out", "rise", state))
+        else:
+            n = rng.randint(2, 8)
+            net = pass_chain(n)
+            cases.append((f"pass{n}", net, "d", f"p{n-1}", "rise", {"sel": 1}))
+    return cases
+
+
+def _rank_correlation(xs, ys):
+    """Spearman rank correlation."""
+    def ranks(values):
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        r = [0.0] * len(values)
+        for rank, idx in enumerate(order):
+            r[idx] = float(rank)
+        return r
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+
+def run_f2():
+    rows = []
+    tv_values, sim_values = [], []
+    for label, net, trigger, output, direction, state in _population():
+        row = compare_delay(
+            net, trigger, output,
+            direction=direction, input_state=state, label=label,
+            sim_options=FAST,
+        )
+        tv_values.append(row.tv_delay)
+        sim_values.append(row.sim_delay)
+        rows.append(
+            [label, f"{row.sim_delay * 1e9:7.3f}", f"{row.tv_delay * 1e9:7.3f}",
+             f"{row.error_pct:+6.1f}%"]
+        )
+    rho = _rank_correlation(tv_values, sim_values)
+    table = format_table(
+        ["stage", "sim (ns)", "TV (ns)", "error"],
+        rows,
+        title="R-F2: accuracy scatter (x = simulation, y = static estimate)",
+    )
+    table += f"\nSpearman rank correlation: {rho:.3f} over {len(rows)} stages"
+    return table, rho, tv_values, sim_values
+
+
+def test_f2_accuracy_scatter(benchmark):
+    table, rho, tv_values, sim_values = benchmark.pedantic(
+        run_f2, rounds=1, iterations=1
+    )
+    save_result("f2_accuracy_scatter", table)
+    assert rho > 0.9, "static ordering must track simulated ordering"
+    # Bias check: mean signed error leans pessimistic, never wildly so.
+    signed = [
+        (tv - sim) / sim for tv, sim in zip(tv_values, sim_values)
+    ]
+    mean_signed = sum(signed) / len(signed)
+    assert -0.15 < mean_signed < 0.8

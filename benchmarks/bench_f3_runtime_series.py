@@ -1,0 +1,51 @@
+"""R-F3: runtime-vs-size series for both engines.
+
+Reconstructs the log-log runtime figure: the analyzer's wall time grows
+near-linearly with device count while transistor-level simulation grows
+super-cubically (dense solves per timestep), crossing over at trivially
+small circuits.  Together with R-T3 this is the paper's economics figure.
+"""
+
+import time
+
+from repro.bench import Series, save_result, timed_analysis
+from repro.circuits import random_logic
+from repro.sim import SpiceLite, TransientOptions, constant
+
+TV_SIZES = (100, 300, 1000, 3000, 10000)
+SIM_SIZES = (40, 80, 160, 320, 640)
+
+
+def run_f3():
+    tv_series = Series("TV static analysis", "devices", "seconds")
+    for size in TV_SIZES:
+        net = random_logic(size, seed=13)
+        seconds, _ = timed_analysis(net)
+        tv_series.add(len(net.devices), round(seconds, 4))
+
+    sim_series = Series("SPICE-lite (10 ns vector)", "devices", "seconds")
+    for size in SIM_SIZES:
+        net = random_logic(size, seed=13)
+        sim = SpiceLite(net, options=TransientOptions(dt=0.5e-9, settle=5e-9))
+        stimuli = {name: constant(0.0) for name in net.inputs}
+        started = time.perf_counter()
+        sim.transient(stimuli, 10e-9, record=[])
+        sim_series.add(len(net.devices), round(time.perf_counter() - started, 4))
+
+    text = tv_series.format() + "\n\n" + sim_series.format()
+    return text, tv_series, sim_series
+
+
+def test_f3_runtime_series(benchmark):
+    text, tv_series, sim_series = benchmark.pedantic(
+        run_f3, rounds=1, iterations=1
+    )
+    save_result("f3_runtime_series", text)
+    # TV near-linear: time ratio grows at most ~quadratically slower than
+    # the device ratio across the sweep (generous CI-safe bound).
+    (d0, t0), (d1, t1) = tv_series.points[0], tv_series.points[-1]
+    assert t1 / max(t0, 1e-4) < (d1 / d0) ** 2
+    # Simulation clearly superlinear over its sweep (the dense solves'
+    # cubic term dominates once the circuit passes a few hundred nodes).
+    (sd0, st0), (sd1, st1) = sim_series.points[0], sim_series.points[-1]
+    assert st1 / st0 > (sd1 / sd0) ** 1.15

@@ -1,0 +1,58 @@
+"""R-F4: pass-chain delay vs length -- the quadratic, and the buffer fix.
+
+Reconstructs the figure motivating buffer insertion: an unbuffered pass
+chain's delay grows quadratically with length (Elmore of a uniform RC
+line), while a chain broken by superbuffers every few stages grows
+linearly.  Expected crossover around 4-6 devices -- the design rule every
+nMOS methodology text quoted.
+"""
+
+from repro import TimingAnalyzer
+from repro.bench import Series, save_result
+from repro.circuits import pass_chain
+from repro.core import format_table
+
+LENGTHS = (1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 20, 24)
+BUFFER_EVERY = 4
+
+
+def run_f4():
+    unbuffered = Series("unbuffered chain", "length", "delay_ns")
+    buffered = Series(f"superbuffer every {BUFFER_EVERY}", "length", "delay_ns")
+    rows = []
+    for n in LENGTHS:
+        plain = TimingAnalyzer(pass_chain(n)).analyze().max_delay
+        fixed = TimingAnalyzer(
+            pass_chain(n, buffer_every=BUFFER_EVERY)
+        ).analyze().max_delay
+        unbuffered.add(n, round(plain * 1e9, 3))
+        buffered.add(n, round(fixed * 1e9, 3))
+        rows.append(
+            [f"{n}", f"{plain * 1e9:7.3f}", f"{fixed * 1e9:7.3f}",
+             "buffered wins" if fixed < plain else ""]
+        )
+    table = format_table(
+        ["length", "unbuffered (ns)", "buffered (ns)", ""],
+        rows,
+        title="R-F4: pass-transistor chain delay vs length",
+    )
+    return table, unbuffered, buffered
+
+
+def test_f4_pass_chain(benchmark):
+    table, unbuffered, buffered = benchmark.pedantic(
+        run_f4, rounds=1, iterations=1
+    )
+    save_result("f4_pass_chain", table)
+    plain = dict(unbuffered.points)
+    fixed = dict(buffered.points)
+    # Quadratic growth: doubling 8 -> 16 more than triples the delay.
+    assert plain[16] / plain[8] > 2.5
+    # Buffered growth stays near-linear over 8 -> 24 (3x length < 4.5x time,
+    # vs the unbuffered chain's ~9x).
+    assert fixed[24] / fixed[8] < 4.5
+    assert plain[24] / plain[8] > 6.0
+    # Crossover: short chains don't pay for buffers; long chains must.
+    assert fixed[4] >= plain[4]
+    assert fixed[16] < plain[16]
+    assert fixed[24] < plain[24]

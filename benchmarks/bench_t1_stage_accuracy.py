@@ -1,0 +1,80 @@
+"""R-T1: stage-delay accuracy -- static estimates vs SPICE-lite.
+
+Reconstructs the paper's per-structure accuracy table: for every nMOS stage
+archetype, the 50% delay predicted by the static analyzer against the
+transient simulation, with the signed error.  Claim validated: estimates
+land within ~10-20% of simulation, erring toward pessimism.
+"""
+
+from repro.bench import compare_delay, save_result
+from repro.circuits import (
+    inverter_chain,
+    manchester_adder,
+    nand,
+    nor,
+    pass_chain,
+    superbuffer,
+    xor2,
+)
+from repro.core import format_table
+from repro.sim import TransientOptions
+
+FAST = TransientOptions(dt=0.1e-9, settle=30e-9)
+FF = 1e-15
+
+
+def _loaded(net, node, cap=50 * FF):
+    net.add_cap(node, cap)
+    return net
+
+
+def _cases():
+    return [
+        ("inverter fall", _loaded(inverter_chain(1), "n0"), "a", "n0", "rise", {}),
+        ("inverter rise", _loaded(inverter_chain(1), "n0"), "a", "n0", "fall", {}),
+        ("chain x4", inverter_chain(4), "a", "n3", "rise", {}),
+        ("chain x8", inverter_chain(8), "a", "n7", "rise", {}),
+        ("nand2 fall", _loaded(nand(2), "out"), "a1", "out", "rise", {"a0": 1}),
+        ("nand3 fall", _loaded(nand(3), "out"), "a2", "out", "rise", {"a0": 1, "a1": 1}),
+        ("nand4 fall", _loaded(nand(4), "out"), "a3", "out", "rise",
+         {"a0": 1, "a1": 1, "a2": 1}),
+        ("nor2 fall", _loaded(nor(2), "out"), "a0", "out", "rise", {"a1": 0}),
+        ("nor4 fall", _loaded(nor(4), "out"), "a0", "out", "rise",
+         {"a1": 0, "a2": 0, "a3": 0}),
+        ("xor", xor2(), "a", "out", "rise", {"b": 0}),
+        ("pass chain x2", pass_chain(2), "d", "p1", "rise", {"sel": 1}),
+        ("pass chain x4", pass_chain(4), "d", "p3", "rise", {"sel": 1}),
+        ("pass chain x8", pass_chain(8), "d", "p7", "rise", {"sel": 1}),
+        ("superbuffer", _loaded(superbuffer(), "out", 150 * FF), "a", "out", "rise", {}),
+    ]
+
+
+def run_t1():
+    rows = []
+    errors = []
+    for label, net, trigger, output, direction, state in _cases():
+        row = compare_delay(
+            net, trigger, output,
+            direction=direction, input_state=state, label=label,
+            sim_options=FAST,
+        )
+        rows.append(row.cells())
+        errors.append(abs(row.error_pct))
+    table = format_table(
+        ["stage", "edge", "TV (ns)", "SPICE-lite (ns)", "error"],
+        rows,
+        title="R-T1: stage-delay accuracy (static vs transient)",
+    )
+    table += (
+        f"\nmean |error| {sum(errors) / len(errors):.1f}%   "
+        f"max |error| {max(errors):.1f}%"
+    )
+    return table, errors
+
+
+def test_t1_stage_accuracy(benchmark):
+    table, errors = benchmark.pedantic(run_t1, rounds=1, iterations=1)
+    save_result("t1_stage_accuracy", table)
+    # Shape assertions: the paper's accuracy band.
+    assert sum(errors) / len(errors) < 25.0
+    assert max(errors) < 60.0

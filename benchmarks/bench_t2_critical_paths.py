@@ -1,0 +1,195 @@
+"""R-T2: full-block critical paths -- TV vs simulation of the found path.
+
+For each benchmark block the analyzer reports its worst path; we then drive
+that scenario in SPICE-lite and time the real transition.  Claim validated:
+the analyzer finds the true slow path and its delay estimate tracks the
+simulated delay (pessimistic, same order).
+
+Blocks whose full transient simulation is impractical at SPICE-lite's dense
+linear algebra (the register file and datapath) get static numbers plus an
+explicit "n/a" -- exactly the situation the 1983 designers were in, which
+is the paper's point.
+"""
+
+from repro import TimingAnalyzer
+from repro.bench import percent_error, save_result
+from repro.circuits import (
+    barrel_shifter,
+    bus,
+    manchester_adder,
+    mips_like_datapath,
+    pla,
+    ProductTerm,
+    register_file,
+    ripple_adder,
+)
+from repro.core import format_table
+from repro import TwoPhaseClock
+from repro.sim import (
+    SpiceLite,
+    TransientOptions,
+    constant,
+    step,
+    two_phase_waveforms,
+)
+
+FAST = TransientOptions(dt=0.15e-9, settle=40e-9)
+
+
+def _ripple_case():
+    """Carry ripple a0 -> sum7 with b = 0xFF: the canonical worst path."""
+    width = 8
+    net = ripple_adder(width)
+    result = TimingAnalyzer(net).analyze()
+    tv = result.max_delay
+
+    sim = SpiceLite(net, options=FAST)
+    stim = {f"b{i}": constant(5.0) for i in range(width)}
+    stim["cin"] = constant(0.0)
+    for i in range(1, width):
+        stim[f"a{i}"] = constant(0.0)
+    stim["a0"] = step(5e-9, 0.0, 5.0)
+    wave = sim.transient(stim, 120e-9, record=["a0", "sum7"])
+    t_in = wave.crossing_after("a0", 2.2, "rise", 2e-9)
+    t_out_r = wave.crossing_after("sum7", 2.2, "rise", t_in)
+    t_out_f = wave.crossing_after("sum7", 2.2, "fall", t_in)
+    candidates = [t for t in (t_out_r, t_out_f) if t is not None]
+    measured = max(candidates) - t_in
+    return ("ripple adder x8", result.critical_path.endpoint, tv, measured)
+
+
+def _manchester_case():
+    """Evaluate-phase carry chain, driven with real two-phase clocks.
+
+    Compared quantity: the analyzer's clock-to-cout arrival during phi2.
+    The operands are stable long before evaluation (they settle during the
+    precharge phase), so the static side is told the inputs arrived early;
+    what remains at ``cout`` is the phi2-launched carry-chain discharge --
+    exactly what the simulation's cursor measures.
+    """
+    width = 6
+    net = manchester_adder(width)
+    early = {name: -100e-9 for name in net.inputs}
+    result = TimingAnalyzer(net).analyze(input_arrivals=early)
+    arrivals = result.clock_verification.phases["phi2"].arrivals
+    tv = arrivals.worst("cout").time
+
+    clock = TwoPhaseClock(nonoverlap=4e-9)
+    waves = two_phase_waveforms(clock, 40e-9, 120e-9, 5.0, cycles=1, ramp=1e-9)
+    stim = dict(waves)
+    for i in range(width):
+        stim[f"a{i}"] = constant(5.0)
+        stim[f"b{i}"] = constant(0.0)
+    stim["b0"] = constant(5.0)  # a=111111, b=000001: full-length ripple
+    stim["cin"] = constant(0.0)
+    sim = SpiceLite(net, options=FAST)
+    wave = sim.transient(stim, 170e-9, record=["phi2", "cout"])
+    t_eval = wave.crossing_after("phi2", 2.2, "rise", 0.0)
+    t_out = wave.crossing_after("cout", 2.2, "rise", t_eval)
+    measured = t_out - t_eval
+    return ("manchester x6 (phi2)", "cout", tv, measured)
+
+
+def _barrel_case():
+    width = 8
+    net = barrel_shifter(width)
+    result = TimingAnalyzer(net).analyze()
+    tv = result.max_delay
+    endpoint = result.critical_path.endpoint
+
+    sim = SpiceLite(net, options=FAST)
+    stim = {f"s{i}": constant(0.0) for i in range(width)}
+    stim["s1"] = constant(5.0)  # rotate by 1
+    for i in range(width):
+        stim[f"d{i}"] = constant(0.0)
+    # endpoint is q{i}; its source under rotate-1 is d{(i+1) % width}.
+    out_bit = int(endpoint[1:])
+    src = f"d{(out_bit + 1) % width}"
+    stim[src] = step(5e-9, 0.0, 5.0)
+    wave = sim.transient(stim, 60e-9, record=[src, endpoint])
+    t_in = wave.crossing_after(src, 2.2, "rise", 2e-9)
+    t_r = wave.crossing_after(endpoint, 2.2, "rise", t_in)
+    t_f = wave.crossing_after(endpoint, 2.2, "fall", t_in)
+    measured = min(t for t in (t_r, t_f) if t is not None) - t_in
+    return ("barrel shifter x8", endpoint, tv, measured)
+
+
+def _pla_case():
+    terms = [
+        ProductTerm({0: 1, 1: 1, 2: 0}, (0,)),
+        ProductTerm({1: 0, 3: 1}, (0, 1)),
+        ProductTerm({0: 0, 2: 1, 3: 0}, (1,)),
+        ProductTerm({2: 1}, (2,)),
+    ]
+    net = pla(4, 3, terms)
+    result = TimingAnalyzer(net).analyze()
+    tv = result.max_delay
+    endpoint = result.critical_path.endpoint
+    startpoint = result.critical_path.startpoint
+
+    sim = SpiceLite(net, options=FAST)
+    stim = {f"in{i}": constant(0.0) for i in range(4)}
+    stim[startpoint] = step(5e-9, 0.0, 5.0)
+    wave = sim.transient(stim, 80e-9, record=[startpoint, endpoint])
+    t_in = wave.crossing_after(startpoint, 2.2, "rise", 2e-9)
+    crossings = [
+        wave.crossing_after(endpoint, 2.2, d, t_in) for d in ("rise", "fall")
+    ]
+    candidates = [t for t in crossings if t is not None]
+    measured = (max(candidates) - t_in) if candidates else float("nan")
+    return ("pla 4x3 (4 terms)", endpoint, tv, measured)
+
+
+def _static_only_cases():
+    rows = []
+    rf, _ = register_file(8, 8)
+    result = TimingAnalyzer(rf).analyze()
+    rows.append(("regfile 8x8", "min cycle", result.min_cycle, None))
+    dp, _ = mips_like_datapath(16, 8)
+    result = TimingAnalyzer(dp).analyze()
+    rows.append(("datapath 16x8", "min cycle", result.min_cycle, None))
+    return rows
+
+
+def run_t2():
+    cases = [
+        (_ripple_case(), "static"),
+        (_manchester_case(), "dynamic"),
+        (_barrel_case(), "static"),
+        (_pla_case(), "static"),
+    ]
+    rows = []
+    errors = []
+    for (label, endpoint, tv, measured), kind in cases:
+        err = percent_error(tv, measured)
+        errors.append((err, kind))
+        rows.append(
+            [label, endpoint, f"{tv * 1e9:8.2f}", f"{measured * 1e9:8.2f}",
+             f"{err:+6.1f}%"]
+        )
+    for label, endpoint, tv, _none in _static_only_cases():
+        rows.append([label, endpoint, f"{tv * 1e9:8.2f}", "n/a (too big to simulate)", ""])
+    table = format_table(
+        ["block", "endpoint", "TV (ns)", "SPICE-lite (ns)", "error"],
+        rows,
+        title="R-T2: block critical paths (static vs simulated worst path)",
+    )
+    table += (
+        "\nnote: dynamic (precharged) chains carry known extra static"
+        "\npessimism -- worst-path series resistance plus slope correction"
+        "\non a reduced precharge swing; TV-class tools shared this and"
+        "\ndesigners treated dynamic-node reports as upper bounds."
+    )
+    return table, errors
+
+
+def test_t2_critical_paths(benchmark):
+    table, errors = benchmark.pedantic(run_t2, rounds=1, iterations=1)
+    save_result("t2_critical_paths", table)
+    # Shape: static tracks simulation, never fatally optimistic
+    # (value-independent analysis can exceed the single vector measured
+    # here -- that is the pessimism the paper accepts).  Precharged
+    # chains carry documented extra pessimism (see table note).
+    for err, kind in errors:
+        high = 400.0 if kind == "dynamic" else 150.0
+        assert -35.0 < err < high, (err, kind)

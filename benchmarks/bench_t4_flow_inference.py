@@ -1,0 +1,86 @@
+"""R-T4: signal-flow direction inference coverage.
+
+Claim validated: the structural rules orient the overwhelming majority of
+pass transistors automatically, leaving only genuinely ambiguous structures
+(bidirectional buses) for designer hints -- the paper's accounting of how
+much of the MIPS chip the rules covered.
+"""
+
+from repro import FlowDirection, Netlist
+from repro.bench import save_result
+from repro.circuits import (
+    barrel_shifter,
+    manchester_adder,
+    mips_like_datapath,
+    mux2,
+    pass_chain,
+    register_file,
+    shift_register,
+)
+from repro.core import format_table
+from repro.flow import HintSet, infer_flow
+
+
+def _bidir_bus() -> Netlist:
+    """A two-driver shared bus: the canonical hint-needing structure."""
+    net = Netlist("bidir-bus")
+    net.set_input("en_a", "en_b", "da", "db")
+    net.add_pullup("qa")
+    net.add_enh("da", "qa", "gnd")
+    net.add_pullup("qb")
+    net.add_enh("db", "qb", "gnd")
+    net.add_enh("en_a", "qa", "bus", name="bus.swa")
+    net.add_enh("en_b", "qb", "bus", name="bus.swb")
+    net.add_pullup("sense")
+    net.add_enh("bus", "sense", "gnd")
+    net.set_output("sense")
+    return net
+
+
+def run_t4():
+    designs = [
+        ("pass chain x16", pass_chain(16), None),
+        ("mux2", mux2(), None),
+        ("barrel shifter x16", barrel_shifter(16), None),
+        ("shift register x8", shift_register(8), None),
+        ("manchester x16", manchester_adder(16), None),
+        ("regfile 8x8", register_file(8, 8)[0], None),
+        ("datapath 16x8", mips_like_datapath(16, 8)[0], None),
+        (
+            "bidirectional bus",
+            _bidir_bus(),
+            HintSet().add("bus.sw*", FlowDirection.S_TO_D),
+        ),
+    ]
+    rows = []
+    for label, net, hints in designs:
+        if hints is not None:
+            hints.apply(net)
+        report = infer_flow(net)
+        rows.append(
+            [
+                label,
+                f"{report.total_devices}",
+                f"{report.pass_candidates}",
+                f"{report.auto_resolved}",
+                f"{100.0 * report.coverage:5.1f}%",
+                f"{len(report.hinted)}",
+                f"{len(report.unresolved)}",
+            ]
+        )
+    table = format_table(
+        ["design", "devices", "pass", "auto", "coverage", "hints", "unresolved"],
+        rows,
+        title="R-T4: signal-flow inference coverage",
+    )
+    return table, rows
+
+
+def test_t4_flow_inference(benchmark):
+    table, rows = benchmark.pedantic(run_t4, rounds=1, iterations=1)
+    save_result("t4_flow_inference", table)
+    # Every generated design resolves fully; only the deliberate
+    # bidirectional bus needs its two hints.
+    for row in rows[:-1]:
+        assert row[6] == "0", f"{row[0]} left devices unresolved"
+    assert rows[-1][5] == "2"

@@ -1,0 +1,82 @@
+"""R-T6 (ablation): which delay model earns its keep.
+
+DESIGN.md calls out the delay model as the load-bearing design choice; this
+ablation quantifies it.  Every RC metric (lumped, Elmore, Penfield-
+Rubinstein bounds) and the slope correction are run over the accuracy
+suite; the table reports mean/max error per configuration.  Expected shape:
+Elmore+slope is the sweet spot; lumped is grossly pessimistic on chains;
+pr-min is optimistic (it is a lower bound); disabling slope hurts
+everything driven by slow edges.
+"""
+
+from repro.bench import compare_delay, save_result
+from repro.circuits import inverter_chain, nand, pass_chain, xor2
+from repro.core import format_table
+from repro.delay import DELAY_MODELS, NO_SLOPE, SlopeModel
+from repro.sim import TransientOptions
+
+FAST = TransientOptions(dt=0.1e-9, settle=30e-9)
+FF = 1e-15
+
+
+def _loaded(net, node, cap=50 * FF):
+    net.add_cap(node, cap)
+    return net
+
+
+def _cases():
+    return [
+        ("inv", _loaded(inverter_chain(1), "n0"), "a", "n0", "rise", {}),
+        ("chain x6", inverter_chain(6), "a", "n5", "rise", {}),
+        ("nand3", _loaded(nand(3), "out"), "a2", "out", "rise",
+         {"a0": 1, "a1": 1}),
+        ("xor", xor2(), "a", "out", "rise", {"b": 0}),
+        ("pass x4", pass_chain(4), "d", "p3", "rise", {"sel": 1}),
+        ("pass x8", pass_chain(8), "d", "p7", "rise", {"sel": 1}),
+    ]
+
+
+def run_t6():
+    configurations = [(m, True) for m in DELAY_MODELS] + [("elmore", False)]
+    rows = []
+    stats = {}
+    for model, with_slope in configurations:
+        slope = SlopeModel() if with_slope else NO_SLOPE
+        errors = []
+        for label, net, trigger, output, direction, state in _cases():
+            row = compare_delay(
+                net, trigger, output,
+                direction=direction, input_state=state,
+                model=model, slope=slope, sim_options=FAST,
+            )
+            errors.append(row.error_pct)
+        name = f"{model}{'' if with_slope else ' (no slope)'}"
+        mean_abs = sum(abs(e) for e in errors) / len(errors)
+        stats[name] = (mean_abs, min(errors), max(errors))
+        rows.append(
+            [
+                name,
+                f"{mean_abs:6.1f}%",
+                f"{min(errors):+7.1f}%",
+                f"{max(errors):+7.1f}%",
+            ]
+        )
+    table = format_table(
+        ["model", "mean |err|", "worst optimism", "worst pessimism"],
+        rows,
+        title="R-T6: delay-model ablation over the accuracy suite",
+    )
+    return table, stats
+
+
+def test_t6_model_ablation(benchmark):
+    table, stats = benchmark.pedantic(run_t6, rounds=1, iterations=1)
+    save_result("t6_model_ablation", table)
+    elmore = stats["elmore"][0]
+    # Elmore beats the lumped strawman and the PR upper bound on average.
+    assert elmore <= stats["lumped"][0]
+    assert elmore <= stats["pr-max"][0]
+    # pr-min is a lower bound: it must lean optimistic vs elmore.
+    assert stats["pr-min"][1] <= stats["elmore"][1]
+    # Dropping slope correction visibly hurts.
+    assert elmore <= stats["elmore (no slope)"][0] + 1e-9

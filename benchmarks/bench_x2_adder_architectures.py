@@ -1,0 +1,60 @@
+"""R-X2 (extension): adder-architecture design space, as TV would judge it.
+
+The analyzer's real product was design decisions: which adder goes in the
+datapath?  This extension experiment times the three classic nMOS choices
+across widths -- static ripple (linear in width, cheap), carry-select
+(carry hops per section, ~2x area), and the dynamic Manchester chain
+(dense, but quadratic chain term plus a precharge phase).  Expected shape:
+ripple grows linearly and loses badly by 16 bits; carry-select flattens;
+Manchester sits between on evaluate time but pays the precharge phase in
+its full cycle.
+"""
+
+from repro import TimingAnalyzer
+from repro.bench import save_result
+from repro.circuits import carry_select_adder, manchester_adder, ripple_adder
+from repro.core import format_table
+
+WIDTHS = (4, 8, 16, 24)
+
+
+def run_x2():
+    rows = []
+    data = {}
+    for width in WIDTHS:
+        ripple = TimingAnalyzer(ripple_adder(width)).analyze().max_delay
+        csel = TimingAnalyzer(
+            carry_select_adder(width, section=4)
+        ).analyze().max_delay
+        man_result = TimingAnalyzer(manchester_adder(width)).analyze()
+        man_eval = man_result.clock_verification.phases["phi2"].width
+        man_cycle = man_result.min_cycle
+        data[width] = (ripple, csel, man_eval, man_cycle)
+        rows.append(
+            [
+                f"{width}",
+                f"{ripple * 1e9:8.2f}",
+                f"{csel * 1e9:8.2f}",
+                f"{man_eval * 1e9:8.2f}",
+                f"{man_cycle * 1e9:8.2f}",
+            ]
+        )
+    table = format_table(
+        ["width", "ripple (ns)", "carry-select (ns)",
+         "manchester eval (ns)", "manchester cycle (ns)"],
+        rows,
+        title="R-X2: adder architectures under static analysis",
+    )
+    return table, data
+
+
+def test_x2_adder_architectures(benchmark):
+    table, data = benchmark.pedantic(run_x2, rounds=1, iterations=1)
+    save_result("x2_adder_architectures", table)
+    # Ripple grows ~linearly with width.
+    assert data[24][0] / data[8][0] > 2.0
+    # Carry-select beats ripple clearly at 16+ bits.
+    assert data[16][1] < 0.7 * data[16][0]
+    assert data[24][1] < 0.6 * data[24][0]
+    # At narrow widths the select overhead wipes out the gain.
+    assert data[4][1] > 0.8 * data[4][0]

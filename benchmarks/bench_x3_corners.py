@@ -1,0 +1,61 @@
+"""R-X3 (extension): three-corner signoff.
+
+The shipping decision of a 1983 chip: the slow corner sets the data-sheet
+cycle time; the fast corner sets the race margins (the minimum non-overlap
+the clock generator must guarantee).  This experiment runs the full
+two-phase verification of the datapath across the classic corner set.
+Expected shape: ~1.5x cycle-time spread slow/fast, and the *fast* corner
+giving the smallest overlap margin -- exactly why min-delay checks run
+fast-corner.
+"""
+
+from repro import TimingAnalyzer, Technology
+from repro.bench import save_result
+from repro.circuits import mips_like_datapath
+from repro.core import format_table
+
+
+def run_x3():
+    rows = []
+    data = {}
+    for which, tech in Technology.corners().items():
+        net, _ = mips_like_datapath(8, 4, tech=tech)
+        result = TimingAnalyzer(net).analyze()
+        v = result.clock_verification
+        margin = min(
+            (m.margin for m in v.overlap_margins if m.margin is not None),
+            default=None,
+        )
+        data[which] = (v.min_cycle, margin)
+        rows.append(
+            [
+                which,
+                f"{v.phases['phi1'].width * 1e9:8.2f}",
+                f"{v.phases['phi2'].width * 1e9:8.2f}",
+                f"{v.min_cycle * 1e9:8.2f}",
+                f"{margin * 1e9:6.3f}" if margin is not None else "inf",
+            ]
+        )
+    table = format_table(
+        ["corner", "phi1 (ns)", "phi2 (ns)", "cycle (ns)", "overlap margin (ns)"],
+        rows,
+        title="R-X3: three-corner signoff of datapath 8x4",
+    )
+    table += (
+        "\ncycle-time signoff = slow corner; race margin = fast corner"
+    )
+    return table, data
+
+
+def test_x3_corners(benchmark):
+    table, data = benchmark.pedantic(run_x3, rounds=1, iterations=1)
+    save_result("x3_corners", table)
+    slow_cycle, _ = data["slow"]
+    typ_cycle, typ_margin = data["typ"]
+    fast_cycle, fast_margin = data["fast"]
+    # Ordering and a realistic spread.
+    assert fast_cycle < typ_cycle < slow_cycle
+    assert 1.3 < slow_cycle / fast_cycle < 2.5
+    # The race margin shrinks on the fast corner.
+    assert fast_margin is not None and typ_margin is not None
+    assert fast_margin < typ_margin

@@ -1,0 +1,59 @@
+"""Performance improvement: the analyze -> resize -> re-analyze loop.
+
+TV's reports drove a tuning loop (later systematized in Jouppi's 1987
+follow-up): widen the devices that dominate the critical path, re-run the
+analysis, repeat.  This example tunes a heavily loaded driver chain and
+then a small datapath, printing each iteration's gain.
+
+Run:  python examples/performance_improvement.py
+"""
+
+from repro import TimingAnalyzer
+from repro.circuits import inverter_chain, mips_like_datapath
+from repro.opt import optimize, suggest_resizing
+
+
+def tune_driver_chain() -> None:
+    print("=" * 60)
+    print("1. a weak driver on a 500 fF bus")
+    print("=" * 60)
+    net = inverter_chain(4, load=500e-15)
+    result = TimingAnalyzer(net).analyze()
+    print(f"before: {result.max_delay * 1e9:.2f} ns")
+    print("advisor's first suggestions:")
+    for s in suggest_resizing(net, result):
+        partners = f" (+{len(s.partners)} ratio partner(s))" if s.partners else ""
+        print(f"  widen {s.device} to {s.new_w * 1e6:.0f} um -- {s.reason}{partners}")
+
+    history = optimize(net, iterations=6)
+    for step in history:
+        print(
+            f"  iteration {step.iteration}: "
+            f"{step.delay_before * 1e9:6.2f} -> {step.delay_after * 1e9:6.2f} ns"
+        )
+    final = TimingAnalyzer(net).analyze()
+    print(f"after : {final.max_delay * 1e9:.2f} ns")
+
+
+def tune_datapath() -> None:
+    print()
+    print("=" * 60)
+    print("2. shaving the datapath's cycle time")
+    print("=" * 60)
+    net, _ports = mips_like_datapath(8, 4)
+    before = TimingAnalyzer(net).analyze().min_cycle
+    print(f"before: min cycle {before * 1e9:.2f} ns")
+    history = optimize(net, iterations=4, limit=6)
+    for step in history:
+        print(
+            f"  iteration {step.iteration}: "
+            f"{step.delay_before * 1e9:6.2f} -> {step.delay_after * 1e9:6.2f} ns"
+        )
+    after = TimingAnalyzer(net).analyze().min_cycle
+    print(f"after : min cycle {after * 1e9:.2f} ns "
+          f"({100 * (before - after) / before:.1f}% faster)")
+
+
+if __name__ == "__main__":
+    tune_driver_chain()
+    tune_datapath()

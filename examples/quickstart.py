@@ -1,0 +1,41 @@
+"""Quickstart: build an nMOS circuit, run the TV analyzer, read the report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Netlist, TimingAnalyzer
+from repro.circuits import add_inverter, add_nand, add_pass
+
+
+def main() -> None:
+    # Build a small circuit by hand: two inputs, a NAND, a pass switch,
+    # and an output buffer -- the kind of structure a layout extractor
+    # would hand the analyzer.
+    net = Netlist("quickstart")
+    net.set_input("a", "b", "enable")
+
+    add_nand(net, ["a", "b"], "nand_out", tag="g1")
+    add_pass(net, "enable", "nand_out", "bus", name="sw")
+    add_inverter(net, "bus", "y", tag="buf")
+    net.set_output("y")
+
+    # The analyzer runs the whole TV pipeline: electrical rules checks,
+    # signal-flow inference, stage decomposition, arc extraction, and
+    # worst-case arrival propagation.
+    tv = TimingAnalyzer(net)
+    result = tv.analyze()
+
+    print(result.report())
+    print()
+    print(f"worst-case delay to y: {result.max_delay * 1e9:.3f} ns")
+    print(f"arrival at bus       : {result.arrival_of('bus') * 1e9:.3f} ns")
+
+    # Each path step names the devices on the worst RC path, so a designer
+    # can find the transistor to resize.
+    path = result.critical_path
+    print(f"\ncritical path devices: "
+          f"{[d for s in path.steps for d in s.devices]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+The pyproject.toml intentionally omits a ``[build-system]`` table so that
+``pip install -e .`` uses the legacy setup.py develop path, which works in
+fully offline environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Jouppi's 'Timing Analysis for nMOS VLSI' "
+        "(DAC 1983): the TV static timing analyzer and its substrates."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "networkx"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,106 @@
+"""repro: a reproduction of "Timing Analysis for nMOS VLSI" (Jouppi, DAC 1983).
+
+This package implements the TV static timing analyzer and every substrate it
+needs, in pure Python:
+
+* :mod:`repro.netlist` -- transistor-level nMOS netlists (+ ``.sim`` codec)
+* :mod:`repro.stages` -- channel-connected stage decomposition and node
+  classification
+* :mod:`repro.flow` -- signal-flow direction inference for pass transistors
+* :mod:`repro.delay` -- RC/Elmore/Penfield-Rubinstein delay models
+* :mod:`repro.clocks` -- two-phase non-overlapping clock schemas
+* :mod:`repro.core` -- the TV analyzer: arrival propagation, critical paths,
+  clock verification
+* :mod:`repro.sim` -- reference simulators (event-driven switch-level, and a
+  numerical "SPICE-lite" transient simulator)
+* :mod:`repro.circuits` -- parametric nMOS benchmark circuit generators up to
+  a MIPS-like datapath
+* :mod:`repro.baselines` -- gate-level baseline timing models
+
+Quickstart::
+
+    from repro import Netlist, TimingAnalyzer
+    from repro.circuits import inverter_chain
+
+    net = inverter_chain(8)
+    tv = TimingAnalyzer(net)
+    result = tv.analyze()
+    print(result.report())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reconstructed evaluation.
+"""
+
+from .errors import (
+    ClockingError,
+    ConvergenceError,
+    ElectricalRuleError,
+    FlowError,
+    NetlistError,
+    ReproError,
+    SimFormatError,
+    SimulationError,
+    StageError,
+    TimingError,
+)
+from .netlist import (
+    DeviceKind,
+    FlowDirection,
+    Netlist,
+    Node,
+    Transistor,
+)
+from .tech import FF, KOHM, NMOS4, NS, PF, PS, UM, Technology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # tech
+    "Technology",
+    "NMOS4",
+    "UM",
+    "NS",
+    "PS",
+    "FF",
+    "PF",
+    "KOHM",
+    # netlist
+    "Netlist",
+    "Node",
+    "Transistor",
+    "DeviceKind",
+    "FlowDirection",
+    # errors
+    "ReproError",
+    "NetlistError",
+    "SimFormatError",
+    "ElectricalRuleError",
+    "StageError",
+    "FlowError",
+    "TimingError",
+    "ClockingError",
+    "SimulationError",
+    "ConvergenceError",
+]
+
+
+def _late_imports() -> None:
+    """Populate the package namespace with the analyzer and clock classes.
+
+    Done lazily at import bottom so that the low-level modules above never
+    see a partially initialized package.
+    """
+    from .clocks import TwoPhaseClock  # noqa: F401
+    from .core import AnalysisResult, TimingAnalyzer  # noqa: F401
+
+    globals().update(
+        TwoPhaseClock=TwoPhaseClock,
+        TimingAnalyzer=TimingAnalyzer,
+        AnalysisResult=AnalysisResult,
+    )
+    __all__.extend(["TwoPhaseClock", "TimingAnalyzer", "AnalysisResult"])
+
+
+_late_imports()
+del _late_imports

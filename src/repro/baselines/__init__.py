@@ -1,0 +1,5 @@
+"""Gate-level baseline timing models (the R-T7 strawmen)."""
+
+from .gate_level import BaselineResult, FanoutDelayAnalyzer, UnitDelayAnalyzer
+
+__all__ = ["BaselineResult", "UnitDelayAnalyzer", "FanoutDelayAnalyzer"]

@@ -1,0 +1,134 @@
+"""Gate-level baseline timing analyzers.
+
+The paper's implicit comparison: why analyze at the *transistor* level when
+a gate-level model is so much simpler?  Because nMOS designs are not made of
+gates -- pass-transistor networks, precharged chains, and bus structures
+have no gate-level equivalent, and a gate model either cannot see them or
+mis-times them (experiment R-T7).
+
+Both baselines reuse the stage decomposition as their "gate" extractor
+(charitably -- a real 1983 gate-level flow would have needed hand netlists)
+and differ only in the per-gate delay model:
+
+* :class:`UnitDelayAnalyzer` -- every stage traversal costs one unit;
+* :class:`FanoutDelayAnalyzer` -- delay = ``d0 + k * fanout``, the classic
+  library-free load model.
+
+Both are value- and transistor-blind: every arc through a stage gets the
+same delay regardless of series chains, pass networks, or clocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import TimingGraph, critical_paths, propagate
+from ..core.arrival import ArrivalMap
+from ..core.paths import TimingPath
+from ..delay import (
+    FALL,
+    RISE,
+    ArcTiming,
+    NO_SLOPE,
+    StageArc,
+    StageDelayCalculator,
+)
+from ..errors import TimingError
+from ..flow import infer_flow
+from ..netlist import Netlist
+from ..stages import decompose
+
+__all__ = ["BaselineResult", "UnitDelayAnalyzer", "FanoutDelayAnalyzer"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline analysis (combinational view)."""
+
+    arrivals: ArrivalMap
+    paths: list[TimingPath]
+    max_delay: float
+
+    @property
+    def critical_path(self) -> TimingPath | None:
+        return self.paths[0] if self.paths else None
+
+
+class _GateLevelAnalyzer:
+    """Shared machinery: structural arcs, constant per-arc delay."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        infer_flow(netlist)
+        self.graph = decompose(netlist)
+        # Reuse the transistor-level arc *topology* but discard its delays:
+        # the baseline sees connectivity only.
+        self._calculator = StageDelayCalculator(
+            netlist, self.graph, slope=NO_SLOPE
+        )
+
+    def _arc_delay(self, arc: StageArc) -> float:
+        raise NotImplementedError
+
+    def analyze(self, *, top_k: int = 5) -> BaselineResult:
+        arcs = []
+        for arc in self._calculator.all_arcs(active_clocks=None):
+            delay = self._arc_delay(arc)
+            timing = ArcTiming(delay=delay, tau=0.0, path=())
+            arcs.append(
+                StageArc(
+                    stage_index=arc.stage_index,
+                    trigger=arc.trigger,
+                    via=arc.via,
+                    output=arc.output,
+                    inverting=arc.inverting,
+                    rise=timing if arc.rise is not None else None,
+                    fall=timing if arc.fall is not None else None,
+                )
+            )
+        graph = TimingGraph.build(arcs)
+        drive = set(self.netlist.inputs) | set(self.netlist.clocks)
+        if not drive:
+            raise TimingError("baseline analysis needs primary inputs")
+        sources = {}
+        for name in drive:
+            sources[(name, RISE)] = 0.0
+            sources[(name, FALL)] = 0.0
+        arrivals = propagate(graph, sources, NO_SLOPE, source_slew=0.0)
+        endpoints = set(self.netlist.outputs) or None
+        paths = critical_paths(arrivals, endpoints, k=top_k)
+        worst = arrivals.max_arrival(endpoints)
+        return BaselineResult(
+            arrivals=arrivals,
+            paths=paths,
+            max_delay=worst.time if worst else 0.0,
+        )
+
+
+class UnitDelayAnalyzer(_GateLevelAnalyzer):
+    """Every stage traversal costs exactly one delay unit."""
+
+    def __init__(self, netlist: Netlist, unit: float = 1.0e-9):
+        super().__init__(netlist)
+        self.unit = unit
+
+    def _arc_delay(self, arc: StageArc) -> float:
+        return self.unit
+
+
+class FanoutDelayAnalyzer(_GateLevelAnalyzer):
+    """Delay = ``d0 + k * fanout(output)`` -- load-proportional gates."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        d0: float = 0.5e-9,
+        k: float = 0.5e-9,
+    ):
+        super().__init__(netlist)
+        self.d0 = d0
+        self.k = k
+
+    def _arc_delay(self, arc: StageArc) -> float:
+        fanout = len(self.netlist.gate_loads(arc.output))
+        return self.d0 + self.k * fanout

@@ -1,0 +1,19 @@
+"""Benchmark harness shared by the scripts in ``benchmarks/``."""
+
+from .harness import (
+    AccuracyRow,
+    Series,
+    compare_delay,
+    percent_error,
+    save_result,
+    timed_analysis,
+)
+
+__all__ = [
+    "AccuracyRow",
+    "Series",
+    "compare_delay",
+    "percent_error",
+    "save_result",
+    "timed_analysis",
+]

@@ -1,0 +1,163 @@
+"""Shared benchmark harness.
+
+Each file in ``benchmarks/`` regenerates one table or figure of the
+reconstructed evaluation (see DESIGN.md section 3).  This module holds the
+pieces they share: accuracy comparisons between the static analyzer and
+SPICE-lite, timed analysis runs, and series containers that print in the
+paper's row/series format.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core import TimingAnalyzer, format_table
+from ..delay import SlopeModel
+from ..errors import SimulationError
+from ..netlist import Netlist
+from ..sim import TransientOptions, measure_step_delay
+
+__all__ = [
+    "AccuracyRow",
+    "compare_delay",
+    "timed_analysis",
+    "Series",
+    "percent_error",
+    "save_result",
+]
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a bench's table/series and save it under benchmarks/results/.
+
+    pytest captures stdout, so every bench also persists its output where
+    EXPERIMENTS.md can reference it.
+    """
+    import pathlib
+
+    print(text)
+    results_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def percent_error(estimate: float, reference: float) -> float:
+    """Signed percentage error of ``estimate`` against ``reference``."""
+    if reference == 0:
+        raise ValueError("reference delay is zero")
+    return 100.0 * (estimate - reference) / reference
+
+
+@dataclass
+class AccuracyRow:
+    """One accuracy comparison: static estimate vs simulated truth."""
+
+    label: str
+    transition: str
+    tv_delay: float
+    sim_delay: float
+
+    @property
+    def error_pct(self) -> float:
+        return percent_error(self.tv_delay, self.sim_delay)
+
+    def cells(self) -> list[str]:
+        """The row formatted for :func:`repro.core.format_table`."""
+        return [
+            self.label,
+            self.transition,
+            f"{self.tv_delay * 1e9:8.3f}",
+            f"{self.sim_delay * 1e9:8.3f}",
+            f"{self.error_pct:+7.1f}%",
+        ]
+
+
+def compare_delay(
+    netlist: Netlist,
+    trigger: str,
+    output: str,
+    *,
+    direction: str = "rise",
+    input_state: dict[str, int] | None = None,
+    model: str = "elmore",
+    slope: SlopeModel | None = None,
+    label: str | None = None,
+    sim_options: TransientOptions | None = None,
+    ramp: float = 1e-9,
+) -> AccuracyRow:
+    """Measure one (trigger -> output) delay with both engines.
+
+    The static figure is the analyzer's worst arrival at ``output`` for the
+    transition the simulation observed, with only ``trigger`` switching at
+    time 0 (all other inputs held).  The analyzer is told the same input
+    transition time the simulator applies (``ramp``), so the comparison
+    isolates the delay model.  This is the inner loop of R-T1/R-F2.
+    """
+    measurement = measure_step_delay(
+        netlist,
+        trigger,
+        output,
+        direction=direction,
+        input_state=input_state,
+        options=sim_options,
+        ramp=ramp,
+    )
+
+    analyzer = TimingAnalyzer(netlist, model=model, slope=slope)
+    # Non-trigger inputs are *held* in the simulation; telling the static
+    # side they arrive at t=0 would count their paths (e.g. a mux select
+    # re-routing the output) against this measurement.  They arrived long
+    # ago.
+    arrivals = {
+        name: -1e-6 for name in netlist.inputs if name != trigger
+    }
+    arrivals[trigger] = 0.0
+    result = analyzer.analyze(input_arrivals=arrivals, input_slew=ramp)
+    if result.arrivals is None:
+        raise SimulationError("accuracy comparison needs combinational mode")
+    arrival = result.arrivals.get(output, measurement.output_direction)
+    if arrival is None:
+        raise SimulationError(
+            f"static analysis produced no {measurement.output_direction} "
+            f"arrival at {output!r}"
+        )
+    return AccuracyRow(
+        label=label or f"{netlist.name}:{trigger}->{output}",
+        transition=measurement.output_direction,
+        tv_delay=arrival.time,
+        sim_delay=measurement.delay,
+    )
+
+
+def timed_analysis(netlist: Netlist, **kwargs) -> tuple[float, object]:
+    """Run the full analyzer pipeline, returning (wall seconds, result).
+
+    Includes ERC + flow inference + decomposition + analysis -- the whole
+    cost a user pays, which is what R-T3 compares against simulation.
+    """
+    started = time.perf_counter()
+    analyzer = TimingAnalyzer(netlist, **kwargs)
+    result = analyzer.analyze()
+    return time.perf_counter() - started, result
+
+
+@dataclass
+class Series:
+    """A named (x, y) series -- one line of a reconstructed figure."""
+
+    name: str
+    x_label: str
+    y_label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point to the series."""
+        self.points.append((x, y))
+
+    def format(self) -> str:
+        """The series as an aligned two-column table."""
+        rows = [[f"{x:g}", f"{y:g}"] for x, y in self.points]
+        return format_table(
+            [self.x_label, self.y_label], rows, title=f"series: {self.name}"
+        )

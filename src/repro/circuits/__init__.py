@@ -1,0 +1,119 @@
+"""Parametric nMOS benchmark circuit generators.
+
+Every generator returns a :class:`~repro.netlist.Netlist` (composites also
+return a ports object) with declared inputs/outputs/clocks, built from
+1983-vintage nMOS idioms: ratioed depletion-load gates, pass-transistor
+networks, precharged dynamic logic, and two-phase dynamic latches.
+"""
+
+from .adders import (
+    add_carry_select_adder,
+    add_manchester_adder,
+    add_ripple_adder,
+    carry_select_adder,
+    manchester_adder,
+    ripple_adder,
+)
+from .control import FsmPorts, Transition, fsm, sequencer, toy_cpu
+from .datapath import DatapathPorts, mips_like_datapath
+from .latches import (
+    add_half_latch,
+    add_register,
+    add_register_bit,
+    half_latch,
+    register_bit,
+    shift_register,
+)
+from .logic import (
+    add_aoi,
+    add_decoder,
+    add_full_adder,
+    add_xnor,
+    add_xor,
+    decoder,
+    full_adder,
+    xor2,
+)
+from .pla import ProductTerm, add_pla, pla
+from .primitives import (
+    add_inverter,
+    add_mux2,
+    add_nand,
+    add_nor,
+    add_pass,
+    add_superbuffer,
+    bus,
+    inverter,
+    inverter_chain,
+    mux2,
+    nand,
+    nor,
+    pass_chain,
+    superbuffer,
+)
+from .random_logic import random_logic
+from .regfile import RegFilePorts, add_register_file, register_file
+from .shifter import add_barrel_shifter, barrel_shifter
+
+__all__ = [
+    "bus",
+    # primitives
+    "add_inverter",
+    "add_nand",
+    "add_nor",
+    "add_pass",
+    "add_mux2",
+    "add_superbuffer",
+    "inverter",
+    "inverter_chain",
+    "nand",
+    "nor",
+    "pass_chain",
+    "mux2",
+    "superbuffer",
+    # logic
+    "add_aoi",
+    "add_xor",
+    "add_xnor",
+    "add_full_adder",
+    "add_decoder",
+    "xor2",
+    "full_adder",
+    "decoder",
+    # latches
+    "add_half_latch",
+    "add_register_bit",
+    "add_register",
+    "half_latch",
+    "register_bit",
+    "shift_register",
+    # adders
+    "add_ripple_adder",
+    "add_manchester_adder",
+    "add_carry_select_adder",
+    "ripple_adder",
+    "manchester_adder",
+    "carry_select_adder",
+    # shifter
+    "add_barrel_shifter",
+    "barrel_shifter",
+    # pla
+    "ProductTerm",
+    "add_pla",
+    "pla",
+    # regfile
+    "add_register_file",
+    "register_file",
+    "RegFilePorts",
+    # datapath
+    "mips_like_datapath",
+    "DatapathPorts",
+    # control
+    "Transition",
+    "FsmPorts",
+    "fsm",
+    "sequencer",
+    "toy_cpu",
+    # random
+    "random_logic",
+]

@@ -1,0 +1,252 @@
+"""Adders: static ripple-carry and dynamic Manchester carry chain.
+
+The Manchester chain is the signature nMOS datapath structure and the
+reason a transistor-level analyzer matters: its carry propagates through a
+*pass-transistor chain*, precharged each cycle, and no gate-level model
+sees that path correctly (experiment R-T7 demonstrates exactly this).
+"""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+from ..tech import Technology, NMOS4
+from .logic import add_full_adder, add_xor
+from .primitives import add_inverter, add_nand, add_pass, bus
+
+__all__ = [
+    "add_ripple_adder",
+    "add_manchester_adder",
+    "add_carry_select_adder",
+    "ripple_adder",
+    "manchester_adder",
+    "carry_select_adder",
+]
+
+
+def add_ripple_adder(
+    net: Netlist,
+    a_bits: list[str],
+    b_bits: list[str],
+    sum_bits: list[str],
+    cin: str,
+    cout: str,
+    *,
+    tag: str | None = None,
+) -> None:
+    """Static ripple-carry adder from AOI full-adder cells."""
+    width = len(a_bits)
+    if not (len(b_bits) == len(sum_bits) == width):
+        raise ValueError("adder buses must have equal width")
+    t = tag or "rip"
+    carry = cin
+    for i in range(width):
+        next_carry = cout if i == width - 1 else net.fresh_node(f"{t}.c").name
+        add_full_adder(
+            net,
+            a_bits[i],
+            b_bits[i],
+            carry,
+            sum_bits[i],
+            next_carry,
+            tag=f"{t}.fa{i}",
+        )
+        carry = next_carry
+
+
+def add_manchester_adder(
+    net: Netlist,
+    a_bits: list[str],
+    b_bits: list[str],
+    sum_bits: list[str],
+    cin: str,
+    cout: str,
+    precharge_clock: str,
+    eval_clock: str,
+    *,
+    tag: str | None = None,
+) -> list[str]:
+    """Dynamic Manchester-carry-chain adder.
+
+    Per bit ``i`` (active-low carry chain ``nc``):
+
+    * propagate ``p_i = a_i XOR b_i`` and generate ``g_i = a_i AND b_i``
+      are computed statically;
+    * chain node ``nc_i`` is precharged high during ``precharge_clock``;
+    * during ``eval_clock``: a pull-down gated by ``g_i`` (in series with
+      the evaluation foot) discharges ``nc_i`` (carry generated), and a
+      pass transistor gated by ``p_i`` connects ``nc_{i-1}`` to ``nc_i``
+      (carry propagated);
+    * ``sum_i = p_i XOR c_i`` with ``c_i = NOT nc_i``.
+
+    The caller must declare both clocks.  Returns the chain node names
+    (``nc_0 .. nc_{width-1}``) for timing experiments.
+    """
+    width = len(a_bits)
+    if not (len(b_bits) == len(sum_bits) == width):
+        raise ValueError("adder buses must have equal width")
+    t = tag or "man"
+    tech = net.tech
+
+    # Carry-in enters the chain through an inverter (chain is active-low)
+    # and an eval-gated pull-down on a dedicated entry node.
+    nc_prev = net.fresh_node(f"{t}.ncin").name
+    net.add_node(nc_prev)
+    net.add_enh(precharge_clock, net.vdd, nc_prev, name=f"{t}.pre_in")
+    foot_in = net.fresh_node(f"{t}.fin").name
+    net.add_enh(cin, nc_prev, foot_in, name=f"{t}.cin_pd")
+    net.add_enh(eval_clock, foot_in, net.gnd, name=f"{t}.cin_foot")
+
+    chain: list[str] = []
+    for i in range(width):
+        p = net.fresh_node(f"{t}.p{i}").name
+        g = net.fresh_node(f"{t}.g{i}").name
+        ng = net.fresh_node(f"{t}.ng{i}").name
+        add_xor(net, a_bits[i], b_bits[i], p, tag=f"{t}.px{i}")
+        add_nand(net, [a_bits[i], b_bits[i]], ng, tag=f"{t}.gn{i}")
+        add_inverter(net, ng, g, tag=f"{t}.gi{i}")
+
+        nc = f"{t}.nc{i}"
+        net.add_node(nc)
+        chain.append(nc)
+        # Precharge.
+        net.add_enh(precharge_clock, net.vdd, nc, name=f"{t}.pre{i}")
+        # Generate: g_i discharges nc_i through the eval foot.
+        mid = net.fresh_node(f"{t}.gm{i}").name
+        net.add_enh(g, nc, mid, w=2 * tech.min_width(), name=f"{t}.gen{i}")
+        net.add_enh(
+            eval_clock, mid, net.gnd, w=2 * tech.min_width(), name=f"{t}.foot{i}"
+        )
+        # Propagate: pass device along the chain.
+        add_pass(net, p, nc_prev, nc, size=2.0, name=f"{t}.prop{i}")
+        # Sum uses the *incoming* carry: c_i = NOT nc_{i-1}.
+        c = net.fresh_node(f"{t}.c{i}").name
+        add_inverter(net, nc_prev, c, tag=f"{t}.ci{i}")
+        add_xor(net, p, c, sum_bits[i], tag=f"{t}.sx{i}")
+        nc_prev = nc
+
+    add_inverter(net, nc_prev, cout, tag=f"{t}.co")
+    return chain
+
+
+def add_carry_select_adder(
+    net: Netlist,
+    a_bits: list[str],
+    b_bits: list[str],
+    sum_bits: list[str],
+    cin: str,
+    cout: str,
+    *,
+    section: int = 4,
+    tag: str | None = None,
+) -> None:
+    """Carry-select adder: ripple sections computed for both carry-ins.
+
+    Each ``section``-bit block contains two ripple adders (assuming carry
+    0 and carry 1); the real section carry selects between the precomputed
+    results through pass muxes.  Carry now hops per *section* instead of
+    per bit -- the classic speed-for-area trade, and a stress case for the
+    analyzer (the select lines are data-dependent, not one-hot-assertable).
+    """
+    width = len(a_bits)
+    if not (len(b_bits) == len(sum_bits) == width):
+        raise ValueError("adder buses must have equal width")
+    if section < 1:
+        raise ValueError("section size must be >= 1")
+    t = tag or "csel"
+    tech = net.tech
+
+    carry = cin
+    start = 0
+    block = 0
+    while start < width:
+        end = min(start + section, width)
+        bits = range(start, end)
+        bt = f"{t}.b{block}"
+
+        # Two speculative ripple chains.
+        results = {}
+        for assumed in (0, 1):
+            sums = [net.fresh_node(f"{bt}.s{assumed}_").name for _ in bits]
+            c_in_name = f"{bt}.cin{assumed}"
+            # A constant carry-in: tie low with a pull-down-only node or
+            # high with a load-only node (static levels, ERC-clean).
+            if assumed == 0:
+                net.add_node(c_in_name)
+                net.add_enh(net.vdd, c_in_name, net.gnd, name=f"{bt}.tie0")
+            else:
+                net.add_pullup(c_in_name, name=f"{bt}.tie1")
+            c_out_name = f"{bt}.cout{assumed}"
+            add_ripple_adder(
+                net,
+                [a_bits[i] for i in bits],
+                [b_bits[i] for i in bits],
+                sums,
+                c_in_name,
+                c_out_name,
+                tag=f"{bt}.r{assumed}",
+            )
+            results[assumed] = (sums, c_out_name)
+
+        # Select with the block's true carry (and its complement).
+        ncarry = net.fresh_node(f"{bt}.nc").name
+        add_inverter(net, carry, ncarry, tag=f"{bt}.ci")
+        for offset, i in enumerate(bits):
+            add_pass(net, carry, results[1][0][offset], sum_bits[i],
+                     name=f"{bt}.sel1_{offset}")
+            add_pass(net, ncarry, results[0][0][offset], sum_bits[i],
+                     name=f"{bt}.sel0_{offset}")
+        next_carry = (
+            cout if end == width else net.fresh_node(f"{bt}.c").name
+        )
+        raw = net.fresh_node(f"{bt}.craw").name
+        add_pass(net, carry, results[1][1], raw, name=f"{bt}.selc1")
+        add_pass(net, ncarry, results[0][1], raw, name=f"{bt}.selc0")
+        # Restore the muxed carry before it drives the next block.
+        mid = net.fresh_node(f"{bt}.cr").name
+        add_inverter(net, raw, mid, tag=f"{bt}.cr1")
+        add_inverter(net, mid, next_carry, size=2.0, tag=f"{bt}.cr2")
+        net.add_exclusive_group(carry, ncarry)
+        carry = next_carry
+        start = end
+        block += 1
+
+
+# ----------------------------------------------------------------------
+# Standalone netlists.
+# ----------------------------------------------------------------------
+def ripple_adder(width: int = 8, *, tech: Technology = NMOS4) -> Netlist:
+    """Static ripple adder: buses ``a``/``b``, ``cin``; ``sum`` and
+    ``cout``."""
+    net = Netlist(f"ripple{width}", tech=tech)
+    a, b, s = bus("a", width), bus("b", width), bus("sum", width)
+    net.set_input(*a, *b, "cin")
+    add_ripple_adder(net, a, b, s, "cin", "cout")
+    net.set_output(*s, "cout")
+    return net
+
+
+def manchester_adder(width: int = 8, *, tech: Technology = NMOS4) -> Netlist:
+    """Manchester adder: precharge on ``phi1``, evaluate on ``phi2``."""
+    net = Netlist(f"manchester{width}", tech=tech)
+    a, b, s = bus("a", width), bus("b", width), bus("sum", width)
+    net.set_input(*a, *b, "cin")
+    net.set_clock("phi1", "phi1")
+    net.set_clock("phi2", "phi2")
+    add_manchester_adder(net, a, b, s, "cin", "cout", "phi1", "phi2")
+    net.set_output(*s, "cout")
+    return net
+
+
+def carry_select_adder(
+    width: int = 8,
+    *,
+    section: int = 4,
+    tech: Technology = NMOS4,
+) -> Netlist:
+    """Static carry-select adder: buses ``a``/``b``, ``cin``; ``sum``/``cout``."""
+    net = Netlist(f"cselect{width}s{section}", tech=tech)
+    a, b, s = bus("a", width), bus("b", width), bus("sum", width)
+    net.set_input(*a, *b, "cin")
+    add_carry_select_adder(net, a, b, s, "cin", "cout", section=section)
+    net.set_output(*s, "cout")
+    return net

@@ -1,0 +1,245 @@
+"""Control logic: PLA-based finite-state machines and a toy CPU.
+
+MIPS-class chips paired their datapath with PLA-based control: a state
+register (two-phase master-slave) feeding a PLA whose outputs are the next
+state and the control lines.  :func:`fsm` builds exactly that structure
+from a transition table; :func:`toy_cpu` closes the loop by wiring a small
+sequencer to the MIPS-like datapath's control inputs -- the closest thing
+this package has to the full chip TV analyzed.
+
+FSM semantics: on every cycle the machine evaluates its transitions
+against the current state and inputs; the first matching row supplies the
+next state and asserted outputs.  *No matching row means next state 0*
+(the NOR-NOR PLA's natural default) -- state 0 doubles as the reset state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import NetlistError
+from ..netlist import Netlist
+from ..tech import Technology, NMOS4
+from .latches import add_register_bit
+from .pla import ProductTerm, add_pla
+from .primitives import bus
+
+__all__ = ["Transition", "FsmPorts", "fsm", "sequencer", "toy_cpu"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One FSM transition row.
+
+    ``state``: the current state this row applies to.
+    ``inputs``: required input polarities, ``{input_index: 0|1}`` (empty =
+    unconditional).
+    ``next_state``: the state entered.
+    ``outputs``: control-output indices asserted *while in* ``state`` under
+    these input conditions (Mealy outputs).
+    """
+
+    state: int
+    inputs: dict[int, int] = field(default_factory=dict)
+    next_state: int = 0
+    outputs: tuple[int, ...] = ()
+
+
+class FsmPorts:
+    """Canonical port names of a generated FSM."""
+
+    def __init__(self, n_state_bits: int, n_inputs: int, n_outputs: int):
+        self.state = bus("state", n_state_bits)
+        self.inputs = bus("in", n_inputs)
+        self.outputs = bus("ctl", n_outputs)
+        self.reset = "reset"
+
+
+def fsm(
+    n_states: int,
+    n_inputs: int,
+    n_outputs: int,
+    transitions: list[Transition],
+    *,
+    name: str = "fsm",
+    master_phase: str = "phi1",
+    slave_phase: str = "phi2",
+    tech: Technology = NMOS4,
+) -> tuple[Netlist, FsmPorts]:
+    """Build a two-phase PLA state machine.
+
+    The PLA reads ``state`` bits and external ``in`` bits; it produces the
+    next-state bits, registered through master-slave bits (master on
+    ``master_phase``, slave on ``slave_phase``).  State -- and so the
+    control outputs -- changes when the slave opens; drive logic captured
+    in the *opposite* phase to keep the standard two-phase discipline.
+
+    A ``reset`` input forces the visible state lines low; holding it
+    through one full cycle parks the machine in state 0 (the PLA's
+    default), after which it may be released.
+    """
+    if n_states < 2:
+        raise NetlistError("an FSM needs at least two states")
+    n_state_bits = max(1, math.ceil(math.log2(n_states)))
+    for t in transitions:
+        if not 0 <= t.state < n_states or not 0 <= t.next_state < n_states:
+            raise NetlistError(f"transition references unknown state: {t}")
+        for idx in t.inputs:
+            if not 0 <= idx < n_inputs:
+                raise NetlistError(f"transition input index {idx} out of range")
+        for idx in t.outputs:
+            if not 0 <= idx < n_outputs:
+                raise NetlistError(f"transition output index {idx} out of range")
+
+    if {master_phase, slave_phase} != {"phi1", "phi2"}:
+        raise NetlistError(
+            "master/slave phases must be phi1 and phi2 in some order"
+        )
+    net = Netlist(name, tech=tech)
+    ports = FsmPorts(n_state_bits, n_inputs, n_outputs)
+    net.set_input(*ports.inputs, ports.reset)
+    net.set_clock("phi1", "phi1")
+    net.set_clock("phi2", "phi2")
+
+    # PLA personality: inputs are [state bits..., external inputs...];
+    # outputs are [next-state bits..., control outputs...].
+    terms: list[ProductTerm] = []
+    for t in transitions:
+        literals: dict[int, int] = {}
+        for bit in range(n_state_bits):
+            literals[bit] = (t.state >> bit) & 1
+        for idx, polarity in t.inputs.items():
+            literals[n_state_bits + idx] = polarity
+        asserted = [
+            bit for bit in range(n_state_bits) if (t.next_state >> bit) & 1
+        ]
+        asserted += [n_state_bits + idx for idx in t.outputs]
+        if not asserted:
+            # A transition to state 0 with no outputs needs no PLA term at
+            # all: 0 is the PLA's default.
+            continue
+        terms.append(ProductTerm(literals, tuple(asserted)))
+
+    next_bits = bus("next", n_state_bits)
+    pla_outputs = next_bits + list(ports.outputs)
+    add_pla(
+        net,
+        list(ports.state) + list(ports.inputs),
+        pla_outputs,
+        terms,
+        tag=f"{name}.pla",
+    )
+
+    # State register: next -> state, one full cycle.  Reset pull-downs on
+    # the visible state lines give the PLA a known 0 during initialization
+    # (they fight the state inverters' weak loads and win, the standard
+    # reset-transistor idiom).
+    for i in range(n_state_bits):
+        add_register_bit(
+            net, next_bits[i], ports.state[i], master_phase, slave_phase,
+            tag=f"{name}.sr{i}",
+        )
+        net.add_enh(
+            ports.reset,
+            ports.state[i],
+            net.gnd,
+            w=2 * tech.min_width(),
+            name=f"{name}.rst{i}",
+        )
+
+    net.set_output(*ports.outputs, *ports.state)
+    return net, ports
+
+
+def sequencer(
+    n_steps: int = 4,
+    *,
+    name: str = "sequencer",
+    master_phase: str = "phi1",
+    slave_phase: str = "phi2",
+    tech: Technology = NMOS4,
+) -> tuple[Netlist, FsmPorts]:
+    """A free-running one-hot step sequencer with an ``in0`` = run input.
+
+    While ``run`` is high the machine walks state 0 -> 1 -> ... -> n-1 -> 0,
+    asserting ``ctl{k}`` in state k; deasserting ``run`` parks it at 0.
+    """
+    transitions = []
+    for step in range(n_steps):
+        transitions.append(
+            Transition(
+                state=step,
+                inputs={0: 1},
+                next_state=(step + 1) % n_steps,
+                outputs=(step,),
+            )
+        )
+    return fsm(
+        n_steps, 1, n_steps, transitions,
+        name=name, master_phase=master_phase, slave_phase=slave_phase,
+        tech=tech,
+    )
+
+
+def toy_cpu(
+    width: int = 8,
+    nregs: int = 4,
+    *,
+    tech: Technology = NMOS4,
+) -> tuple[Netlist, dict]:
+    """A complete toy machine: sequencer-driven MIPS-like datapath.
+
+    A 4-step sequencer cycles ADD -> AND -> OR -> XOR, its one-hot control
+    outputs wired straight onto the datapath's ALU function selects (they
+    are one-hot by construction, so the datapath's exclusivity assertion
+    holds).  The sequencer's slave runs on phi1 so the control lines are
+    stable throughout the datapath's phi2 evaluation -- the standard
+    control/datapath phase discipline.  Everything else (operands,
+    addresses, shift amount) stays a primary input.  Returns the netlist
+    and a port dictionary.
+    """
+    from .datapath import mips_like_datapath
+
+    top = Netlist(f"toycpu{width}x{nregs}", tech=tech)
+    seq_net, seq_ports = sequencer(
+        4, name="seq", master_phase="phi2", slave_phase="phi1", tech=tech
+    )
+    dp_net, dp_ports = mips_like_datapath(width, nregs, tech=tech)
+
+    seq_translation = top.embed(seq_net, "seq", {
+        "phi1": "phi1",
+        "phi2": "phi2",
+    })
+    op_names = list(dp_ports.op.values())  # op_add, op_and, op_or, op_xor
+    port_map = {"phi1": "phi1", "phi2": "phi2"}
+    for k, op in enumerate(op_names):
+        port_map[op] = seq_translation[seq_ports.outputs[k]]
+    dp_translation = top.embed(dp_net, "dp", port_map)
+
+    top.set_clock("phi1", "phi1")
+    top.set_clock("phi2", "phi2")
+    top.set_input(seq_translation[seq_ports.inputs[0]])  # run
+    top.set_input(seq_translation[seq_ports.reset])
+    for name in (
+        list(dp_ports.address)
+        + [dp_ports.write_enable, dp_ports.carry_in]
+        + list(dp_ports.b_ext)
+        + list(dp_ports.shift_select)
+    ):
+        top.set_input(dp_translation[name])
+    top.set_output(*(dp_translation[r] for r in dp_ports.result))
+
+    ports = {
+        "run": seq_translation[seq_ports.inputs[0]],
+        "reset": seq_translation[seq_ports.reset],
+        "state": [seq_translation[s] for s in seq_ports.state],
+        "ctl": [seq_translation[c] for c in seq_ports.outputs],
+        "b": [dp_translation[b] for b in dp_ports.b_ext],
+        "result": [dp_translation[r] for r in dp_ports.result],
+        "address": [dp_translation[a] for a in dp_ports.address],
+        "write_enable": dp_translation[dp_ports.write_enable],
+        "carry_in": dp_translation[dp_ports.carry_in],
+        "shift_select": [dp_translation[s] for s in dp_ports.shift_select],
+    }
+    return top, ports

@@ -1,0 +1,208 @@
+"""MIPS-like pipelined datapath: the whole-chip benchmark.
+
+This is the package's stand-in for the MIPS processor layout the paper
+analyzed (DESIGN.md, substitutions table).  It composes every nMOS idiom
+the analyzer must handle, in the two-phase discipline of the real chip:
+
+========  =========================================================
+phi1      register-file write (previous result); operand latches
+          capture; Manchester carry chain and read bitlines precharge
+phi2      register-file read; ALU evaluates; shifter passes; result
+          latch captures
+========  =========================================================
+
+Structure per cycle: ``regfile[ra] -> A latch; b_ext -> B latch;
+ALU(A, B) -> shifter -> result latch -> (write back when we)``.
+
+Ports (``width`` = data width, ``nregs`` registers):
+
+* inputs: ``ra*`` (address), ``we`` (write enable), ``b*`` (external B
+  operand), ``cin``, one-hot ALU function ``op_add/op_and/op_or/op_xor``,
+  one-hot shift amount ``sh0..`` (``n_shifts`` lines)
+* clocks: ``phi1``, ``phi2``
+* outputs: ``r*`` (result bus)
+
+The generated netlist is a few thousand devices at width 16 and scales
+linearly; ``mips_like_datapath(width=32, nregs=16)`` approaches the device
+mix (though not the count) of the real chip's datapath slice.
+"""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+from ..tech import Technology, NMOS4
+from .adders import add_manchester_adder
+from .latches import add_half_latch
+from .logic import add_xor
+from .primitives import (
+    add_inverter,
+    add_nand,
+    add_nor,
+    add_pass,
+    add_superbuffer,
+    bus,
+)
+from .regfile import RegFilePorts, add_register_file
+from .shifter import add_barrel_shifter
+
+__all__ = ["mips_like_datapath", "DatapathPorts"]
+
+OPS = ("add", "and", "or", "xor")
+
+
+class DatapathPorts:
+    """Canonical port names of a generated datapath."""
+
+    def __init__(self, width: int, nregs: int, n_shifts: int):
+        import math
+
+        self.width = width
+        self.address = bus("ra", int(math.log2(nregs)))
+        self.b_ext = bus("b", width)
+        self.result = bus("r", width)
+        self.shift_select = bus("sh", n_shifts)
+        self.op = {op: f"op_{op}" for op in OPS}
+        self.write_enable = "we"
+        self.carry_in = "cin"
+
+
+def mips_like_datapath(
+    width: int = 16,
+    nregs: int = 8,
+    *,
+    n_shifts: int = 4,
+    tech: Technology = NMOS4,
+) -> tuple[Netlist, DatapathPorts]:
+    """Build the datapath; returns ``(netlist, ports)``."""
+    if n_shifts < 1 or n_shifts > width:
+        raise ValueError("n_shifts must be in 1..width")
+    net = Netlist(f"datapath{width}x{nregs}", tech=tech)
+    ports = DatapathPorts(width, nregs, n_shifts)
+
+    net.set_input(
+        *ports.address,
+        ports.write_enable,
+        *ports.b_ext,
+        ports.carry_in,
+        *ports.op.values(),
+        *ports.shift_select,
+    )
+    net.set_clock("phi1", "phi1")
+    net.set_clock("phi2", "phi2")
+    # One-hot assertions: the function select and the shift amount.
+    net.add_exclusive_group(*ports.op.values())
+    if n_shifts > 1:
+        net.add_exclusive_group(*ports.shift_select)
+
+    # ------------------------------------------------------------------
+    # Register file (write phi1, read phi2) -> q bus.
+    # ------------------------------------------------------------------
+    q = bus("rf.q", width)
+    add_register_file(
+        net,
+        nregs,
+        width,
+        address=ports.address,
+        write_enable=ports.write_enable,
+        write_data=ports.result,  # write-back loop, cut by the phases
+        read_data=q,
+        phi1="phi1",
+        phi2="phi2",
+        tag="rf",
+    )
+
+    # ------------------------------------------------------------------
+    # Operand latches (phi1).  A latch output is inverted once by the half
+    # latch, so a second inverter restores polarity.
+    # ------------------------------------------------------------------
+    a_op, b_op = bus("alat", width), bus("blat", width)
+    for i in range(width):
+        na = f"alat.n{i}"
+        add_half_latch(net, q[i], na, "phi1", tag=f"alat{i}")
+        add_inverter(net, na, a_op[i], tag=f"alat.b{i}")
+        nb = f"blat.n{i}"
+        add_half_latch(net, ports.b_ext[i], nb, "phi1", tag=f"blat{i}")
+        add_inverter(net, nb, b_op[i], tag=f"blat.b{i}")
+
+    # ------------------------------------------------------------------
+    # ALU: Manchester adder (precharge phi1 / evaluate phi2) + logic unit.
+    # ------------------------------------------------------------------
+    add_out = bus("alu.add", width)
+    add_manchester_adder(
+        net,
+        a_op,
+        b_op,
+        add_out,
+        ports.carry_in,
+        "alu.cout",
+        "phi1",
+        "phi2",
+        tag="alu.man",
+    )
+
+    and_out, or_out, xor_out = (
+        bus("alu.and", width),
+        bus("alu.or", width),
+        bus("alu.xor", width),
+    )
+    for i in range(width):
+        nand_i = net.fresh_node(f"alu.nand{i}").name
+        add_nand(net, [a_op[i], b_op[i]], nand_i, tag=f"alu.an{i}")
+        add_inverter(net, nand_i, and_out[i], tag=f"alu.ai{i}")
+        nor_i = net.fresh_node(f"alu.nor{i}").name
+        add_nor(net, [a_op[i], b_op[i]], nor_i, tag=f"alu.on{i}")
+        add_inverter(net, nor_i, or_out[i], tag=f"alu.oi{i}")
+        add_xor(net, a_op[i], b_op[i], xor_out[i], tag=f"alu.x{i}")
+
+    # Function select: one-hot pass mux onto the ALU bus, then a restoring
+    # inverter pair (the bus is pure pass logic).
+    alu_bus = bus("alu.bus", width)
+    alu_out = bus("alu.out", width)
+    candidates = {
+        "add": add_out,
+        "and": and_out,
+        "or": or_out,
+        "xor": xor_out,
+    }
+    for i in range(width):
+        for op, values in candidates.items():
+            add_pass(
+                net,
+                ports.op[op],
+                values[i],
+                alu_bus[i],
+                name=f"alu.sel_{op}{i}",
+            )
+        inv = net.fresh_node(f"alu.binv{i}").name
+        add_inverter(net, alu_bus[i], inv, tag=f"alu.bi{i}")
+        add_inverter(net, inv, alu_out[i], size=2.0, tag=f"alu.bo{i}")
+
+    # ------------------------------------------------------------------
+    # Barrel shifter (rotate) on the ALU result, superbuffered outputs.
+    # ------------------------------------------------------------------
+    sh_matrix = bus("shm", width)
+    sh_out = bus("sho", width)
+    select = list(ports.shift_select)
+    if n_shifts < width:
+        # Unselected diagonals simply do not exist; pad the select list
+        # logically by wiring only n_shifts diagonals.
+        matrix_select = select
+    else:
+        matrix_select = select
+    for k, sel in enumerate(matrix_select):
+        for i in range(width):
+            src = (i + k) % width
+            net.add_enh(sel, alu_out[src], sh_matrix[i], name=f"shm.m{k}_{i}")
+    for i in range(width):
+        add_superbuffer(net, sh_matrix[i], sh_out[i], tag=f"sho{i}")
+
+    # ------------------------------------------------------------------
+    # Result latch (phi2) -> result bus r*, which also feeds write-back.
+    # The shifter output is inverted by the superbuffer and again by the
+    # half latch, so r follows the ALU value.
+    # ------------------------------------------------------------------
+    for i in range(width):
+        add_half_latch(net, sh_out[i], ports.result[i], "phi2", tag=f"rlat{i}")
+
+    net.set_output(*ports.result)
+    return net, ports

@@ -1,0 +1,128 @@
+"""Two-phase dynamic latches and registers.
+
+The nMOS storage idiom: a clock-gated pass transistor writes a capacitive
+storage node; an inverter restores and buffers the stored level.  Two half
+latches on opposite phases make a master-slave register.  These cells are
+what the two-phase verification experiments (R-T5) exercise.
+"""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+from ..tech import Technology, NMOS4
+from .primitives import add_inverter, add_pass, bus
+
+__all__ = [
+    "add_half_latch",
+    "add_register_bit",
+    "add_register",
+    "half_latch",
+    "register_bit",
+    "shift_register",
+]
+
+
+def add_half_latch(
+    net: Netlist,
+    d: str,
+    q: str,
+    clock: str,
+    *,
+    tag: str | None = None,
+) -> str:
+    """Dynamic half latch: ``q = NOT(d)`` sampled while ``clock`` is high.
+
+    Returns the storage node name.  The caller must have declared ``clock``
+    with :meth:`~repro.netlist.Netlist.set_clock`.
+    """
+    t = tag or f"lat.{q}"
+    store = net.fresh_node(f"{t}.s").name
+    add_pass(net, clock, d, store, name=f"{t}.sw")
+    add_inverter(net, store, q, tag=f"{t}.inv")
+    return store
+
+
+def add_register_bit(
+    net: Netlist,
+    d: str,
+    q: str,
+    phi1: str,
+    phi2: str,
+    *,
+    tag: str | None = None,
+) -> tuple[str, str]:
+    """Master-slave register bit: ``q`` follows ``d`` one full cycle later.
+
+    Two cascaded half latches (phi1 master, phi2 slave); the double
+    inversion restores polarity.  Returns the two storage node names.
+    """
+    t = tag or f"reg.{q}"
+    mid = net.fresh_node(f"{t}.m").name
+    s1 = add_half_latch(net, d, mid, phi1, tag=f"{t}.h1")
+    s2 = add_half_latch(net, mid, q, phi2, tag=f"{t}.h2")
+    return s1, s2
+
+
+def add_register(
+    net: Netlist,
+    d_bits: list[str],
+    q_bits: list[str],
+    phi1: str,
+    phi2: str,
+    *,
+    tag: str | None = None,
+) -> None:
+    """A word-wide master-slave register."""
+    if len(d_bits) != len(q_bits):
+        raise ValueError("register needs equal-width d and q buses")
+    t = tag or "reg"
+    for i, (d, q) in enumerate(zip(d_bits, q_bits)):
+        add_register_bit(net, d, q, phi1, phi2, tag=f"{t}.b{i}")
+
+
+# ----------------------------------------------------------------------
+# Standalone netlists.
+# ----------------------------------------------------------------------
+def half_latch(*, tech: Technology = NMOS4) -> Netlist:
+    """Half latch: input ``d``, clock ``phi1``, output ``q`` (inverted)."""
+    net = Netlist("half_latch", tech=tech)
+    net.set_input("d")
+    net.set_clock("phi1", "phi1")
+    net.set_clock("phi2", "phi2")  # present so the two-phase schema checks
+    add_half_latch(net, "d", "q", "phi1", tag="l")
+    # Give phi2 something to do: re-latch q.
+    add_half_latch(net, "q", "q2", "phi2", tag="l2")
+    net.set_output("q", "q2")
+    return net
+
+
+def register_bit(*, tech: Technology = NMOS4) -> Netlist:
+    """Master-slave bit: ``d`` in, ``q`` out, clocks ``phi1``/``phi2``."""
+    net = Netlist("register_bit", tech=tech)
+    net.set_input("d")
+    net.set_clock("phi1", "phi1")
+    net.set_clock("phi2", "phi2")
+    add_register_bit(net, "d", "q", "phi1", "phi2", tag="r")
+    net.set_output("q")
+    return net
+
+
+def shift_register(
+    length: int = 4,
+    *,
+    tech: Technology = NMOS4,
+) -> Netlist:
+    """A chain of master-slave bits -- the canonical two-phase pipeline."""
+    if length < 1:
+        raise ValueError("shift register length must be >= 1")
+    net = Netlist(f"shiftreg{length}", tech=tech)
+    net.set_input("d")
+    net.set_clock("phi1", "phi1")
+    net.set_clock("phi2", "phi2")
+    previous = "d"
+    for i in range(length):
+        q = f"q{i}"
+        add_register_bit(net, previous, q, "phi1", "phi2", tag=f"r{i}")
+        previous = q
+    net.set_output(previous)
+    return net

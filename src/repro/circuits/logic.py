@@ -1,0 +1,196 @@
+"""Composite logic blocks: XOR, AOI structures, full adders, decoders.
+
+These follow 1983 nMOS practice: complements come from explicit inverters,
+XOR/majority are single AOI (AND-OR-INVERT) pull-down networks rather than
+gate trees, and decoders are NOR arrays.
+"""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+from ..tech import Technology, NMOS4
+from .primitives import add_inverter, add_nand, add_nor, bus
+
+__all__ = [
+    "add_aoi",
+    "add_xor",
+    "add_xnor",
+    "add_full_adder",
+    "add_decoder",
+    "xor2",
+    "full_adder",
+    "decoder",
+]
+
+
+def add_aoi(
+    net: Netlist,
+    branches: list[list[str]],
+    out: str,
+    *,
+    size: float = 1.0,
+    tag: str | None = None,
+) -> None:
+    """AND-OR-INVERT gate: ``out = NOT( OR_i ( AND_j branches[i][j] ) )``.
+
+    Each branch is a series pull-down chain; branches are in parallel.
+    Series devices are widened by the branch length to preserve the ratio.
+    """
+    if not branches or any(not b for b in branches):
+        raise ValueError("aoi needs non-empty branches")
+    tech = net.tech
+    net.add_pullup(out, name=f"{tag}.pu" if tag else None)
+    for b_index, branch in enumerate(branches):
+        w = size * len(branch) * tech.min_width()
+        previous = out
+        for i, inp in enumerate(branch):
+            nxt = (
+                net.gnd
+                if i == len(branch) - 1
+                else net.fresh_node(f"{out}.b{b_index}").name
+            )
+            net.add_enh(
+                inp,
+                previous,
+                nxt,
+                w=w,
+                name=f"{tag}.b{b_index}.{i}" if tag else None,
+            )
+            previous = nxt
+
+
+def add_xor(
+    net: Netlist,
+    a: str,
+    b: str,
+    out: str,
+    *,
+    na: str | None = None,
+    nb: str | None = None,
+    tag: str | None = None,
+) -> tuple[str, str]:
+    """``out = a XOR b`` as one AOI: ``NOT(a.b + na.nb)``.
+
+    Complements are generated unless supplied (pass ``na``/``nb`` to share
+    inverters across several gates).  Returns the complement node names.
+    """
+    if na is None:
+        na = net.fresh_node(f"{out}.na").name
+        add_inverter(net, a, na, tag=f"{tag}.ia" if tag else None)
+    if nb is None:
+        nb = net.fresh_node(f"{out}.nb").name
+        add_inverter(net, b, nb, tag=f"{tag}.ib" if tag else None)
+    add_aoi(net, [[a, b], [na, nb]], out, tag=f"{tag}.aoi" if tag else None)
+    return na, nb
+
+
+def add_xnor(
+    net: Netlist,
+    a: str,
+    b: str,
+    out: str,
+    *,
+    na: str | None = None,
+    nb: str | None = None,
+    tag: str | None = None,
+) -> tuple[str, str]:
+    """``out = NOT(a XOR b)`` as ``NOT(a.nb + na.b)``."""
+    if na is None:
+        na = net.fresh_node(f"{out}.na").name
+        add_inverter(net, a, na, tag=f"{tag}.ia" if tag else None)
+    if nb is None:
+        nb = net.fresh_node(f"{out}.nb").name
+        add_inverter(net, b, nb, tag=f"{tag}.ib" if tag else None)
+    add_aoi(net, [[a, nb], [na, b]], out, tag=f"{tag}.aoi" if tag else None)
+    return na, nb
+
+
+def add_full_adder(
+    net: Netlist,
+    a: str,
+    b: str,
+    cin: str,
+    sum_out: str,
+    cout: str,
+    *,
+    tag: str | None = None,
+) -> None:
+    """Ripple-carry full-adder cell in AOI style.
+
+    ``ncout = NOT(a.b + cin.(a + b))`` (majority), then invert;
+    ``sum = (a XOR b) XOR cin`` with the inner XOR shared.
+    """
+    t = tag or f"fa.{sum_out}"
+    ncout = net.fresh_node(f"{t}.nco").name
+    # Majority via AOI: branches a.b, cin.a, cin.b.
+    add_aoi(net, [[a, b], [cin, a], [cin, b]], ncout, tag=f"{t}.maj")
+    add_inverter(net, ncout, cout, tag=f"{t}.co")
+    p = net.fresh_node(f"{t}.p").name  # a XOR b
+    add_xor(net, a, b, p, tag=f"{t}.x1")
+    add_xor(net, p, cin, sum_out, tag=f"{t}.x2")
+
+
+def add_decoder(
+    net: Netlist,
+    address: list[str],
+    lines: list[str],
+    *,
+    tag: str | None = None,
+) -> None:
+    """NOR address decoder: ``lines[k]`` is high iff address == k.
+
+    ``lines`` must have length ``2 ** len(address)``.  Complement inverters
+    are generated once and shared.
+    """
+    n = len(address)
+    if len(lines) != 2**n:
+        raise ValueError(
+            f"decoder of {n} address bits needs {2**n} lines, "
+            f"got {len(lines)}"
+        )
+    t = tag or "dec"
+    complements = []
+    for i, a in enumerate(address):
+        na = net.fresh_node(f"{t}.n{i}").name
+        add_inverter(net, a, na, tag=f"{t}.inv{i}")
+        complements.append(na)
+    for k, line in enumerate(lines):
+        # Active-high line: NOR of the literals that must be low, i.e. for
+        # each bit, the *wrong* polarity pulls the line down.
+        wrong = [
+            complements[i] if (k >> i) & 1 else address[i] for i in range(n)
+        ]
+        add_nor(net, wrong, line, tag=f"{t}.l{k}")
+
+
+# ----------------------------------------------------------------------
+# Standalone netlists.
+# ----------------------------------------------------------------------
+def xor2(*, tech: Technology = NMOS4) -> Netlist:
+    """``out = a XOR b``."""
+    net = Netlist("xor2", tech=tech)
+    net.set_input("a", "b")
+    add_xor(net, "a", "b", "out", tag="x")
+    net.set_output("out")
+    return net
+
+
+def full_adder(*, tech: Technology = NMOS4) -> Netlist:
+    """One-bit full adder: inputs ``a``, ``b``, ``cin``; outputs ``sum``,
+    ``cout``."""
+    net = Netlist("full_adder", tech=tech)
+    net.set_input("a", "b", "cin")
+    add_full_adder(net, "a", "b", "cin", "sum", "cout", tag="fa")
+    net.set_output("sum", "cout")
+    return net
+
+
+def decoder(n: int = 3, *, tech: Technology = NMOS4) -> Netlist:
+    """n-to-2^n NOR decoder: address ``a0..``, lines ``line0..``."""
+    net = Netlist(f"decoder{n}", tech=tech)
+    address = bus("a", n)
+    lines = bus("line", 2**n)
+    net.set_input(*address)
+    add_decoder(net, address, lines)
+    net.set_output(*lines)
+    return net

@@ -1,0 +1,123 @@
+"""Programmable logic array (static NOR-NOR nMOS PLA).
+
+The control logic of MIPS-class chips lived in PLAs.  The canonical nMOS
+implementation is two NOR planes with depletion loads:
+
+* AND plane: each product-term line has a pull-up and one pull-down per
+  participating literal; the line is high iff every literal is satisfied
+  (a NOR of the violated literals);
+* OR plane: each output line NORs the product terms that assert it, then an
+  output inverter restores active-high polarity.
+
+Programming is a list of :class:`ProductTerm` rows -- essentially the
+personality matrix of a real PLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NetlistError
+from ..netlist import Netlist
+from ..tech import Technology, NMOS4
+from .primitives import add_inverter, add_nor, bus
+
+__all__ = ["ProductTerm", "add_pla", "pla"]
+
+
+@dataclass(frozen=True)
+class ProductTerm:
+    """One PLA row.
+
+    ``literals`` maps input index -> required polarity (1 means the input
+    must be high); ``outputs`` lists the output indices this term asserts.
+    """
+
+    literals: dict[int, int]
+    outputs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise NetlistError("a product term needs at least one literal")
+        if not self.outputs:
+            raise NetlistError("a product term must assert at least one output")
+        for idx, polarity in self.literals.items():
+            if polarity not in (0, 1):
+                raise NetlistError(
+                    f"literal polarity must be 0 or 1, got {polarity} "
+                    f"for input {idx}"
+                )
+
+    def evaluate(self, inputs: list[int]) -> int:
+        """Truth value of the term for a concrete input vector."""
+        return int(
+            all(inputs[idx] == pol for idx, pol in self.literals.items())
+        )
+
+
+def add_pla(
+    net: Netlist,
+    inputs: list[str],
+    outputs: list[str],
+    terms: list[ProductTerm],
+    *,
+    tag: str | None = None,
+) -> list[str]:
+    """Build the two NOR planes; returns the product-term line names."""
+    t = tag or "pla"
+    n_in, n_out = len(inputs), len(outputs)
+    for term in terms:
+        for idx in term.literals:
+            if not 0 <= idx < n_in:
+                raise NetlistError(f"term literal index {idx} out of range")
+        for idx in term.outputs:
+            if not 0 <= idx < n_out:
+                raise NetlistError(f"term output index {idx} out of range")
+
+    complements = []
+    for i, name in enumerate(inputs):
+        nc = net.fresh_node(f"{t}.nin{i}").name
+        add_inverter(net, name, nc, tag=f"{t}.ii{i}")
+        complements.append(nc)
+
+    term_lines = []
+    for r, term in enumerate(terms):
+        line = f"{t}.pt{r}"
+        # High iff all literals satisfied: NOR of the violating signals.
+        violators = [
+            complements[idx] if pol == 1 else inputs[idx]
+            for idx, pol in sorted(term.literals.items())
+        ]
+        add_nor(net, violators, line, tag=f"{t}.and{r}")
+        term_lines.append(line)
+
+    for o, name in enumerate(outputs):
+        asserting = [
+            term_lines[r] for r, term in enumerate(terms) if o in term.outputs
+        ]
+        nline = net.fresh_node(f"{t}.no{o}").name
+        if asserting:
+            add_nor(net, asserting, nline, tag=f"{t}.or{o}")
+        else:
+            # Constant-false output: tie the NOR line high with a load only.
+            net.add_pullup(nline, name=f"{t}.or{o}.pu")
+        add_inverter(net, nline, name, tag=f"{t}.oi{o}")
+    return term_lines
+
+
+def pla(
+    n_inputs: int,
+    n_outputs: int,
+    terms: list[ProductTerm],
+    *,
+    name: str = "pla",
+    tech: Technology = NMOS4,
+) -> Netlist:
+    """Standalone PLA: inputs ``in0..``, outputs ``out0..``."""
+    net = Netlist(name, tech=tech)
+    ins = bus("in", n_inputs)
+    outs = bus("out", n_outputs)
+    net.set_input(*ins)
+    add_pla(net, ins, outs, terms)
+    net.set_output(*outs)
+    return net

@@ -1,0 +1,313 @@
+"""nMOS circuit primitives.
+
+Builder functions in this package come in pairs:
+
+* ``add_<thing>(net, ...)`` adds the structure into an existing netlist
+  using caller-supplied node names -- composition style;
+* ``<thing>(...)`` returns a fresh standalone netlist with declared inputs
+  and outputs -- convenient for tests and single-structure experiments.
+
+All geometry defaults to the technology's minimum enhancement device and
+the classic weak depletion load (4:1 ratio).  ``size`` scales drive
+strength: pull-downs get ``size``x the minimum width and the load is
+shortened proportionally, keeping the ratio legal.
+"""
+
+from __future__ import annotations
+
+from ..netlist import FlowDirection, Netlist
+from ..tech import Technology, NMOS4
+
+__all__ = [
+    "bus",
+    "add_inverter",
+    "add_nand",
+    "add_nor",
+    "add_pass",
+    "add_mux2",
+    "add_superbuffer",
+    "inverter",
+    "inverter_chain",
+    "nand",
+    "nor",
+    "pass_chain",
+    "mux2",
+    "superbuffer",
+]
+
+
+def bus(prefix: str, width: int) -> list[str]:
+    """Canonical bit names of a bus: ``prefix0 .. prefix{width-1}``."""
+    if width < 1:
+        raise ValueError(f"bus width must be >= 1, got {width}")
+    return [f"{prefix}{i}" for i in range(width)]
+
+
+# ----------------------------------------------------------------------
+# Composable builders.
+# ----------------------------------------------------------------------
+def add_inverter(
+    net: Netlist,
+    inp: str,
+    out: str,
+    *,
+    size: float = 1.0,
+    tag: str | None = None,
+) -> None:
+    """A depletion-load inverter: ``out = NOT inp``."""
+    tech = net.tech
+    w_pd = size * tech.min_width()
+    net.add_pullup(
+        out,
+        w=tech.min_width(),
+        l=max(tech.min_length(), 4.0 * tech.min_length() / size),
+        name=f"{tag}.pu" if tag else None,
+    )
+    net.add_enh(
+        inp,
+        out,
+        net.gnd,
+        w=w_pd,
+        name=f"{tag}.pd" if tag else None,
+    )
+
+
+def add_nand(
+    net: Netlist,
+    inputs: list[str],
+    out: str,
+    *,
+    size: float = 1.0,
+    tag: str | None = None,
+) -> None:
+    """A k-input NAND: series pull-downs, widened k-fold to keep the ratio."""
+    if not inputs:
+        raise ValueError("nand needs at least one input")
+    tech = net.tech
+    k = len(inputs)
+    net.add_pullup(out, name=f"{tag}.pu" if tag else None)
+    w = size * k * tech.min_width()
+    previous = out
+    for i, inp in enumerate(inputs):
+        nxt = net.gnd if i == k - 1 else net.fresh_node(f"{out}.s").name
+        net.add_enh(
+            inp,
+            previous,
+            nxt,
+            w=w,
+            name=f"{tag}.pd{i}" if tag else None,
+        )
+        previous = nxt
+
+
+def add_nor(
+    net: Netlist,
+    inputs: list[str],
+    out: str,
+    *,
+    size: float = 1.0,
+    tag: str | None = None,
+) -> None:
+    """A k-input NOR: parallel pull-downs."""
+    if not inputs:
+        raise ValueError("nor needs at least one input")
+    tech = net.tech
+    net.add_pullup(out, name=f"{tag}.pu" if tag else None)
+    for i, inp in enumerate(inputs):
+        net.add_enh(
+            inp,
+            out,
+            net.gnd,
+            w=size * tech.min_width(),
+            name=f"{tag}.pd{i}" if tag else None,
+        )
+
+
+def add_pass(
+    net: Netlist,
+    gate: str,
+    a: str,
+    b: str,
+    *,
+    size: float = 1.0,
+    name: str | None = None,
+    flow: FlowDirection = FlowDirection.UNKNOWN,
+) -> None:
+    """A pass transistor (transmission switch) between ``a`` and ``b``."""
+    net.add_enh(
+        gate, a, b, w=size * net.tech.min_width(), name=name, flow=flow
+    )
+
+
+def add_mux2(
+    net: Netlist,
+    sel: str,
+    nsel: str,
+    a: str,
+    b: str,
+    out: str,
+    *,
+    size: float = 1.0,
+    tag: str | None = None,
+) -> None:
+    """Two-way pass mux: ``out = a if sel else b`` (``nsel = NOT sel``)."""
+    add_pass(net, sel, a, out, size=size, name=f"{tag}.pa" if tag else None)
+    add_pass(net, nsel, b, out, size=size, name=f"{tag}.pb" if tag else None)
+
+
+def add_superbuffer(
+    net: Netlist,
+    inp: str,
+    out: str,
+    *,
+    size: float = 4.0,
+    tag: str | None = None,
+) -> None:
+    """Inverting superbuffer: actively driven in both directions.
+
+    The input drives a small inverter producing ``x``; the output stage is
+    a depletion source-follower gated by ``x`` (pull-up) and a large
+    enhancement pull-down gated by the input.  Standard nMOS idiom for
+    driving long wires and clock lines.
+    """
+    tech = net.tech
+    x = net.fresh_node(f"{out}.sb").name
+    # The first inverter is upsized: it must drive the follower's gate
+    # quickly or the buffer's rise is limited by its own internal node.
+    add_inverter(net, inp, x, size=2.0, tag=f"{tag}.inv" if tag else None)
+    # The follower is kept ~2x weaker than the pull-down so the output-low
+    # level stays legal even though the depletion device never fully cuts
+    # off (it still beats a plain load on rise because its gate is driven),
+    # and at minimum length so its gate load stays small.
+    net.add_transistor(
+        "dep",
+        gate=x,
+        source=out,
+        drain=net.vdd,
+        w=0.5 * size * tech.min_width(),
+        l=tech.min_length(),
+        name=f"{tag}.fo" if tag else None,
+        flow=FlowDirection.D_TO_S,
+    )
+    net.add_enh(
+        inp,
+        out,
+        net.gnd,
+        w=size * tech.min_width(),
+        name=f"{tag}.pd" if tag else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone netlists.
+# ----------------------------------------------------------------------
+def inverter(*, size: float = 1.0, tech: Technology = NMOS4) -> Netlist:
+    """``out = NOT a``."""
+    net = Netlist("inverter", tech=tech)
+    net.set_input("a")
+    add_inverter(net, "a", "out", size=size)
+    net.set_output("out")
+    return net
+
+
+def inverter_chain(
+    length: int,
+    *,
+    size: float = 1.0,
+    load: float = 0.0,
+    tech: Technology = NMOS4,
+) -> Netlist:
+    """A chain of ``length`` inverters; ``load`` farads on the output."""
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    net = Netlist(f"invchain{length}", tech=tech)
+    net.set_input("a")
+    previous = "a"
+    for i in range(length):
+        out = f"n{i}"
+        add_inverter(net, previous, out, size=size, tag=f"inv{i}")
+        previous = out
+    net.set_output(previous)
+    if load > 0:
+        net.add_cap(previous, load)
+    return net
+
+
+def nand(k: int = 2, *, tech: Technology = NMOS4) -> Netlist:
+    """k-input NAND with inputs ``a0..``, output ``out``."""
+    net = Netlist(f"nand{k}", tech=tech)
+    inputs = bus("a", k)
+    net.set_input(*inputs)
+    add_nand(net, inputs, "out", tag="g")
+    net.set_output("out")
+    return net
+
+
+def nor(k: int = 2, *, tech: Technology = NMOS4) -> Netlist:
+    """k-input NOR with inputs ``a0..``, output ``out``."""
+    net = Netlist(f"nor{k}", tech=tech)
+    inputs = bus("a", k)
+    net.set_input(*inputs)
+    add_nor(net, inputs, "out", tag="g")
+    net.set_output("out")
+    return net
+
+
+def pass_chain(
+    length: int,
+    *,
+    buffer_every: int = 0,
+    size: float = 1.0,
+    tech: Technology = NMOS4,
+) -> Netlist:
+    """A chain of ``length`` always-on pass transistors, ``d`` to ``out``.
+
+    The classic quadratic-delay structure (experiment R-F4).  All gates are
+    tied to a ``sel`` input (drive it to 1).  ``buffer_every`` > 0 inserts
+    a restoring buffer (two cascaded inverters: a minimum one so the chain
+    sees almost no load, then a 2x driver) after every that-many pass
+    devices -- the era's design rule for breaking the quadratic blowup.
+    """
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    net = Netlist(f"passchain{length}", tech=tech)
+    net.set_input("d", "sel")
+    previous = "d"
+    since_buffer = 0
+    for i in range(length):
+        out = f"p{i}"
+        add_pass(net, "sel", previous, out, size=size, name=f"sw{i}")
+        previous = out
+        since_buffer += 1
+        if buffer_every and since_buffer == buffer_every and i < length - 1:
+            mid = f"bm{i}"
+            buffered = f"b{i}"
+            add_inverter(net, previous, mid, tag=f"buf{i}a")
+            add_inverter(net, mid, buffered, size=2.0, tag=f"buf{i}b")
+            previous = buffered
+            since_buffer = 0
+    net.set_output(previous)
+    # Give the output a sense amplifier's worth of gate load.
+    add_inverter(net, previous, "sense", tag="sense")
+    return net
+
+
+def mux2(*, tech: Technology = NMOS4) -> Netlist:
+    """2-way mux: inputs ``a``, ``b``, ``sel``; output ``out`` (buffered)."""
+    net = Netlist("mux2", tech=tech)
+    net.set_input("a", "b", "sel")
+    add_inverter(net, "sel", "nsel", tag="seln")
+    net.add_exclusive_group("sel", "nsel")
+    add_mux2(net, "sel", "nsel", "a", "b", "out", tag="mux")
+    add_inverter(net, "out", "outb", tag="ob")
+    net.set_output("out", "outb")
+    return net
+
+
+def superbuffer(*, size: float = 4.0, tech: Technology = NMOS4) -> Netlist:
+    """Standalone inverting superbuffer, input ``a``, output ``out``."""
+    net = Netlist("superbuffer", tech=tech)
+    net.set_input("a")
+    add_superbuffer(net, "a", "out", size=size, tag="sb")
+    net.set_output("out")
+    return net

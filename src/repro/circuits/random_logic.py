@@ -1,0 +1,100 @@
+"""Seeded random logic generator for scaling experiments.
+
+R-T3/R-F3 need circuits spanning 10^2 .. 10^5 devices with realistic
+composition.  The generator builds a layered DAG of nMOS structures in
+fixed proportions (inverters, NAND2/3, NOR2, pass-mux pairs, occasional
+superbuffers), fully seeded so every run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist import Netlist
+from ..tech import Technology, NMOS4
+from .primitives import (
+    add_inverter,
+    add_mux2,
+    add_nand,
+    add_nor,
+    add_superbuffer,
+    bus,
+)
+
+__all__ = ["random_logic"]
+
+#: (kind, weight) mix of generated structures.
+_MIX = (
+    ("inv", 30),
+    ("nand2", 25),
+    ("nor2", 20),
+    ("nand3", 10),
+    ("mux", 10),
+    ("sbuf", 5),
+)
+
+
+def random_logic(
+    target_devices: int,
+    *,
+    seed: int = 0,
+    n_inputs: int = 16,
+    layer_width: int = 32,
+    tech: Technology = NMOS4,
+) -> Netlist:
+    """Generate a random combinational netlist of roughly ``target_devices``.
+
+    The circuit is layered: each new structure draws its inputs from the
+    most recent ``2 * layer_width`` signals, bounding logical depth growth
+    to roughly devices / layer_width.  Sinks that end up unused are
+    declared primary outputs so nothing is dangling.
+    """
+    if target_devices < 4:
+        raise ValueError("target_devices must be >= 4")
+    rng = random.Random(seed)
+    net = Netlist(f"rand{target_devices}_s{seed}", tech=tech)
+    inputs = bus("in", n_inputs)
+    net.set_input(*inputs)
+
+    signals: list[str] = list(inputs)
+    used: set[str] = set()
+    kinds = [k for k, _w in _MIX]
+    weights = [w for _k, w in _MIX]
+    counter = 0
+
+    def pick(n: int) -> list[str]:
+        window = signals[-2 * layer_width :]
+        chosen = rng.sample(window, min(n, len(window)))
+        while len(chosen) < n:
+            chosen.append(rng.choice(signals))
+        used.update(chosen)
+        return chosen
+
+    while len(net.devices) < target_devices:
+        counter += 1
+        kind = rng.choices(kinds, weights)[0]
+        out = f"g{counter}"
+        if kind == "inv":
+            add_inverter(net, pick(1)[0], out, tag=out)
+        elif kind == "nand2":
+            add_nand(net, pick(2), out, tag=out)
+        elif kind == "nor2":
+            add_nor(net, pick(2), out, tag=out)
+        elif kind == "nand3":
+            add_nand(net, pick(3), out, tag=out)
+        elif kind == "mux":
+            sel, a, b = pick(3)
+            nsel = f"{out}.ns"
+            add_inverter(net, sel, nsel, tag=f"{out}.si")
+            if net.exclusive_group_of(sel) is None:
+                net.add_exclusive_group(sel, nsel)
+            add_mux2(net, sel, nsel, a, b, f"{out}.m", tag=out)
+            # Restore the pass output so it can drive gates downstream.
+            add_inverter(net, f"{out}.m", out, tag=f"{out}.oi")
+        else:  # sbuf
+            add_superbuffer(net, pick(1)[0], out, tag=out)
+        signals.append(out)
+
+    leaves = [s for s in signals if s not in used and s not in inputs]
+    net.set_output(*leaves[-max(1, layer_width) :])
+    return net

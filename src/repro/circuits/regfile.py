@@ -1,0 +1,173 @@
+"""Register file: static cells, decoupled ports, precharged read bitlines.
+
+The structure follows MIPS-era datapath convention, with the write and read
+ports decoupled the way real register files are:
+
+* each cell is a pair of cross-coupled inverters (``s``/``ns``);
+* **write port** (phi1): write wordline ``wwl_r = dec_r AND we AND phi1``
+  turns on a dual-rail pass pair driving the cell from buffered write
+  bitlines, so a write never fights the precharge;
+* **read port** (phi2): the read bitline ``rbl_i`` is precharged high
+  during phi1; a two-device read stack per cell (gated by
+  ``rwl_r = dec_r AND phi2`` and by the cell node ``s``) discharges it when
+  the selected cell stores 1; a sense inverter produces ``q_i = NOT rbl``,
+  i.e. ``q = s`` ... inverted once more for an active-high output.
+
+This block exercises everything at once: decoder gate logic, clock
+qualification, precharged dynamic nodes, pass access devices, and static
+feedback (the cross-coupled pair) that the timing-graph builder must cut.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import NetlistError
+from ..netlist import Netlist
+from ..tech import Technology, NMOS4
+from .logic import add_decoder
+from .primitives import add_inverter, add_nand, add_pass, bus
+
+__all__ = ["add_register_file", "register_file", "RegFilePorts"]
+
+
+class RegFilePorts:
+    """Canonical port names of a generated register file."""
+
+    def __init__(self, nregs: int, width: int, tag: str):
+        self.address = bus("ra", int(math.log2(nregs)))
+        self.write_enable = "we"
+        self.write_data = bus("wd", width)
+        self.read_data = bus("q", width)
+        self.tag = tag
+
+    def cell(self, r: int, i: int) -> str:
+        """Storage node of register ``r``, bit ``i``."""
+        return f"{self.tag}.cell{r}_{i}.s"
+
+    def read_bitline(self, i: int) -> str:
+        """Precharged read bitline of column ``i``."""
+        return f"{self.tag}.rbl{i}"
+
+    def write_wordline(self, r: int) -> str:
+        """Write wordline of register ``r`` (``dec AND we AND phi1``)."""
+        return f"{self.tag}.wwl{r}"
+
+    def read_wordline(self, r: int) -> str:
+        """Read wordline of register ``r`` (``dec AND phi2``)."""
+        return f"{self.tag}.rwl{r}"
+
+
+def add_register_file(
+    net: Netlist,
+    nregs: int,
+    width: int,
+    *,
+    address: list[str],
+    write_enable: str,
+    write_data: list[str],
+    read_data: list[str],
+    phi1: str,
+    phi2: str,
+    tag: str | None = None,
+) -> None:
+    """Build the array into ``net`` (see module docstring for structure)."""
+    if nregs < 2 or (nregs & (nregs - 1)) != 0:
+        raise NetlistError("nregs must be a power of two >= 2")
+    if len(address) != int(math.log2(nregs)):
+        raise NetlistError(
+            f"{nregs} registers need {int(math.log2(nregs))} address bits"
+        )
+    if len(write_data) != width or len(read_data) != width:
+        raise NetlistError("write/read buses must match the width")
+    t = tag or "rf"
+    tech = net.tech
+
+    dec_lines = [f"{t}.dec{r}" for r in range(nregs)]
+    add_decoder(net, address, dec_lines, tag=f"{t}.dec")
+
+    # Qualified wordlines.  The NAND output (write-wordline complement) is
+    # kept on a stable name: it also gates the cells' feedback switches.
+    for r in range(nregs):
+        nw = f"{t}.nww{r}"
+        add_nand(net, [dec_lines[r], write_enable, phi1], nw, tag=f"{t}.wwn{r}")
+        add_inverter(net, nw, f"{t}.wwl{r}", size=2.0, tag=f"{t}.wwi{r}")
+        nr = net.fresh_node(f"{t}.nrw{r}").name
+        add_nand(net, [dec_lines[r], phi2], nr, tag=f"{t}.rwn{r}")
+        add_inverter(net, nr, f"{t}.rwl{r}", size=2.0, tag=f"{t}.rwi{r}")
+    # Decoded wordlines are one-hot by construction: assert it so the
+    # analyzer never chains two rows' access devices into one path.
+    net.add_exclusive_group(*(f"{t}.wwl{r}" for r in range(nregs)))
+    net.add_exclusive_group(*(f"{t}.rwl{r}" for r in range(nregs)))
+
+    # Write bitlines: buffered true and complement rails.
+    for i in range(width):
+        nwd = f"{t}.nwbl{i}"
+        add_inverter(net, write_data[i], nwd, size=2.0, tag=f"{t}.wbn{i}")
+        add_inverter(net, nwd, f"{t}.wbl{i}", size=2.0, tag=f"{t}.wbt{i}")
+
+    # Read bitlines: precharge (phi1) + sense.
+    for i in range(width):
+        rbl = f"{t}.rbl{i}"
+        net.add_node(rbl, nregs * 4.0 * tech.c_node_floor)
+        net.add_enh(
+            phi1, net.vdd, rbl, w=2 * tech.min_width(), name=f"{t}.pre{i}"
+        )
+        # The selected cell discharges rbl when it stores 1, so a single
+        # sense inverter restores the read value: q = NOT(rbl) = s.
+        add_inverter(net, rbl, read_data[i], size=2.0, tag=f"{t}.sense{i}")
+
+    # The cell array: jam-free static cells.  The cross-coupled inverters
+    # drive the storage nodes through feedback switches gated by the write
+    # wordline's complement, so a write never fights the feedback -- the
+    # classic clocked-static-latch idiom.
+    for r in range(nregs):
+        for i in range(width):
+            c = f"{t}.cell{r}_{i}"
+            s, ns = f"{c}.s", f"{c}.ns"
+            si, nsi = f"{c}.si", f"{c}.nsi"
+            add_inverter(net, s, nsi, tag=f"{c}.i1")
+            add_pass(net, f"{t}.nww{r}", nsi, ns, name=f"{c}.fb1")
+            add_inverter(net, ns, si, tag=f"{c}.i2")
+            add_pass(net, f"{t}.nww{r}", si, s, name=f"{c}.fb2")
+            # Write access pair.
+            add_pass(net, f"{t}.wwl{r}", f"{t}.wbl{i}", s, size=2.0,
+                     name=f"{c}.ax")
+            add_pass(net, f"{t}.wwl{r}", f"{t}.nwbl{i}", ns, size=2.0,
+                     name=f"{c}.axn")
+            # Read stack: rbl discharges when selected and s == 1.
+            mid = net.fresh_node(f"{c}.rm").name
+            net.add_enh(f"{t}.rwl{r}", f"{t}.rbl{i}", mid, name=f"{c}.rd1")
+            net.add_enh(s, mid, net.gnd, name=f"{c}.rd2")
+
+
+def register_file(
+    nregs: int = 4,
+    width: int = 4,
+    *,
+    tech: Technology = NMOS4,
+) -> tuple[Netlist, RegFilePorts]:
+    """Standalone register file; returns ``(netlist, ports)``.
+
+    Read data appears on ``q*`` during phi2; writes happen during phi1 when
+    ``we`` is high, at the address on ``ra*``.
+    """
+    net = Netlist(f"regfile{nregs}x{width}", tech=tech)
+    ports = RegFilePorts(nregs, width, "rf")
+    net.set_input(*ports.address, ports.write_enable, *ports.write_data)
+    net.set_clock("phi1", "phi1")
+    net.set_clock("phi2", "phi2")
+    add_register_file(
+        net,
+        nregs,
+        width,
+        address=ports.address,
+        write_enable=ports.write_enable,
+        write_data=ports.write_data,
+        read_data=ports.read_data,
+        phi1="phi1",
+        phi2="phi2",
+        tag="rf",
+    )
+    net.set_output(*ports.read_data)
+    return net, ports

@@ -1,0 +1,238 @@
+"""Command-line interface: the tool a 1983 design flow would have invoked.
+
+Subcommands operate on ``.sim`` netlists (with this package's ``|I/|O/|K``
+boundary extension records):
+
+``analyze``   full timing analysis (combinational or two-phase), report to
+              stdout; exits 1 on races
+``erc``       electrical rules check; exits 1 on errors
+``flow``      signal-flow inference report; exits 1 if devices remain
+              unresolved (hints needed)
+``stats``     structural fingerprint (devices, stages, archetypes)
+``simulate``  run a test-vector deck (set/cycle/settle/expect); exits 1 on
+              failed expectations
+``charge``    charge-sharing hazard check on dynamic nodes
+``optimize``  critical-path resizing loop; writes the resized netlist
+
+Example::
+
+    python -m repro analyze chip.sim --top-k 3 --tech process.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .core import TimingAnalyzer, design_fingerprint
+from .errors import ReproError
+from .flow import HintSet, infer_flow
+from .netlist import check as erc_check
+from .netlist import sim_dumps, sim_load
+from .opt import optimize
+from .stages import decompose
+from .tech import NMOS4, Technology
+
+__all__ = ["main"]
+
+
+def _load_netlist(args) -> "Netlist":
+    tech = Technology.from_json(args.tech) if args.tech else NMOS4
+    with open(args.netlist) as fp:
+        return sim_load(fp, tech=tech)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("netlist", help=".sim netlist file")
+    parser.add_argument(
+        "--tech", help="JSON technology/process file", default=None
+    )
+
+
+def _cmd_analyze(args) -> int:
+    net = _load_netlist(args)
+    arrivals = {}
+    for spec in args.input_arrival or ():
+        name, _eq, value = spec.partition("=")
+        if not _eq:
+            raise SystemExit(f"--input-arrival needs name=ns, got {spec!r}")
+        arrivals[name] = float(value) * 1e-9
+    hints = HintSet()
+    for spec in args.hint or ():
+        pattern, _eq, direction = spec.partition("=")
+        if not _eq:
+            raise SystemExit(f"--hint needs pattern=direction, got {spec!r}")
+        hints.add(pattern, direction)
+    if len(hints):
+        hints.apply(net)
+    analyzer = TimingAnalyzer(
+        net, model=args.model, run_erc=not args.no_erc
+    )
+    result = analyzer.analyze(input_arrivals=arrivals, top_k=args.top_k)
+    print(result.report())
+    if result.clock_verification is not None and result.clock_verification.races:
+        return 1
+    return 0
+
+
+def _cmd_erc(args) -> int:
+    net = _load_netlist(args)
+    violations = erc_check(net)
+    if not violations:
+        print(f"{net.name}: electrical rules clean")
+        return 0
+    for violation in violations:
+        print(violation)
+    errors = [v for v in violations if v.severity == "error"]
+    print(f"{len(errors)} error(s), {len(violations) - len(errors)} warning(s)")
+    return 1 if errors else 0
+
+
+def _cmd_flow(args) -> int:
+    net = _load_netlist(args)
+    hints = HintSet()
+    for spec in args.hint or ():
+        pattern, _eq, direction = spec.partition("=")
+        if not _eq:
+            raise SystemExit(f"--hint needs pattern=direction, got {spec!r}")
+        hints.add(pattern, direction)
+    if len(hints):
+        hints.apply(net)
+    report = infer_flow(net)
+    print(report.summary())
+    if report.unresolved:
+        print("unresolved devices (add --hint pattern=s->d|d->s|bidir):")
+        for name in report.unresolved:
+            print(f"  {name}")
+        return 1
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    net = _load_netlist(args)
+    print(design_fingerprint(net, decompose(net)))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .sim import parse_deck, run_deck
+
+    net = _load_netlist(args)
+    with open(args.deck) as fp:
+        commands = parse_deck(fp.read())
+    result = run_deck(net, commands)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_charge(args) -> int:
+    from .core import charge_sharing_report
+
+    net = _load_netlist(args)
+    hazards = charge_sharing_report(net, threshold=args.threshold)
+    if not hazards:
+        print(f"{net.name}: no charge-sharing hazards "
+              f"(threshold {args.threshold})")
+        return 0
+    for hazard in hazards:
+        print(hazard)
+    return 1
+
+
+def _cmd_optimize(args) -> int:
+    net = _load_netlist(args)
+    history = optimize(
+        net,
+        target=args.target * 1e-9 if args.target else None,
+        iterations=args.iterations,
+        factor=args.factor,
+    )
+    for step in history:
+        print(
+            f"iteration {step.iteration}: "
+            f"{step.delay_before * 1e9:.3f} -> "
+            f"{step.delay_after * 1e9:.3f} ns "
+            f"({len(step.applied)} device(s) widened)"
+        )
+    if not history:
+        print("nothing to improve (already at target or no candidates)")
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(sim_dumps(net))
+        print(f"wrote resized netlist to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TV-class static timing analysis for nMOS .sim netlists",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="run the timing analyzer")
+    _add_common(p)
+    p.add_argument("--model", default="elmore",
+                   choices=("elmore", "lumped", "pr-min", "pr-max"))
+    p.add_argument("--top-k", type=int, default=5)
+    p.add_argument("--no-erc", action="store_true",
+                   help="skip electrical rules (partial netlists)")
+    p.add_argument("--input-arrival", action="append", metavar="NAME=NS")
+    p.add_argument("--hint", action="append", metavar="PATTERN=DIR")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("erc", help="electrical rules check")
+    _add_common(p)
+    p.set_defaults(func=_cmd_erc)
+
+    p = sub.add_parser("flow", help="signal-flow inference report")
+    _add_common(p)
+    p.add_argument("--hint", action="append", metavar="PATTERN=DIR")
+    p.set_defaults(func=_cmd_flow)
+
+    p = sub.add_parser("stats", help="structural fingerprint")
+    _add_common(p)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("simulate", help="run a test-vector deck")
+    _add_common(p)
+    p.add_argument("deck", help="vector deck file (set/cycle/settle/expect)")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("charge", help="charge-sharing hazard check")
+    _add_common(p)
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="minimum acceptable retention ratio")
+    p.set_defaults(func=_cmd_charge)
+
+    p = sub.add_parser("optimize", help="critical-path resizing loop")
+    _add_common(p)
+    p.add_argument("--iterations", type=int, default=8)
+    p.add_argument("--factor", type=float, default=1.5)
+    p.add_argument("--target", type=float, default=None, metavar="NS")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the resized netlist here (.sim)")
+    p.set_defaults(func=_cmd_optimize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments, dispatch, map errors to exit codes."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

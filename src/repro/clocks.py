@@ -1,0 +1,92 @@
+"""Two-phase non-overlapping clock schema.
+
+MIPS -- like nearly all nMOS designs of its generation -- used two-phase
+non-overlapping clocking: phi1 and phi2 are never high simultaneously, with
+a guaranteed *non-overlap gap* between the fall of one and the rise of the
+other.  Dynamic latches (clock-gated pass switches) alternate phases, so a
+signal launched by phi1 is captured by phi2 and vice versa.
+
+:class:`TwoPhaseClock` names the two phase labels used in a netlist's clock
+declarations (:meth:`repro.netlist.Netlist.set_clock`) and records the
+non-overlap gap.  The *widths* of the phases are outputs of timing analysis
+(the analyzer computes the minimum width each phase needs), so they are not
+stored here; :meth:`cycle_time` assembles a full cycle from computed widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ClockingError
+from .netlist import Netlist
+from .tech import NS
+
+__all__ = ["TwoPhaseClock"]
+
+
+@dataclass(frozen=True)
+class TwoPhaseClock:
+    """A two-phase non-overlapping clock schema.
+
+    ``phase1``/``phase2`` are the phase labels expected in netlist clock
+    declarations; ``nonoverlap`` is the dead time between phases, seconds.
+    """
+
+    phase1: str = "phi1"
+    phase2: str = "phi2"
+    nonoverlap: float = 2.0 * NS
+
+    def __post_init__(self) -> None:
+        if self.phase1 == self.phase2:
+            raise ClockingError("the two phases must have distinct labels")
+        if self.nonoverlap < 0:
+            raise ClockingError(
+                f"non-overlap gap must be >= 0, got {self.nonoverlap}"
+            )
+
+    @property
+    def phases(self) -> tuple[str, str]:
+        return (self.phase1, self.phase2)
+
+    def other(self, phase: str) -> str:
+        """The opposite phase label."""
+        if phase == self.phase1:
+            return self.phase2
+        if phase == self.phase2:
+            return self.phase1
+        raise ClockingError(f"unknown phase {phase!r}")
+
+    def clock_nodes(self, netlist: Netlist, phase: str) -> frozenset[str]:
+        """Clock nodes of the netlist declared with ``phase``."""
+        if phase not in self.phases:
+            raise ClockingError(f"unknown phase {phase!r}")
+        return frozenset(
+            node for node, p in netlist.clocks.items() if p == phase
+        )
+
+    def check(self, netlist: Netlist) -> None:
+        """Validate the netlist's clock declarations against this schema.
+
+        Every declared clock must use one of the two phase labels, and at
+        least one clock of each phase must exist (a "two-phase" design with
+        one phase missing is a latch-less design misdeclared).
+        """
+        phases_seen = set(netlist.clocks.values())
+        unknown = phases_seen - set(self.phases)
+        if unknown:
+            raise ClockingError(
+                f"netlist {netlist.name!r} declares clock phases "
+                f"{sorted(unknown)} outside the schema {self.phases}"
+            )
+        missing = set(self.phases) - phases_seen
+        if missing:
+            raise ClockingError(
+                f"netlist {netlist.name!r} has no clock for phase(s) "
+                f"{sorted(missing)}"
+            )
+
+    def cycle_time(self, width1: float, width2: float) -> float:
+        """Full cycle: both phase widths plus two non-overlap gaps."""
+        if width1 < 0 or width2 < 0:
+            raise ClockingError("phase widths must be >= 0")
+        return width1 + width2 + 2.0 * self.nonoverlap

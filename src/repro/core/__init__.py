@@ -1,0 +1,64 @@
+"""The TV static timing analyzer.
+
+Public surface:
+
+* :class:`TimingAnalyzer`, :class:`AnalysisResult` -- the facade
+* :class:`TimingGraph` -- arc-level DAG with feedback cutting
+* :func:`propagate`, :class:`Arrival`, :class:`ArrivalMap` -- arrival engine
+* :func:`critical_paths`, :func:`trace_path`, :class:`TimingPath`,
+  :class:`PathStep` -- path extraction
+* :func:`verify_two_phase`, :class:`ClockVerification`,
+  :class:`PhaseResult`, :class:`RaceViolation` -- clock verification
+* report helpers: :func:`format_ns`, :func:`design_fingerprint`,
+  :func:`slack_histogram`, :func:`format_table`
+"""
+
+from .analyzer import AnalysisResult, TimingAnalyzer
+from .charge import ChargeHazard, charge_sharing_report
+from .arrival import DEFAULT_INPUT_SLEW, Arrival, ArrivalMap, propagate
+from .constraints import (
+    ClockVerification,
+    PhaseResult,
+    RaceViolation,
+    latch_devices,
+    storage_nodes_of_phase,
+    verify_two_phase,
+)
+from .graph import TimingGraph
+from .mindelay import OverlapMargin, cross_phase_margins, propagate_min
+from .paths import PathStep, TimingPath, critical_paths, trace_path
+from .report import (
+    design_fingerprint,
+    format_ns,
+    format_table,
+    slack_histogram,
+)
+
+__all__ = [
+    "TimingAnalyzer",
+    "AnalysisResult",
+    "TimingGraph",
+    "propagate",
+    "Arrival",
+    "ArrivalMap",
+    "DEFAULT_INPUT_SLEW",
+    "critical_paths",
+    "trace_path",
+    "TimingPath",
+    "PathStep",
+    "verify_two_phase",
+    "ClockVerification",
+    "OverlapMargin",
+    "ChargeHazard",
+    "charge_sharing_report",
+    "cross_phase_margins",
+    "propagate_min",
+    "PhaseResult",
+    "RaceViolation",
+    "latch_devices",
+    "storage_nodes_of_phase",
+    "format_ns",
+    "design_fingerprint",
+    "slack_histogram",
+    "format_table",
+]

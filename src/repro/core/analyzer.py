@@ -1,0 +1,273 @@
+"""The TV timing analyzer: the package's primary public interface.
+
+:class:`TimingAnalyzer` glues the substrates together the way the original
+tool did:
+
+1. run the electrical rules checks (:mod:`repro.netlist.validate`);
+2. infer signal-flow directions (:mod:`repro.flow`);
+3. decompose the netlist into stages (:mod:`repro.stages`);
+4. extract stage timing arcs (:mod:`repro.delay`);
+5. propagate worst-case arrivals and report critical paths
+   (:mod:`repro.core.arrival` / :mod:`repro.core.paths`);
+6. if the design is clocked, verify the two-phase schema
+   (:mod:`repro.core.constraints`).
+
+Typical use::
+
+    tv = TimingAnalyzer(netlist)
+    result = tv.analyze()
+    print(result.report())
+
+The whole pipeline is value-independent and runs in near-linear time in the
+device count -- the property benchmarked in experiment R-T3.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from ..clocks import TwoPhaseClock
+from ..delay import (
+    FALL,
+    RISE,
+    SlopeModel,
+    StageDelayCalculator,
+)
+from ..errors import TimingError
+from ..flow import FlowReport, infer_flow
+from ..netlist import Netlist
+from ..netlist.validate import Violation, validate
+from ..stages import StageGraph, decompose
+from .arrival import DEFAULT_INPUT_SLEW, ArrivalMap, propagate
+from .constraints import ClockVerification, verify_two_phase
+from .graph import TimingGraph
+from .paths import TimingPath, critical_paths
+
+__all__ = ["TimingAnalyzer", "AnalysisResult"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced.
+
+    ``mode`` is ``"combinational"`` or ``"two-phase"``.  For combinational
+    runs, ``arrivals``/``paths``/``max_delay`` describe the input-to-output
+    longest paths.  For clocked runs, ``clock_verification`` carries the
+    per-phase results and ``min_cycle``; ``paths`` holds the overall worst
+    phase's critical paths for convenience.
+    """
+
+    mode: str
+    netlist_name: str
+    device_count: int
+    stage_count: int
+    flow: FlowReport
+    erc_warnings: list[Violation] = field(default_factory=list)
+    arrivals: ArrivalMap | None = None
+    paths: list[TimingPath] = field(default_factory=list)
+    max_delay: float | None = None
+    clock_verification: ClockVerification | None = None
+    cut_arc_count: int = 0
+    analysis_seconds: float = 0.0
+
+    @property
+    def min_cycle(self) -> float | None:
+        if self.clock_verification is None:
+            return None
+        return self.clock_verification.min_cycle
+
+    @property
+    def critical_path(self) -> TimingPath | None:
+        return self.paths[0] if self.paths else None
+
+    def arrival_of(self, node: str) -> float | None:
+        """Worst arrival at a node (combinational mode), seconds."""
+        if self.arrivals is None:
+            return None
+        worst = self.arrivals.worst(node)
+        return worst.time if worst is not None else None
+
+    def report(self, time_unit: float = 1e-9, unit_name: str = "ns") -> str:
+        """The classic TV-style text report."""
+        lines = [
+            f"=== timing analysis: {self.netlist_name} ===",
+            f"mode      : {self.mode}",
+            f"devices   : {self.device_count}   stages: {self.stage_count}",
+            f"analysis  : {self.analysis_seconds * 1e3:.1f} ms",
+        ]
+        if self.cut_arc_count:
+            lines.append(
+                f"feedback  : {self.cut_arc_count} arc(s) cut "
+                "(static storage loops)"
+            )
+        lines.append(self.flow.summary())
+        if self.erc_warnings:
+            lines.append(f"erc       : {len(self.erc_warnings)} warning(s)")
+        if self.mode == "combinational":
+            if self.max_delay is not None:
+                lines.append(
+                    f"max delay : {self.max_delay / time_unit:.3f} {unit_name}"
+                )
+            for path in self.paths:
+                lines.append(path.format(time_unit, unit_name))
+        else:
+            assert self.clock_verification is not None
+            lines.append(self.clock_verification.summary(time_unit, unit_name))
+            for path in self.paths:
+                lines.append(path.format(time_unit, unit_name))
+        return "\n".join(lines)
+
+
+class TimingAnalyzer:
+    """Static timing analyzer for transistor-level nMOS netlists.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit.  Flow hints may be pre-applied; ERC must pass (set
+        ``run_erc=False`` only for deliberately partial circuits).
+    model:
+        RC delay metric, one of :data:`repro.delay.DELAY_MODELS`.
+    slope:
+        Input-ramp correction model (default: the calibrated one).
+    clock:
+        Two-phase schema.  If None and the netlist declares clocks with
+        phases ``phi1``/``phi2``, a default schema is assumed; clocks with
+        other labels are treated as ordinary inputs.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        *,
+        model: str = "elmore",
+        slope: SlopeModel | None = None,
+        clock: TwoPhaseClock | None = None,
+        max_paths: int = 4096,
+        run_erc: bool = True,
+    ):
+        self.netlist = netlist
+        self.erc_warnings: list[Violation] = (
+            validate(netlist) if run_erc else []
+        )
+        self.flow_report = infer_flow(netlist)
+        self.stage_graph: StageGraph = decompose(netlist)
+        self.calculator = StageDelayCalculator(
+            netlist,
+            self.stage_graph,
+            model=model,
+            slope=slope,
+            max_paths=max_paths,
+        )
+        self.clock = clock or self._default_clock()
+
+    def _default_clock(self) -> TwoPhaseClock | None:
+        phases = set(self.netlist.clocks.values())
+        if phases == {"phi1", "phi2"}:
+            return TwoPhaseClock()
+        return None
+
+    def notify_changed(self, device_names) -> None:
+        """Invalidate cached timing for edited devices (e.g. after a
+        resize), so the next :meth:`analyze` recomputes only the affected
+        stages.  Topology changes (added/removed devices or nodes) need a
+        fresh analyzer; this hook covers parameter edits only."""
+        self.calculator.invalidate_devices(device_names)
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        input_arrivals: dict[str, float] | None = None,
+        *,
+        top_k: int = 5,
+        input_slew: float = DEFAULT_INPUT_SLEW,
+    ) -> AnalysisResult:
+        """Run the full analysis and return an :class:`AnalysisResult`.
+
+        ``input_arrivals`` maps primary-input names to their availability
+        times (seconds); unlisted inputs default to time 0.
+        """
+        started = _time.perf_counter()
+        if self.clock is not None and self.netlist.clocks:
+            result = self._analyze_two_phase(input_arrivals, top_k)
+        else:
+            result = self._analyze_combinational(
+                input_arrivals, top_k, input_slew
+            )
+        result.analysis_seconds = _time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    def _base_result(self, mode: str) -> AnalysisResult:
+        return AnalysisResult(
+            mode=mode,
+            netlist_name=self.netlist.name,
+            device_count=len(self.netlist.devices),
+            stage_count=len(self.stage_graph),
+            flow=self.flow_report,
+            erc_warnings=self.erc_warnings,
+        )
+
+    def _analyze_combinational(
+        self,
+        input_arrivals: dict[str, float] | None,
+        top_k: int,
+        input_slew: float,
+    ) -> AnalysisResult:
+        input_arrivals = input_arrivals or {}
+        sources: dict[tuple[str, str], float] = {}
+        drive_points = set(self.netlist.inputs) | set(self.netlist.clocks)
+        if not drive_points:
+            raise TimingError(
+                f"netlist {self.netlist.name!r} declares no primary inputs; "
+                "combinational analysis has no sources"
+            )
+        for name in drive_points:
+            t = input_arrivals.get(name, 0.0)
+            sources[(name, RISE)] = t
+            sources[(name, FALL)] = t
+
+        arcs = self.calculator.all_arcs(active_clocks=None)
+        graph = TimingGraph.build(arcs)
+        arrivals = propagate(
+            graph, sources, self.calculator.slope, source_slew=input_slew
+        )
+
+        endpoints = set(self.netlist.outputs) or None
+        paths = critical_paths(arrivals, endpoints, k=top_k)
+        worst = arrivals.max_arrival(endpoints)
+
+        result = self._base_result("combinational")
+        result.arrivals = arrivals
+        result.paths = paths
+        result.max_delay = worst.time if worst is not None else 0.0
+        result.cut_arc_count = len(graph.cut_arcs)
+        return result
+
+    def _analyze_two_phase(
+        self,
+        input_arrivals: dict[str, float] | None,
+        top_k: int,
+    ) -> AnalysisResult:
+        assert self.clock is not None
+        verification = verify_two_phase(
+            self.netlist,
+            self.calculator,
+            self.clock,
+            input_arrivals=input_arrivals,
+            top_k=top_k,
+        )
+        result = self._base_result("two-phase")
+        result.clock_verification = verification
+        worst_phase = max(
+            verification.phases.values(), key=lambda p: p.width
+        )
+        result.paths = (
+            [worst_phase.critical] if worst_phase.critical is not None else []
+        )
+        result.max_delay = worst_phase.width
+        result.cut_arc_count = sum(
+            p.cut_arc_count for p in verification.phases.values()
+        )
+        return result

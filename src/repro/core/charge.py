@@ -1,0 +1,166 @@
+"""Static charge-sharing analysis for dynamic nodes.
+
+A precharged or dynamically stored node holds its value as charge.  When a
+pass transistor closes, that charge redistributes over every capacitance
+the switch connects; if the connected (uncharged) capacitance is
+comparable to the storage node's own, the stored level sags below the gate
+threshold and the design fails on silicon while passing logic simulation.
+TV-era flows ran exactly this value-independent check over every dynamic
+node.
+
+For each dynamic node ``n`` (precharged or storage class), we find the
+worst single conduction scenario: the largest total capacitance reachable
+from ``n`` through potentially conducting pass switches (respecting
+one-hot assertions -- a mux cannot close two legs at once).  The retention
+ratio is::
+
+    ratio = C(n) / (C(n) + C(reachable))
+
+A ratio below ``threshold`` (default 0.5: the level can sag past midrail)
+is reported.  Precharged nodes whose *sharing partners are precharged
+too* (a Manchester chain: every chain node is precharged high) share
+charge at the same potential and are exempt -- exactly the reasoning the
+methodology texts gave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist import DeviceKind, Netlist
+from ..stages import NodeClass, StageGraph, classify_nodes, decompose
+
+__all__ = ["ChargeHazard", "charge_sharing_report"]
+
+
+@dataclass(frozen=True)
+class ChargeHazard:
+    """One dynamic node at risk of charge sharing."""
+
+    node: str
+    node_class: str
+    c_store: float
+    c_shared: float
+    via: tuple[str, ...]  # the switches whose closing causes the hazard
+
+    @property
+    def ratio(self) -> float:
+        return self.c_store / (self.c_store + self.c_shared)
+
+    def __str__(self) -> str:
+        return (
+            f"charge sharing at {self.node} ({self.node_class}): "
+            f"{self.c_store * 1e15:.1f} fF holds against "
+            f"{self.c_shared * 1e15:.1f} fF through "
+            f"{', '.join(self.via)} (retention {self.ratio:.2f})"
+        )
+
+
+def charge_sharing_report(
+    netlist: Netlist,
+    graph: StageGraph | None = None,
+    *,
+    threshold: float = 0.5,
+) -> list[ChargeHazard]:
+    """Check every dynamic node; return the hazards below ``threshold``."""
+    graph = graph or decompose(netlist)
+    classes = classify_nodes(netlist)
+    dynamic = {
+        name
+        for name, cls in classes.items()
+        if cls in (NodeClass.PRECHARGED, NodeClass.STORAGE)
+    }
+    hazards: list[ChargeHazard] = []
+    for node in sorted(dynamic):
+        hazard = _check_node(netlist, classes, dynamic, node, threshold)
+        if hazard is not None:
+            hazards.append(hazard)
+    return hazards
+
+
+def _check_node(
+    netlist: Netlist,
+    classes: dict,
+    dynamic: set[str],
+    node: str,
+    threshold: float,
+) -> ChargeHazard | None:
+    c_store = netlist.node_capacitance(node)
+
+    # Worst single scenario: walk out through pass switches, accumulating
+    # the capacitance of nodes that are NOT themselves dynamic-high
+    # partners and NOT statically driven (a driven node restores, it does
+    # not steal charge).  One-hot groups limit each group to one switch.
+    best_shared = 0.0
+    best_via: tuple[str, ...] = ()
+
+    frontier = [(node, (), frozenset())]
+    seen_paths = 0
+    while frontier and seen_paths < 2048:
+        current, via, groups = frontier.pop()
+        seen_paths += 1
+        for dev in netlist.channel_devices(current):
+            if dev.kind is not DeviceKind.ENH:
+                continue
+            other = dev.other_channel(current)
+            if netlist.is_rail(other):
+                continue  # a rail path is drive, not sharing
+            if dev.name in via:
+                continue
+            gate_class = classes.get(dev.gate)
+            if gate_class is NodeClass.RAIL:
+                continue
+            group = netlist.exclusive_group_of(dev.gate)
+            if group is not None and group in groups:
+                continue
+            if _is_driven(netlist, classes, other):
+                continue  # restoring node: no hazard through here
+            new_via = via + (dev.name,)
+            new_groups = groups | ({group} if group is not None else set())
+            shared_here = (
+                0.0 if other in dynamic else netlist.node_capacitance(other)
+            )
+            total = sum(
+                0.0 if n in dynamic else netlist.node_capacitance(n)
+                for n in _nodes_of(new_via, netlist, node)
+            )
+            if total > best_shared:
+                best_shared = total
+                best_via = new_via
+            if len(new_via) < 4:  # sharing beyond a few hops is negligible
+                frontier.append((other, new_via, new_groups))
+
+    if best_shared == 0.0:
+        return None
+    ratio = c_store / (c_store + best_shared)
+    if ratio >= threshold:
+        return None
+    return ChargeHazard(
+        node=node,
+        node_class=str(classes[node]),
+        c_store=c_store,
+        c_shared=best_shared,
+        via=best_via,
+    )
+
+
+def _nodes_of(via: tuple[str, ...], netlist: Netlist, origin: str) -> set[str]:
+    """Nodes (excluding the origin) spanned by a switch path."""
+    nodes: set[str] = set()
+    for name in via:
+        dev = netlist.device(name)
+        nodes.update(dev.channel_nodes)
+    nodes.discard(origin)
+    nodes.discard(netlist.vdd)
+    nodes.discard(netlist.gnd)
+    return nodes
+
+
+def _is_driven(netlist: Netlist, classes: dict, node: str) -> bool:
+    cls = classes.get(node)
+    return cls in (
+        NodeClass.GATE_OUTPUT,
+        NodeClass.INPUT,
+        NodeClass.CLOCK,
+        NodeClass.RAIL,
+    )

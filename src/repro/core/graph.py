@@ -1,0 +1,121 @@
+"""Timing graph construction.
+
+The timing graph's vertices are circuit nodes and its edges are the stage
+timing arcs extracted by :class:`repro.delay.StageDelayCalculator`.  Static
+analysis needs a DAG; real nMOS netlists contain structural feedback
+(cross-coupled static latches, bus keepers), so construction condenses
+strongly connected components and removes a minimal-by-construction set of
+feedback edges, which are recorded on the graph for reporting -- TV likewise
+reported the feedback paths it cut rather than silently mis-analyzing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..delay import StageArc
+from ..errors import TimingError
+
+__all__ = ["TimingGraph"]
+
+
+@dataclass
+class TimingGraph:
+    """A leveled timing graph over circuit nodes.
+
+    Attributes
+    ----------
+    arcs_from:
+        Adjacency: node name -> outgoing :class:`StageArc` list (feedback
+        arcs removed).
+    order:
+        Topological order of every node that appears in some arc.
+    cut_arcs:
+        Arcs removed to break structural feedback loops.
+    """
+
+    arcs_from: dict[str, list[StageArc]] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+    cut_arcs: list[StageArc] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, arcs: list[StageArc]) -> "TimingGraph":
+        """Assemble a DAG from timing arcs, cutting feedback edges."""
+        digraph = nx.DiGraph()
+        arc_table: dict[tuple[str, str], list[StageArc]] = {}
+        for arc in arcs:
+            if arc.trigger == arc.output:
+                # A self-arc can only arise from degenerate feedback inside
+                # one stage; it carries no timing information for a static
+                # pass and would break topological ordering.
+                continue
+            key = (arc.trigger, arc.output)
+            arc_table.setdefault(key, []).append(arc)
+            digraph.add_edge(arc.trigger, arc.output)
+        for arc in arcs:
+            digraph.add_node(arc.trigger)
+            digraph.add_node(arc.output)
+
+        cut_arcs: list[StageArc] = []
+        if not nx.is_directed_acyclic_graph(digraph):
+            for edge in _feedback_edges(digraph):
+                cut_arcs.extend(arc_table.pop(edge, []))
+                digraph.remove_edge(*edge)
+            if not nx.is_directed_acyclic_graph(digraph):  # pragma: no cover
+                raise TimingError(
+                    "internal error: feedback cutting left a cycle"
+                )
+
+        graph = cls(cut_arcs=cut_arcs)
+        graph.order = list(nx.topological_sort(digraph))
+        for (trigger, _output), arc_list in arc_table.items():
+            graph.arcs_from.setdefault(trigger, []).extend(arc_list)
+        return graph
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self.order)
+
+    def arc_count(self) -> int:
+        """Number of arcs surviving in the DAG (cut arcs excluded)."""
+        return sum(len(v) for v in self.arcs_from.values())
+
+
+def _feedback_edges(digraph: nx.DiGraph) -> list[tuple[str, str]]:
+    """Edges whose removal acyclifies the graph (DFS back edges).
+
+    A depth-first search from every root classifies back edges; removing
+    exactly those acyclifies the graph.  The set is not guaranteed minimum
+    (that problem is NP-hard) but is deterministic and small in practice:
+    one edge per cross-coupled latch loop.
+    """
+    back_edges: list[tuple[str, str]] = []
+    visited: set[str] = set()
+    on_stack: set[str] = set()
+
+    def visit(start: str) -> None:
+        stack: list[tuple[str, iter]] = [(start, iter(digraph.successors(start)))]
+        visited.add(start)
+        on_stack.add(start)
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ in on_stack:
+                    back_edges.append((node, succ))
+                elif succ not in visited:
+                    visited.add(succ)
+                    on_stack.add(succ)
+                    stack.append((succ, iter(digraph.successors(succ))))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                on_stack.discard(node)
+
+    for node in sorted(digraph.nodes):
+        if node not in visited:
+            visit(node)
+    return back_edges

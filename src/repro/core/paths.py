@@ -1,0 +1,125 @@
+"""Critical-path extraction and ranking.
+
+After arrival propagation, the critical path to any endpoint is recovered by
+walking predecessor pointers.  :func:`critical_paths` ranks endpoints by
+arrival time and reconstructs the top-k paths -- the report format TV
+printed for the MIPS designers (experiment R-T2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arrival import Arrival, ArrivalMap
+
+__all__ = ["PathStep", "TimingPath", "critical_paths", "trace_path"]
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop of a timing path."""
+
+    node: str
+    transition: str
+    time: float
+    slew: float
+    stage_index: int | None  # None for the source step
+    via: str | None  # "gate" / "channel" / None
+    devices: tuple[str, ...]  # devices of the worst RC path of this hop
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """A reconstructed worst-case path ending at ``endpoint``."""
+
+    endpoint: str
+    transition: str
+    arrival: float
+    steps: tuple[PathStep, ...]
+
+    @property
+    def startpoint(self) -> str:
+        return self.steps[0].node
+
+    @property
+    def length(self) -> int:
+        """Number of stage traversals."""
+        return len(self.steps) - 1
+
+    def format(self, time_unit: float = 1e-9, unit_name: str = "ns") -> str:
+        """Human-readable path listing."""
+        lines = [
+            f"path to {self.endpoint} ({self.transition}): "
+            f"{self.arrival / time_unit:.3f} {unit_name}, "
+            f"{self.length} stages"
+        ]
+        for step in self.steps:
+            via = f" via {step.via}" if step.via else " (source)"
+            devices = f" [{', '.join(step.devices)}]" if step.devices else ""
+            lines.append(
+                f"  {step.time / time_unit:8.3f} {unit_name}  "
+                f"{step.node} {step.transition}{via}{devices}"
+            )
+        return "\n".join(lines)
+
+
+def trace_path(arrivals: ArrivalMap, endpoint: str, transition: str) -> TimingPath:
+    """Reconstruct the worst path to one (endpoint, transition)."""
+    arrival = arrivals.get(endpoint, transition)
+    if arrival is None:
+        raise KeyError(f"no arrival recorded at {endpoint!r} ({transition})")
+    steps: list[PathStep] = []
+    current: Arrival | None = arrival
+    guard = 0
+    while current is not None:
+        guard += 1
+        if guard > 100_000:  # pragma: no cover - corrupt pred chain
+            raise RuntimeError("predecessor chain does not terminate")
+        timing = None
+        if current.arc is not None:
+            timing = current.arc.timing(current.transition)
+        steps.append(
+            PathStep(
+                node=current.node,
+                transition=current.transition,
+                time=current.time,
+                slew=current.slew,
+                stage_index=(
+                    current.arc.stage_index if current.arc is not None else None
+                ),
+                via=current.arc.via if current.arc is not None else None,
+                devices=timing.path if timing is not None else (),
+            )
+        )
+        current = (
+            arrivals.get(*current.pred) if current.pred is not None else None
+        )
+    steps.reverse()
+    return TimingPath(
+        endpoint=endpoint,
+        transition=transition,
+        arrival=arrival.time,
+        steps=tuple(steps),
+    )
+
+
+def critical_paths(
+    arrivals: ArrivalMap,
+    endpoints: set[str] | None = None,
+    k: int = 5,
+) -> list[TimingPath]:
+    """The ``k`` latest-arriving endpoint transitions, as full paths.
+
+    ``endpoints`` restricts the candidates (e.g. to primary outputs and
+    storage nodes); None considers every node with an arrival.  At most one
+    path (the later transition) is reported per endpoint node.
+    """
+    per_node: dict[str, Arrival] = {}
+    for arrival in arrivals.items():
+        if endpoints is not None and arrival.node not in endpoints:
+            continue
+        best = per_node.get(arrival.node)
+        if best is None or arrival.time > best.time:
+            per_node[arrival.node] = arrival
+    ranked = sorted(per_node.values(), key=lambda a: a.time, reverse=True)
+    return [trace_path(arrivals, a.node, a.transition) for a in ranked[:k]]

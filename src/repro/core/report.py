@@ -1,0 +1,87 @@
+"""Report formatting helpers shared by the analyzer, examples, and benches."""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+from ..stages import StageGraph, archetype_census
+from .analyzer import AnalysisResult
+from .arrival import ArrivalMap
+
+__all__ = [
+    "format_ns",
+    "design_fingerprint",
+    "slack_histogram",
+    "format_table",
+]
+
+
+def format_ns(seconds: float, digits: int = 3) -> str:
+    """Render a time in nanoseconds."""
+    return f"{seconds * 1e9:.{digits}f} ns"
+
+
+def design_fingerprint(netlist: Netlist, graph: StageGraph) -> str:
+    """One-paragraph structural summary of a design."""
+    stats = netlist.stats()
+    census = archetype_census(netlist, graph)
+    census_text = ", ".join(
+        f"{kind}: {count}" for kind, count in census.items() if count
+    )
+    return (
+        f"{netlist.name}: {stats['devices']} devices "
+        f"({stats['enh']} enh / {stats['dep']} dep), "
+        f"{stats['nodes']} nodes, {len(graph)} stages "
+        f"[{census_text}], "
+        f"{stats['inputs']} inputs, {stats['outputs']} outputs, "
+        f"{stats['clocks']} clocks"
+    )
+
+
+def slack_histogram(
+    arrivals: ArrivalMap,
+    bins: int = 10,
+) -> list[tuple[float, float, int]]:
+    """Histogram of node arrival times: ``(low, high, count)`` per bin.
+
+    The "timing profile" figure of a chip (experiment R-F1): most nodes
+    settle early, a thin tail defines the critical region.
+    """
+    times = sorted(
+        {a.node: a.time for a in arrivals.items() if a.pred is not None}.values()
+    )
+    if not times:
+        return []
+    low, high = times[0], times[-1]
+    if high == low:
+        return [(low, high, len(times))]
+    width = (high - low) / bins
+    counts = [0] * bins
+    for t in times:
+        idx = min(int((t - low) / width), bins - 1)
+        counts[idx] += 1
+    return [
+        (low + i * width, low + (i + 1) * width, counts[i]) for i in range(bins)
+    ]
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[str]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Plain-text aligned table (used by benches to print paper tables)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

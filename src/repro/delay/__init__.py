@@ -1,0 +1,43 @@
+"""RC delay models for nMOS stage timing.
+
+Public surface:
+
+* :class:`RCTree` -- rooted resistor/capacitor tree
+* :func:`elmore_delay`, :func:`lumped_delay` -- first-moment metrics
+* :func:`pr_moments`, :func:`pr_bounds`, :class:`PRBounds` --
+  Penfield-Rubinstein bounds
+* :class:`SlopeModel`, :data:`NO_SLOPE` -- input-ramp correction
+* :func:`device_resistance` -- role-aware effective resistance
+* :class:`StageDelayCalculator`, :class:`StageArc`, :class:`ArcTiming`,
+  :data:`DELAY_MODELS` -- the stage timing-arc extractor
+"""
+
+from .effective_res import FALL, RISE, device_resistance
+from .elmore import elmore_delay, lumped_delay
+from .penfield import PRBounds, pr_bounds, pr_moments
+from .rctree import RCTree
+from .slope import NO_SLOPE, SlopeModel
+from .stage_delay import (
+    DELAY_MODELS,
+    ArcTiming,
+    StageArc,
+    StageDelayCalculator,
+)
+
+__all__ = [
+    "RCTree",
+    "elmore_delay",
+    "lumped_delay",
+    "PRBounds",
+    "pr_bounds",
+    "pr_moments",
+    "SlopeModel",
+    "NO_SLOPE",
+    "device_resistance",
+    "RISE",
+    "FALL",
+    "DELAY_MODELS",
+    "ArcTiming",
+    "StageArc",
+    "StageDelayCalculator",
+]

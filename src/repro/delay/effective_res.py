@@ -1,0 +1,57 @@
+"""Effective resistance of a conducting device in a given role.
+
+The static delay model reduces every conducting transistor to a linear
+resistor.  The right value depends on *how* the device is being used:
+
+``pulldown``   enhancement device discharging a node to gnd (grounded
+               source, full gate drive): the strongest case
+``pullup``     depletion load charging a node toward vdd
+``pass``       enhancement pass device transmitting a signal; for a rising
+               transfer the device saturates near Vdd - Vt and is derated
+               further (``Technology.pass_rise_derate``)
+``precharge``  clock-gated enhancement device charging a node toward vdd:
+               a source follower, so it gets the same rising derate
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..netlist import DeviceKind, Transistor
+from ..tech import Technology
+
+__all__ = ["device_resistance", "RISE", "FALL"]
+
+RISE = "rise"
+FALL = "fall"
+
+
+def device_resistance(
+    tech: Technology,
+    dev: Transistor,
+    role: str,
+    transition: str,
+) -> float:
+    """Effective resistance in ohms of ``dev`` used as ``role`` driving a
+    ``transition`` (``"rise"`` or ``"fall"``)."""
+    if transition not in (RISE, FALL):
+        raise ReproError(f"unknown transition {transition!r}")
+    if role == "pulldown":
+        if dev.kind is not DeviceKind.ENH:
+            raise ReproError(f"{dev.name}: only enhancement devices pull down")
+        return tech.r_eff("enh", dev.w, dev.l)
+    if role == "pullup":
+        if dev.kind is not DeviceKind.DEP:
+            raise ReproError(f"{dev.name}: only depletion devices pull up")
+        return tech.r_eff("dep", dev.w, dev.l)
+    if role == "pass":
+        if transition == RISE:
+            # Transmitting a high: the device saturates near Vdd - Vt.
+            base = tech.r_eff("enh", dev.w, dev.l, pass_mode=True)
+            return base * tech.pass_rise_derate
+        # Transmitting a low: full gate drive, deep triode -- the device
+        # behaves like a pull-down.
+        return tech.r_eff("enh", dev.w, dev.l)
+    if role == "precharge":
+        base = tech.r_eff("enh", dev.w, dev.l, pass_mode=True)
+        return base * tech.pass_rise_derate
+    raise ReproError(f"unknown device role {role!r}")

@@ -1,0 +1,40 @@
+"""Elmore delay on RC trees.
+
+The Elmore delay at a tree node ``e`` is the first moment of the impulse
+response::
+
+    T_D(e) = sum_k  R_(k,e) * C_k
+
+where the sum runs over every capacitor ``k`` in the tree and ``R_(k,e)`` is
+the resistance of the common prefix of the root-to-``k`` and root-to-``e``
+paths.  For a simple chain this reduces to the familiar
+``sum_i C_i * (R_1 + ... + R_i)``.
+
+The *lumped* metric -- total path resistance times total tree capacitance --
+is also provided, as the ablation strawman for experiment R-T6.
+"""
+
+from __future__ import annotations
+
+from .rctree import RCTree
+
+__all__ = ["elmore_delay", "lumped_delay"]
+
+
+def elmore_delay(tree: RCTree, at: str) -> float:
+    """First-moment (Elmore) time constant at node ``at``, seconds."""
+    total = 0.0
+    for name, cap, _r_root in tree.items():
+        if cap == 0.0:
+            continue
+        total += tree.shared_resistance(name, at) * cap
+    return total
+
+
+def lumped_delay(tree: RCTree, at: str) -> float:
+    """Single-pole lumped estimate: R(root->at) * C(total), seconds.
+
+    Ignores capacitance distribution along the path; always >= the Elmore
+    value on the same tree, and increasingly pessimistic for long chains.
+    """
+    return tree.r_root(at) * tree.total_cap()

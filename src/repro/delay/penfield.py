@@ -1,0 +1,76 @@
+"""Penfield-Rubinstein style bounds on RC-tree delay.
+
+Rubinstein, Penfield, and Horowitz ("Signal delay in RC tree networks",
+IEEE TCAD 1983 -- contemporaneous with TV) bound the step response of an RC
+tree between computable envelopes.  We expose the three classic first-moment
+quantities for a measurement node ``e``:
+
+``T_P``      = sum_k R_(k,k) C_k      (total tree "charge transfer" time)
+``T_DP(e)``  = sum_k R_(k,e) C_k      (the Elmore delay at ``e``)
+``T_R(e)``   = sum_k R_(k,e)^2 C_k / R_(e,e)
+
+with ``T_R(e) <= T_DP(e) <= T_P``.  The voltage at ``e`` is bounded so that
+the time to reach a fraction ``v`` of the final value satisfies::
+
+    T_R(e) * ln(1/(1-v))  <=  t_v(e)  <=  T_P * ln(1/(1-v))   (approx.)
+
+We return these as ``(lower, upper)`` for ``v`` given by the caller.  The
+bounds are used as the ``pr-min``/``pr-max`` delay models in the ablation
+experiment R-T6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .rctree import RCTree
+
+__all__ = ["PRBounds", "pr_moments", "pr_bounds"]
+
+
+@dataclass(frozen=True)
+class PRBounds:
+    """Bounds and moments for one measurement node.
+
+    All values in seconds.  ``elmore`` is T_DP(e); ``lower``/``upper``
+    bracket the time to the requested crossing fraction.
+    """
+
+    t_r: float
+    elmore: float
+    t_p: float
+    lower: float
+    upper: float
+
+
+def pr_moments(tree: RCTree, at: str) -> tuple[float, float, float]:
+    """Return ``(T_R(at), T_DP(at), T_P)`` for the tree."""
+    r_ee = tree.r_root(at)
+    t_p = 0.0
+    t_dp = 0.0
+    t_r = 0.0
+    for name, cap, r_kk in tree.items():
+        if cap == 0.0:
+            continue
+        r_ke = tree.shared_resistance(name, at)
+        t_p += r_kk * cap
+        t_dp += r_ke * cap
+        if r_ee > 0.0:
+            t_r += (r_ke * r_ke) * cap / r_ee
+    return (t_r, t_dp, t_p)
+
+
+def pr_bounds(tree: RCTree, at: str, fraction: float = 0.5) -> PRBounds:
+    """Bracket the time for node ``at`` to cross ``fraction`` of its swing."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"crossing fraction must be in (0, 1), got {fraction}")
+    t_r, t_dp, t_p = pr_moments(tree, at)
+    scale = math.log(1.0 / (1.0 - fraction))
+    return PRBounds(
+        t_r=t_r,
+        elmore=t_dp,
+        t_p=t_p,
+        lower=t_r * scale,
+        upper=t_p * scale,
+    )

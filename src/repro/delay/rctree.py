@@ -1,0 +1,159 @@
+"""RC tree data structure for stage delay estimation.
+
+A conducting sub-network of a stage is abstracted as a *tree* of linear
+resistors (the effective resistances of conducting transistors) rooted at
+the driving point (a rail, or the boundary node injecting the signal), with
+a grounded capacitor at every node.  This is the abstraction underlying both
+the Elmore metric (:mod:`repro.delay.elmore`) and the Penfield-Rubinstein
+bounds (:mod:`repro.delay.penfield`).
+
+The builder accepts an arbitrary resistor *graph* and derives a spanning
+tree by breadth-first search from the root; redundant (parallel) resistors
+are dropped, which overestimates path resistance -- a deliberate, documented
+pessimism consistent with TV's value-independent worst-casing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = ["RCTree"]
+
+
+@dataclass
+class _TreeNode:
+    name: str
+    cap: float
+    parent: str | None
+    r_up: float  # resistance of the edge toward the parent
+    r_root: float  # accumulated resistance from the root
+
+
+class RCTree:
+    """A rooted RC tree.
+
+    Build with :meth:`RCTree.from_graph`, or incrementally with
+    :meth:`add_child`.  All resistances in ohms, capacitances in farads.
+    """
+
+    def __init__(self, root: str):
+        if not root:
+            raise ReproError("RC tree root name must be non-empty")
+        self.root = root
+        self._nodes: dict[str, _TreeNode] = {
+            root: _TreeNode(root, 0.0, None, 0.0, 0.0)
+        }
+        self._children: dict[str, list[str]] = {root: []}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        root: str,
+        edges: list[tuple[str, str, float]],
+        caps: dict[str, float],
+    ) -> "RCTree":
+        """Build a spanning RC tree from a resistor graph.
+
+        ``edges`` are undirected ``(a, b, ohms)`` triples; ``caps`` maps node
+        name to farads (missing nodes get 0).  Nodes unreachable from the
+        root are silently excluded (they do not load the transition).
+        Parallel/back edges are dropped (see module docstring).
+        """
+        adjacency: dict[str, list[tuple[str, float]]] = {}
+        for a, b, r in edges:
+            if r < 0:
+                raise ReproError(f"negative resistance {r} on edge {a}-{b}")
+            adjacency.setdefault(a, []).append((b, r))
+            adjacency.setdefault(b, []).append((a, r))
+
+        tree = cls(root)
+        tree._nodes[root].cap = caps.get(root, 0.0)
+        frontier = [root]
+        while frontier:
+            current = frontier.pop(0)
+            for neighbor, r in adjacency.get(current, ()):
+                if neighbor in tree._nodes:
+                    continue
+                tree.add_child(current, neighbor, r, caps.get(neighbor, 0.0))
+                frontier.append(neighbor)
+        return tree
+
+    def add_child(self, parent: str, name: str, r: float, cap: float) -> None:
+        """Attach ``name`` below ``parent`` through resistance ``r``."""
+        if parent not in self._nodes:
+            raise ReproError(f"RC tree has no node {parent!r}")
+        if name in self._nodes:
+            raise ReproError(f"RC tree already has node {name!r}")
+        if r < 0 or cap < 0:
+            raise ReproError(
+                f"RC tree element values must be >= 0 (r={r}, cap={cap})"
+            )
+        parent_node = self._nodes[parent]
+        self._nodes[name] = _TreeNode(
+            name, cap, parent, r, parent_node.r_root + r
+        )
+        self._children.setdefault(parent, []).append(name)
+        self._children[name] = []
+
+    def add_cap(self, name: str, cap: float) -> None:
+        """Add capacitance to an existing tree node."""
+        if name not in self._nodes:
+            raise ReproError(f"RC tree has no node {name!r}")
+        self._nodes[name].cap += cap
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    def cap(self, name: str) -> float:
+        """Capacitance at a tree node, farads."""
+        return self._nodes[name].cap
+
+    def r_root(self, name: str) -> float:
+        """Total resistance from the root to ``name``."""
+        return self._nodes[name].r_root
+
+    def total_cap(self) -> float:
+        """Sum of all capacitance in the tree."""
+        return sum(n.cap for n in self._nodes.values())
+
+    def path_to_root(self, name: str) -> list[str]:
+        """Node names from ``name`` up to (and including) the root."""
+        if name not in self._nodes:
+            raise ReproError(f"RC tree has no node {name!r}")
+        path = [name]
+        node = self._nodes[name]
+        while node.parent is not None:
+            path.append(node.parent)
+            node = self._nodes[node.parent]
+        return path
+
+    def shared_resistance(self, a: str, b: str) -> float:
+        """Resistance of the common root-path prefix of ``a`` and ``b``.
+
+        This is the R_ka term of the Elmore/PR formulas: the resistance
+        shared between the root-to-``a`` and root-to-``b`` paths.
+        """
+        ancestors_a = {}
+        for name in self.path_to_root(a):
+            ancestors_a[name] = self._nodes[name].r_root
+        for name in self.path_to_root(b):
+            if name in ancestors_a:
+                return ancestors_a[name]
+        raise ReproError(
+            f"nodes {a!r} and {b!r} share no ancestor (corrupt tree)"
+        )  # pragma: no cover - unreachable on a well-formed tree
+
+    def items(self) -> list[tuple[str, float, float]]:
+        """``(name, cap, r_root)`` for every node (root included)."""
+        return [(n.name, n.cap, n.r_root) for n in self._nodes.values()]

@@ -1,0 +1,60 @@
+"""Slope (input-ramp) correction and slew estimation.
+
+The raw RC metrics assume a step input.  Real stage inputs are ramps, and a
+slow input both delays the switching point and slows the output.  TV-class
+analyzers fold this in with a linear correction::
+
+    delay  = intrinsic + alpha * input_slew
+    slew   = gamma * tau           (output 10-90% transition time)
+
+where ``tau`` is the stage's Elmore time constant.  ``alpha`` ~ 0.3-0.5 for
+ratioed nMOS (an input crossing the gate threshold late by a fraction of its
+slew delays the output by about that much); ``gamma`` = ln 9 = 2.197 for a
+single pole.  The coefficients live on :class:`SlopeModel` so the ablation
+benchmark (R-T6) can switch the correction off (``alpha = gamma_in = 0``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SlopeModel", "NO_SLOPE"]
+
+
+@dataclass(frozen=True)
+class SlopeModel:
+    """Linear slope-correction coefficients.
+
+    ``alpha``: fraction of the input slew added to the stage delay.
+    ``alpha_tracking``: the same, for *tracking* arcs -- non-inverting
+    channel transfers through pass networks, whose output follows the
+    input continuously instead of waiting for a gate threshold crossing.
+    ``gamma``: output slew as a multiple of the stage time constant.
+    ``beta``: fraction of the *input* slew inherited by the output slew
+    (a slowly driven stage also transitions slowly).
+    """
+
+    alpha: float = 0.35
+    alpha_tracking: float = 0.05
+    gamma: float = math.log(9.0)  # 10%-90% of a single pole
+    beta: float = 0.25
+
+    def delay(
+        self,
+        intrinsic: float,
+        input_slew: float,
+        *,
+        tracking: bool = False,
+    ) -> float:
+        """Slope-corrected stage delay, seconds."""
+        alpha = self.alpha_tracking if tracking else self.alpha
+        return intrinsic + alpha * input_slew
+
+    def output_slew(self, tau: float, input_slew: float) -> float:
+        """Estimated output transition time, seconds."""
+        return self.gamma * tau + self.beta * input_slew
+
+
+#: A disabled slope model: step-input delays, pure single-pole slews.
+NO_SLOPE = SlopeModel(alpha=0.0, alpha_tracking=0.0, gamma=math.log(9.0), beta=0.0)

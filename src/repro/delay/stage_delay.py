@@ -1,0 +1,1100 @@
+"""Stage timing-arc extraction: TV's transistor-level delay calculator.
+
+For each stage, this module enumerates *timing arcs*: (trigger, output)
+pairs with intrinsic rise/fall delays.  An arc's trigger is either
+
+* a **gate** input of the stage -- a node switching the gate of a member
+  device (ordinary logic inputs, and clocks gating pass switches or
+  precharge devices), or
+* a **channel** boundary -- an externally driven node (primary input or
+  clock) injecting signal directly into the stage's pass network.
+
+Delay of an arc is computed on an RC tree built from the conducting
+sub-network, with TV's value-independent worst-casing:
+
+* **fall** (discharge): the maximum-resistance simple path from the output
+  to gnd that passes through a device gated by the trigger, with every
+  other conducting device attached as a capacitive branch;
+* **rise** (charge): from vdd through the depletion load of a pulled-up
+  node, then the maximum-resistance pass path to the output;
+* **precharge rise**: from vdd through the clock-gated precharge device;
+* **pass transfer**: from the injecting boundary node through the
+  maximum-resistance directed pass path.
+
+The RC tree metric is selected by ``model``: ``"elmore"`` (default),
+``"lumped"``, ``"pr-min"``, or ``"pr-max"`` (ablation experiment R-T6).
+Path enumeration is exact up to ``max_paths`` simple paths per arc; if the
+cap is hit the arc is marked ``truncated`` (never silently).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..errors import StageError
+from ..netlist import DeviceKind, Netlist, Transistor
+from ..stages import Stage, StageGraph
+from ..tech import Technology
+from .effective_res import FALL, RISE, device_resistance
+from .elmore import elmore_delay, lumped_delay
+from .penfield import pr_bounds
+from .rctree import RCTree
+from .slope import SlopeModel
+
+__all__ = ["ArcTiming", "StageArc", "StageDelayCalculator", "DELAY_MODELS"]
+
+DELAY_MODELS = ("elmore", "lumped", "pr-min", "pr-max")
+
+#: Crossing fraction for the 50% delay definition used throughout.
+_CROSSING = 0.5
+
+
+@dataclass(frozen=True)
+class ArcTiming:
+    """Timing of one output transition of an arc.
+
+    ``delay`` is the intrinsic 50%-crossing delay (seconds), already scaled
+    by the technology's calibration factor; ``tau`` is the underlying Elmore
+    time constant (used for slew estimation); ``path`` names the devices on
+    the worst resistive path; ``truncated`` is set if path enumeration hit
+    its cap.
+    """
+
+    delay: float
+    tau: float
+    path: tuple[str, ...] = ()
+    truncated: bool = False
+
+
+@dataclass(frozen=True)
+class StageArc:
+    """One timing arc through a stage.
+
+    ``inverting`` tells the arrival propagator which input transition
+    produces which output transition: an inverting arc maps input-rise to
+    output-fall (gate logic); a non-inverting arc maps rise to rise (pass
+    transfer, precharge, clocked switches).
+    """
+
+    stage_index: int
+    trigger: str
+    via: str  # "gate" or "channel"
+    output: str
+    inverting: bool
+    rise: ArcTiming | None
+    fall: ArcTiming | None
+
+    def timing(self, transition: str) -> ArcTiming | None:
+        """The arc timing for ``"rise"`` or ``"fall"`` (None if absent)."""
+        return self.rise if transition == RISE else self.fall
+
+
+class StageDelayCalculator:
+    """Extracts timing arcs from stages of one netlist.
+
+    Parameters
+    ----------
+    netlist, graph:
+        The circuit and its stage decomposition (flow directions should
+        already be assigned by :func:`repro.flow.infer_flow`).
+    model:
+        RC metric: one of :data:`DELAY_MODELS`.
+    slope:
+        Slope-correction model (used by the analyzer; stored here so all
+        timing policy lives in one object).
+    max_paths:
+        Cap on simple-path enumeration per arc.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        graph: StageGraph,
+        *,
+        model: str = "elmore",
+        slope: SlopeModel | None = None,
+        max_paths: int = 4096,
+        tech: Technology | None = None,
+    ):
+        if model not in DELAY_MODELS:
+            raise StageError(
+                f"unknown delay model {model!r}; choose from {DELAY_MODELS}"
+            )
+        self.netlist = netlist
+        self.graph = graph
+        self.model = model
+        self.slope = slope if slope is not None else SlopeModel()
+        self.max_paths = max_paths
+        self.tech = tech or netlist.tech
+        self._cap_cache: dict[str, float] = {}
+        self._open_gates: frozenset[str] = frozenset()
+        self._arc_cache: dict[tuple, list[StageArc]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def arcs(
+        self,
+        stage: Stage,
+        active_clocks: frozenset[str] | None = None,
+        open_gates: frozenset[str] = frozenset(),
+    ) -> list[StageArc]:
+        """All timing arcs of ``stage`` (deduplicated, worst-case merged).
+
+        ``active_clocks`` selects the clock phase under analysis: devices
+        gated by a clock *not* in the set are treated as open (cut), and
+        clock-triggered arcs exist only for active clocks.  ``None`` means
+        the value-independent worst case: every clocked switch is closed --
+        the right view for purely combinational circuits and for a quick
+        whole-circuit longest-path estimate.
+
+        ``open_gates`` names additional control nodes that are provably low
+        in the scenario under analysis -- qualified clocks derived from the
+        phase (e.g. a word line ``dec AND phi2`` during phi1).  Devices they
+        gate are cut exactly like inactive clocks.
+        """
+        cache_key = (stage.index, active_clocks, open_gates)
+        cached = self._arc_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        devices = self.graph.devices_of(stage)
+        previous = self._open_gates
+        self._open_gates = open_gates
+        try:
+            raw: list[StageArc] = []
+            raw.extend(self._gate_arcs(stage, devices, active_clocks))
+            raw.extend(self._clocked_switch_arcs(stage, devices, active_clocks))
+            raw.extend(self._precharge_arcs(stage, devices, active_clocks))
+            raw.extend(self._follower_arcs(stage, devices, active_clocks))
+            raw.extend(self._channel_arcs(stage, devices, active_clocks))
+            raw.extend(self._select_arcs(stage, devices, active_clocks))
+            merged = _merge_arcs(raw)
+            self._arc_cache[cache_key] = merged
+            return merged
+        finally:
+            self._open_gates = previous
+
+    def invalidate_devices(self, device_names) -> None:
+        """Drop cached results touched by edited devices (e.g. resizing).
+
+        Invalidates the capacitance cache of every terminal node and the
+        arc cache of every stage owning one of those nodes -- the exact
+        footprint a width change has on the timing model.  Everything else
+        stays cached, which is what makes the optimizer's re-analysis
+        loop cheap.
+        """
+        nodes: set[str] = set()
+        for name in device_names:
+            dev = self.netlist.device(name)
+            nodes.update((dev.gate, dev.source, dev.drain))
+        for node in nodes:
+            self._cap_cache.pop(node, None)
+        stale = set()
+        for node in nodes:
+            stage = self.graph.stage_of(node)
+            if stage is not None:
+                stale.add(stage.index)
+        if stale:
+            self._arc_cache = {
+                key: arcs
+                for key, arcs in self._arc_cache.items()
+                if key[0] not in stale
+            }
+
+    def all_arcs(
+        self,
+        active_clocks: frozenset[str] | None = None,
+        open_gates: frozenset[str] = frozenset(),
+    ) -> list[StageArc]:
+        """Timing arcs of every stage in the graph."""
+        result: list[StageArc] = []
+        for stage in self.graph:
+            result.extend(self.arcs(stage, active_clocks, open_gates))
+        return result
+
+    def _clock_open(
+        self, dev: Transistor, active_clocks: frozenset[str] | None
+    ) -> bool:
+        """True if the device is cut: inactive clock or constant-low gate."""
+        if dev.gate in self._open_gates and dev.kind is DeviceKind.ENH:
+            return True
+        return (
+            active_clocks is not None
+            and dev.gate in self.netlist.clocks
+            and dev.gate not in active_clocks
+        )
+
+    # ------------------------------------------------------------------
+    # Arc families.
+    # ------------------------------------------------------------------
+    def _gate_arcs(
+        self,
+        stage: Stage,
+        devices: list[Transistor],
+        active_clocks: frozenset[str] | None,
+    ):
+        """Ordinary logic arcs: a gate input switches, an output moves."""
+        gnd = self.netlist.gnd
+        pulled_up = self._pulled_up_nodes(stage, devices)
+        fall_edges = self._conduction_edges(stage, devices, FALL, active_clocks)
+        rise_pass_edges = self._pass_edges(stage, devices, RISE, active_clocks)
+
+        # Triggers: external gate inputs, plus *stage outputs* gating member
+        # devices -- pass networks can merge a gate's input and output into
+        # one channel-connected stage (a mux reading two gate outputs), and
+        # such internal-but-visible nodes carry their own arrivals.  Purely
+        # internal gates (tied load gates, anonymous feedback) stay out.
+        triggers = {
+            dev.gate: None
+            for dev in devices
+            if dev.kind is DeviceKind.ENH
+            and (dev.gate not in stage.nodes or dev.gate in stage.outputs)
+            and not self._is_precharge(dev)
+            and not self._clock_open(dev, active_clocks)
+        }
+        arcs = []
+        for output in stage.outputs:
+            # One enumeration serves every trigger: the DFS records, for
+            # each gate appearing on a discharge path, the worst path that
+            # includes a device it gates.
+            fall_by_gate = self._worst_fall_by_gate(output, fall_edges)
+            rise = self._rise_via_pullup(
+                stage, devices, output, pulled_up, rise_pass_edges
+            )
+            for trigger in triggers:
+                fall = fall_by_gate.get(trigger)
+                if fall is None:
+                    # In ratioed logic a gate input influences an output
+                    # only through a discharge path: the same pull-down
+                    # whose turn-off lets the load raise the node.  No
+                    # discharge path (under flow + one-hot constraints)
+                    # means no arc -- attaching the trigger-independent
+                    # rise here would fabricate couplings, e.g. between
+                    # unrelated register-file cells sharing a bitline.
+                    continue
+                arcs.append(
+                    StageArc(
+                        stage_index=stage.index,
+                        trigger=trigger,
+                        via="gate",
+                        output=output,
+                        inverting=True,
+                        rise=rise,
+                        fall=fall,
+                    )
+                )
+        return arcs
+
+    def _worst_fall_by_gate(
+        self,
+        output: str,
+        fall_edges: list[tuple[str, str, float, str]],
+    ) -> dict[str, ArcTiming]:
+        """Worst discharge path per triggering gate, in one enumeration.
+
+        Enumerates flow-consistent simple paths from ``output`` to gnd once,
+        and for every gate node appearing on a path keeps the
+        maximum-resistance path through one of its devices.  Equivalent to
+        running :meth:`_worst_path` with ``must_include`` per trigger, at a
+        fraction of the cost on wide stages.
+        """
+        found = self._enumerate_paths(output, {self.netlist.gnd}, fall_edges)
+        if found is None:
+            return {}
+        paths, truncated = found
+        best: dict[str, tuple[float, list]] = {}
+        for path_edges, r_sum in paths:
+            gates = {
+                self.netlist.device(name).gate
+                for _a, _b, _r, name in path_edges
+            }
+            for gate in gates:
+                if gate not in best or r_sum > best[gate][0]:
+                    best[gate] = (r_sum, path_edges)
+        result: dict[str, ArcTiming] = {}
+        timing_cache: dict[int, ArcTiming] = {}
+        for gate, (_r, path_edges) in best.items():
+            key = id(path_edges)
+            timing = timing_cache.get(key)
+            if timing is None:
+                spine = [
+                    (b, a, r, name)
+                    for (a, b, r, name) in reversed(path_edges)
+                ]
+                timing = self._timing_from_spine(spine, output, fall_edges)
+                timing = replace(timing, truncated=timing.truncated or truncated)
+                timing_cache[key] = timing
+            result[gate] = timing
+        return result
+
+    def _enumerate_paths(
+        self,
+        start: str,
+        targets: set[str],
+        edges: list[tuple[str, str, float, str]],
+        *,
+        respect_flow: bool = False,
+    ) -> tuple[list[tuple[list, float]], bool] | None:
+        """All flow-consistent simple paths from ``start`` to a target.
+
+        Returns ``([(edge_list, total_r), ...], truncated)`` or None.
+        Shares traversal rules with :meth:`_worst_path`.
+        """
+        adjacency: dict[str, list[tuple[str, float, str]]] = {}
+        for a, b, r, name in edges:
+            adjacency.setdefault(a, []).append((b, r, name))
+            adjacency.setdefault(b, []).append((a, r, name))
+        if start not in adjacency:
+            return None
+
+        netlist = self.netlist
+        paths: list[tuple[list, float]] = []
+        truncated = False
+        path: list[tuple[str, str, float, str]] = []
+        visited = {start}
+        groups_used: dict[int, str] = {}
+
+        def dfs(node: str, r_sum: float) -> None:
+            nonlocal truncated
+            if len(paths) >= self.max_paths:
+                truncated = True
+                return
+            if node in targets:
+                paths.append((list(path), r_sum))
+                return
+            for neighbor, r, name in adjacency.get(node, ()):
+                if neighbor in visited:
+                    continue
+                if not (
+                    neighbor in targets or not netlist.is_boundary(neighbor)
+                ):
+                    continue
+                if respect_flow and not self._conducts_toward(
+                    name, neighbor, node
+                ):
+                    continue
+                gate = netlist.device(name).gate
+                group = netlist.exclusive_group_of(gate)
+                if group is not None:
+                    used = groups_used.get(group)
+                    if used is not None and used != gate:
+                        continue
+                    fresh_group = used is None
+                    if fresh_group:
+                        groups_used[group] = gate
+                else:
+                    fresh_group = False
+                visited.add(neighbor)
+                path.append((node, neighbor, r, name))
+                dfs(neighbor, r_sum + r)
+                path.pop()
+                visited.discard(neighbor)
+                if fresh_group:
+                    del groups_used[group]
+
+        dfs(start, 0.0)
+        if not paths:
+            return None
+        return paths, truncated
+
+    def _clocked_switch_arcs(
+        self,
+        stage: Stage,
+        devices: list[Transistor],
+        active_clocks: frozenset[str] | None,
+    ):
+        """Clock-gated pass switches: clock rise lets data through.
+
+        The arc trigger is the clock; the output follows the data side, so
+        both transitions exist and the arc is non-inverting.
+        """
+        arcs = []
+        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
+        pass_fall = self._pass_edges(stage, devices, FALL, active_clocks)
+        for dev in devices:
+            if dev.kind is not DeviceKind.ENH:
+                continue
+            if dev.gate not in self.netlist.clocks:
+                continue
+            if self._is_precharge(dev):
+                continue
+            if self._clock_open(dev, active_clocks):
+                continue
+            source_side = self._driving_terminal(dev)
+            if source_side is None:
+                continue
+            receiving = dev.other_channel(source_side)
+            for output in stage.outputs | ({receiving} & stage.nodes):
+                rise = self._worst_tree_delay(
+                    start=output,
+                    targets={source_side},
+                    edges=pass_rise,
+                    must_include={dev.name},
+                    transition=RISE,
+                    root_override=source_side,
+                )
+                fall = self._worst_tree_delay(
+                    start=output,
+                    targets={source_side},
+                    edges=pass_fall,
+                    must_include={dev.name},
+                    transition=FALL,
+                    root_override=source_side,
+                )
+                if rise is None and fall is None:
+                    continue
+                arcs.append(
+                    StageArc(
+                        stage_index=stage.index,
+                        trigger=dev.gate,
+                        via="gate",
+                        output=output,
+                        inverting=False,
+                        rise=rise,
+                        fall=fall,
+                    )
+                )
+        return arcs
+
+    def _precharge_arcs(
+        self,
+        stage: Stage,
+        devices: list[Transistor],
+        active_clocks: frozenset[str] | None,
+    ):
+        """Clock-gated precharge devices: clock rise charges the node.
+
+        Precharge devices sharing one clock conduct *simultaneously*, so a
+        node with its own precharger never waits on a neighbour's: cross
+        arcs are generated only toward outputs without a same-clock
+        precharger, along paths that do not run through other same-clock
+        precharged nodes (their own devices shunt any longer path).
+        """
+        arcs = []
+        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
+        for dev in devices:
+            if not self._is_precharge(dev):
+                continue
+            if self._clock_open(dev, active_clocks):
+                continue
+            node = (
+                dev.source if dev.drain == self.netlist.vdd else dev.drain
+            )
+            siblings = {
+                (d.source if d.drain == self.netlist.vdd else d.drain)
+                for d in devices
+                if self._is_precharge(d)
+                and d.gate == dev.gate
+                and d.name != dev.name
+            }
+            filtered_edges = [
+                e
+                for e in pass_rise
+                if e[0] not in siblings and e[1] not in siblings
+            ]
+            r_pre = device_resistance(self.tech, dev, "precharge", RISE)
+            outputs = stage.outputs | ({node} & stage.nodes)
+            for output in outputs:
+                if output != node and output in siblings:
+                    continue  # it has its own (parallel) precharger
+                if output == node:
+                    spine = [(self.netlist.vdd, node, r_pre, dev.name)]
+                else:
+                    tail = self._worst_path(
+                        start=output,
+                        targets={node},
+                        edges=filtered_edges,
+                        must_include=set(),
+                    )
+                    if tail is None:
+                        continue
+                    path_edges, _ = tail
+                    spine = [(self.netlist.vdd, node, r_pre, dev.name)]
+                    spine.extend(
+                        (b, a, r, name)
+                        for (a, b, r, name) in reversed(path_edges)
+                    )
+                timing = self._timing_from_spine(
+                    spine,
+                    output,
+                    self._conduction_edges(stage, devices, RISE, active_clocks),
+                )
+                arcs.append(
+                    StageArc(
+                        stage_index=stage.index,
+                        trigger=dev.gate,
+                        via="gate",
+                        output=output,
+                        inverting=False,
+                        rise=timing,
+                        fall=None,
+                    )
+                )
+        return arcs
+
+    def _follower_arcs(
+        self,
+        stage: Stage,
+        devices: list[Transistor],
+        active_clocks: frozenset[str] | None,
+    ):
+        """Gated depletion followers (superbuffer output stages).
+
+        A depletion device with its channel to vdd and its gate driven by a
+        signal (not tied) charges its source when the gate rises: a
+        non-inverting rise-only arc from the gate.
+        """
+        arcs = []
+        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
+        for dev in devices:
+            if dev.kind is not DeviceKind.DEP or dev.is_load:
+                continue
+            if self.netlist.vdd not in dev.channel_nodes:
+                continue
+            node = dev.other_channel(self.netlist.vdd)
+            r_up = device_resistance(self.tech, dev, "pullup", RISE)
+            for output in stage.outputs | ({node} & stage.nodes):
+                if output == node:
+                    spine = [(self.netlist.vdd, node, r_up, dev.name)]
+                else:
+                    tail = self._worst_path(
+                        start=output,
+                        targets={node},
+                        edges=pass_rise,
+                        must_include=set(),
+                    )
+                    if tail is None:
+                        continue
+                    path_edges, _ = tail
+                    spine = [(self.netlist.vdd, node, r_up, dev.name)]
+                    spine.extend(
+                        (b, a, r, name)
+                        for (a, b, r, name) in reversed(path_edges)
+                    )
+                timing = self._timing_from_spine(spine, output, pass_rise)
+                arcs.append(
+                    StageArc(
+                        stage_index=stage.index,
+                        trigger=dev.gate,
+                        via="gate",
+                        output=output,
+                        inverting=False,
+                        rise=timing,
+                        fall=None,
+                    )
+                )
+        return arcs
+
+    def _select_arcs(
+        self,
+        stage: Stage,
+        devices: list[Transistor],
+        active_clocks: frozenset[str] | None,
+    ):
+        """Pass-select arcs: a switch's *gate* re-routes the output.
+
+        When a mux/shifter select rises, the output is newly connected to
+        its source and transitions toward the source's value -- a timing
+        path triggered by the select, not the source.  The arc's delay is
+        the worst transfer from any driving point (boundary injector or
+        pulled-up node) to the output through a path that includes a device
+        the select gates.  Non-inverting, both transitions (select fall is
+        a disconnect and launches nothing; charging it too is a small,
+        stated pessimism of the arc model).
+        """
+        pass_devices = [
+            d
+            for d in devices
+            if d.kind is DeviceKind.ENH
+            and not self.netlist.is_rail(d.source)
+            and not self.netlist.is_rail(d.drain)
+            and d.gate not in self.netlist.clocks
+            and not self._clock_open(d, active_clocks)
+            and (d.gate not in stage.nodes or d.gate in stage.outputs)
+        ]
+        if not pass_devices:
+            return []
+        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
+        pass_fall = self._pass_edges(stage, devices, FALL, active_clocks)
+        pulled_up = self._pulled_up_nodes(stage, devices)
+        targets = set(pulled_up)
+        for boundary in stage.boundary:
+            if not self.netlist.is_rail(boundary):
+                targets.add(boundary)
+        if not targets:
+            return []
+
+        arcs = []
+        triggers: dict[str, set[str]] = {}
+        for dev in pass_devices:
+            triggers.setdefault(dev.gate, set()).add(dev.name)
+        for trigger, gated in triggers.items():
+            for output in stage.outputs:
+                if output == trigger:
+                    continue
+                rise = self._worst_tree_delay(
+                    start=output,
+                    targets=targets,
+                    edges=pass_rise,
+                    must_include=gated,
+                    transition=RISE,
+                )
+                fall = self._worst_tree_delay(
+                    start=output,
+                    targets=targets,
+                    edges=pass_fall,
+                    must_include=gated,
+                    transition=FALL,
+                )
+                if rise is None and fall is None:
+                    continue
+                arcs.append(
+                    StageArc(
+                        stage_index=stage.index,
+                        trigger=trigger,
+                        via="gate",
+                        output=output,
+                        inverting=False,
+                        rise=rise,
+                        fall=fall,
+                    )
+                )
+        return arcs
+
+    def _channel_arcs(
+        self,
+        stage: Stage,
+        devices: list[Transistor],
+        active_clocks: frozenset[str] | None,
+    ):
+        """Signal injected at an externally driven boundary channel node."""
+        arcs = []
+        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
+        pass_fall = self._pass_edges(stage, devices, FALL, active_clocks)
+        for boundary in stage.boundary:
+            if self.netlist.is_rail(boundary):
+                continue
+            flows_in = any(
+                dev.flows_into(dev.other_channel(boundary))
+                or dev.flows_out_of(boundary)
+                for dev in self.netlist.channel_devices(boundary)
+                if dev.name in set(stage.device_names)
+            )
+            if not flows_in:
+                continue
+            for output in stage.outputs:
+                rise = self._worst_tree_delay(
+                    start=output,
+                    targets={boundary},
+                    edges=pass_rise,
+                    must_include=set(),
+                    transition=RISE,
+                    root_override=boundary,
+                )
+                fall = self._worst_tree_delay(
+                    start=output,
+                    targets={boundary},
+                    edges=pass_fall,
+                    must_include=set(),
+                    transition=FALL,
+                    root_override=boundary,
+                )
+                if rise is None and fall is None:
+                    continue
+                arcs.append(
+                    StageArc(
+                        stage_index=stage.index,
+                        trigger=boundary,
+                        via="channel",
+                        output=output,
+                        inverting=False,
+                        rise=rise,
+                        fall=fall,
+                    )
+                )
+        return arcs
+
+    # ------------------------------------------------------------------
+    # Conduction-edge construction.
+    # ------------------------------------------------------------------
+    def _is_precharge(self, dev: Transistor) -> bool:
+        return (
+            dev.kind is DeviceKind.ENH
+            and dev.gate in self.netlist.clocks
+            and self.netlist.vdd in dev.channel_nodes
+        )
+
+    def _pulled_up_nodes(
+        self, stage: Stage, devices: list[Transistor]
+    ) -> dict[str, float]:
+        """Stage nodes with depletion pull-ups -> combined resistance.
+
+        Includes both tied-gate loads and gated depletion followers
+        (superbuffer output stages): for worst-case rise both act as the
+        charging resistance from vdd.
+        """
+        result: dict[str, float] = {}
+        for dev in devices:
+            if dev.kind is not DeviceKind.DEP:
+                continue
+            if self.netlist.vdd not in dev.channel_nodes:
+                continue
+            node = dev.other_channel(self.netlist.vdd)
+            if node not in stage.nodes:
+                continue
+            r = device_resistance(self.tech, dev, "pullup", RISE)
+            if node in result:
+                # Parallel loads combine.
+                result[node] = 1.0 / (1.0 / result[node] + 1.0 / r)
+            else:
+                result[node] = r
+        return result
+
+    def _conduction_edges(
+        self,
+        stage: Stage,
+        devices: list[Transistor],
+        transition: str,
+        active_clocks: frozenset[str] | None,
+    ) -> list[tuple[str, str, float, str]]:
+        """Resistive edges usable on a discharge path (pulldowns + passes)."""
+        edges = []
+        for dev in devices:
+            if dev.kind is not DeviceKind.ENH:
+                continue
+            if self.netlist.vdd in dev.channel_nodes:
+                continue  # precharge / vdd switches never discharge
+            if self._clock_open(dev, active_clocks):
+                continue
+            if self.netlist.gnd in dev.channel_nodes:
+                r = device_resistance(self.tech, dev, "pulldown", transition)
+            else:
+                r = device_resistance(self.tech, dev, "pass", transition)
+            edges.append((dev.source, dev.drain, r, dev.name))
+        return edges
+
+    def _pass_edges(
+        self,
+        stage: Stage,
+        devices: list[Transistor],
+        transition: str,
+        active_clocks: frozenset[str] | None,
+    ) -> list[tuple[str, str, float, str]]:
+        """Resistive edges of the pass network only (no rail terminals)."""
+        edges = []
+        for dev in devices:
+            if dev.kind is not DeviceKind.ENH:
+                continue
+            if self.netlist.is_rail(dev.source) or self.netlist.is_rail(dev.drain):
+                continue
+            if self._clock_open(dev, active_clocks):
+                continue
+            r = device_resistance(self.tech, dev, "pass", transition)
+            edges.append((dev.source, dev.drain, r, dev.name))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Path search and RC evaluation.
+    # ------------------------------------------------------------------
+    def _conducts_toward(self, name: str, from_node: str, to_node: str) -> bool:
+        """True if device ``name`` can carry signal ``from_node -> to_node``.
+
+        Unresolved (UNKNOWN) devices are treated as bidirectional -- the
+        calculator must stay usable before flow inference has run.
+        """
+        dev = self.netlist.device(name)
+        from ..netlist import FlowDirection
+
+        if dev.flow is FlowDirection.UNKNOWN:
+            return True
+        return dev.flows_out_of(from_node)
+
+    def _worst_path(
+        self,
+        start: str,
+        targets: set[str],
+        edges: list[tuple[str, str, float, str]],
+        must_include: set[str],
+        *,
+        respect_flow: bool = True,
+    ) -> tuple[list[tuple[str, str, float, str]], bool] | None:
+        """Maximum-resistance flow-consistent path from ``start`` to a target.
+
+        Edges are ``(a, b, r, device_name)``; the path must use at least one
+        device from ``must_include`` (if non-empty).  The search walks
+        *backward* from the measured output toward the driving point, so a
+        hop from ``node`` to ``neighbor`` requires the device to conduct
+        signal ``neighbor -> node``; this is what prevents physically
+        meaningless paths that snake against the inferred signal flow.
+        One-hot assertions (:meth:`Netlist.add_exclusive_group`) prune
+        paths that would need two mutually exclusive switches closed.
+
+        Returns the edge list ordered from ``start`` toward the target and
+        a truncation flag, or None if no qualifying path exists.
+        """
+        adjacency: dict[str, list[tuple[str, float, str]]] = {}
+        for a, b, r, name in edges:
+            adjacency.setdefault(a, []).append((b, r, name))
+            adjacency.setdefault(b, []).append((a, r, name))
+        if start not in adjacency:
+            return None
+
+        netlist = self.netlist
+        best: list[tuple[str, str, float, str]] | None = None
+        best_r = -1.0
+        examined = 0
+        truncated = False
+        path: list[tuple[str, str, float, str]] = []
+        visited = {start}
+        groups_used: dict[int, str] = {}
+
+        def dfs(node: str, r_sum: float, included: bool) -> None:
+            nonlocal best, best_r, examined, truncated
+            if examined >= self.max_paths:
+                truncated = True
+                return
+            if node in targets:
+                examined += 1
+                if (included or not must_include) and r_sum > best_r:
+                    best_r = r_sum
+                    best = list(path)
+                return
+            for neighbor, r, name in adjacency.get(node, ()):
+                if neighbor in visited:
+                    continue
+                if not (
+                    neighbor in targets or not netlist.is_boundary(neighbor)
+                ):
+                    continue
+                if respect_flow and not self._conducts_toward(
+                    name, neighbor, node
+                ):
+                    continue
+                gate = netlist.device(name).gate
+                group = netlist.exclusive_group_of(gate)
+                if group is not None:
+                    used = groups_used.get(group)
+                    if used is not None and used != gate:
+                        continue
+                    fresh_group = used is None
+                    if fresh_group:
+                        groups_used[group] = gate
+                else:
+                    fresh_group = False
+                visited.add(neighbor)
+                path.append((node, neighbor, r, name))
+                dfs(neighbor, r_sum + r, included or name in must_include)
+                path.pop()
+                visited.discard(neighbor)
+                if fresh_group:
+                    del groups_used[group]
+
+        dfs(start, 0.0, False)
+        if best is None:
+            return None
+        return best, truncated
+
+    def _worst_tree_delay(
+        self,
+        start: str,
+        targets: set[str],
+        edges: list[tuple[str, str, float, str]],
+        must_include: set[str],
+        transition: str,
+        root_override: str | None = None,
+    ) -> ArcTiming | None:
+        """Worst path from ``start`` back to a target, evaluated as a tree.
+
+        The tree root is the reached target (the driving point); the path is
+        the spine, and every other conducting edge hangs capacitive
+        branches.
+        """
+        found = self._worst_path(start, targets, edges, must_include)
+        if found is None:
+            return None
+        path_edges, truncated = found
+        # path_edges run start -> target; the spine must run root -> start.
+        root = root_override or path_edges[-1][1]
+        spine = [
+            (b, a, r, name) for (a, b, r, name) in reversed(path_edges)
+        ]
+        timing = self._timing_from_spine(spine, start, edges)
+        return replace(timing, truncated=timing.truncated or truncated)
+
+    def _timing_from_spine(
+        self,
+        spine: list[tuple[str, str, float, str]],
+        output: str,
+        branch_edges: list[tuple[str, str, float, str]],
+    ) -> ArcTiming:
+        """Build the RC tree for a spine and evaluate the configured metric."""
+        root = spine[0][0]
+        tree = RCTree(root)
+        used_devices = []
+        for parent, child, r, name in spine:
+            tree.add_child(parent, child, r, self._node_cap(child))
+            used_devices.append(name)
+
+        # Attach capacitive branches: BFS from spine nodes over remaining
+        # conducting edges that stay inside the circuit (never through
+        # rails or boundary nodes, which are incompressible sources).
+        # Branch traversal follows signal flow outward from the spine and
+        # honours one-hot assertions against the gates used on the spine.
+        spine_groups: dict[int, str] = {}
+        for _p, _c, _r, name in spine:
+            if name in self.netlist.devices:
+                gate = self.netlist.device(name).gate
+                group = self.netlist.exclusive_group_of(gate)
+                if group is not None:
+                    spine_groups[group] = gate
+        adjacency: dict[str, list[tuple[str, float, str]]] = {}
+        for a, b, r, name in branch_edges:
+            adjacency.setdefault(a, []).append((b, r, name))
+            adjacency.setdefault(b, []).append((a, r, name))
+        frontier = [child for _p, child, _r, _n in spine]
+        while frontier:
+            current = frontier.pop(0)
+            for neighbor, r, name in adjacency.get(current, ()):
+                if neighbor in tree or self.netlist.is_boundary(neighbor):
+                    continue
+                if not self._conducts_toward(name, current, neighbor):
+                    continue
+                gate = self.netlist.device(name).gate
+                group = self.netlist.exclusive_group_of(gate)
+                if group is not None and spine_groups.get(group, gate) != gate:
+                    continue
+                tree.add_child(current, neighbor, r, self._node_cap(neighbor))
+                frontier.append(neighbor)
+
+        tau = elmore_delay(tree, output)
+        k = self._k_factor(root)
+        if root == self.netlist.gnd:
+            # Ratioed fight: the depletion pull-up keeps sourcing current
+            # while the pull-down path discharges the node, stretching the
+            # fall.  First-order factor R_up / (R_up - R_down), clamped --
+            # a legal ratio guarantees R_up >> R_down, and ERC catches the
+            # rest.
+            k *= self._ratio_derate(output, tree.r_root(output))
+        if self.model == "elmore":
+            delay = k * tau
+        elif self.model == "lumped":
+            delay = k * lumped_delay(tree, output)
+        elif self.model == "pr-min":
+            delay = pr_bounds(tree, output, _CROSSING).lower * (
+                k / math.log(2.0)
+            )
+        else:  # pr-max
+            delay = pr_bounds(tree, output, _CROSSING).upper * (
+                k / math.log(2.0)
+            )
+        return ArcTiming(delay=delay, tau=tau, path=tuple(used_devices))
+
+    def _ratio_derate(self, output: str, r_down: float) -> float:
+        """Fall-delay stretch from the pull-up fighting the discharge."""
+        r_up = None
+        for dev in self.netlist.channel_devices(output):
+            if dev.kind is not DeviceKind.DEP:
+                continue
+            if dev.other_channel(output) != self.netlist.vdd:
+                continue
+            r = device_resistance(self.tech, dev, "pullup", RISE)
+            r_up = r if r_up is None else 1.0 / (1.0 / r_up + 1.0 / r)
+        if r_up is None or r_up <= r_down:
+            return 1.5 if r_up is not None else 1.0
+        return min(1.5, r_up / (r_up - r_down))
+
+    def _k_factor(self, root: str) -> float:
+        """Calibration factor: rising transitions (from vdd) are slower."""
+        if root == self.netlist.vdd:
+            return self.tech.k_rise
+        if root == self.netlist.gnd:
+            return self.tech.k_fall
+        # Pass transfer from a driven node: between the two; use rise factor
+        # (the conservative choice).
+        return self.tech.k_rise
+
+    def _node_cap(self, name: str) -> float:
+        if self.netlist.is_rail(name):
+            return 0.0
+        cached = self._cap_cache.get(name)
+        if cached is None:
+            cached = self.netlist.node_capacitance(name, self.tech)
+            self._cap_cache[name] = cached
+        return cached
+
+    def _rise_via_pullup(
+        self,
+        stage: Stage,
+        devices: list[Transistor],
+        output: str,
+        pulled_up: dict[str, float],
+        pass_edges: list[tuple[str, str, float, str]],
+    ) -> ArcTiming | None:
+        """Worst rise of ``output``: vdd -> load -> pass path -> output."""
+        best: ArcTiming | None = None
+        for node, r_load in pulled_up.items():
+            if node == output:
+                spine = [(self.netlist.vdd, node, r_load, f"load@{node}")]
+            else:
+                tail = self._worst_path(
+                    start=output,
+                    targets={node},
+                    edges=pass_edges,
+                    must_include=set(),
+                )
+                if tail is None:
+                    continue
+                path_edges, _trunc = tail
+                spine = [(self.netlist.vdd, node, r_load, f"load@{node}")]
+                spine.extend(
+                    (b, a, r, name) for (a, b, r, name) in reversed(path_edges)
+                )
+            timing = self._timing_from_spine(spine, output, pass_edges)
+            if best is None or timing.delay > best.delay:
+                best = timing
+        return best
+
+    def _driving_terminal(self, dev: Transistor) -> str | None:
+        """The channel terminal signal flows out of (None if unresolved)."""
+        if dev.flows_out_of(dev.source) and not dev.flows_out_of(dev.drain):
+            return dev.source
+        if dev.flows_out_of(dev.drain) and not dev.flows_out_of(dev.source):
+            return dev.drain
+        # Bidirectional: pick the terminal that looks driven (pull-up or
+        # boundary); fall back to the source.
+        for terminal in dev.channel_nodes:
+            if self.netlist.is_boundary(terminal) or self.netlist.has_pullup(
+                terminal
+            ):
+                return terminal
+        return dev.source
+
+
+def _merge_arcs(arcs: list[StageArc]) -> list[StageArc]:
+    """Deduplicate arcs by (trigger, output, inverting), keeping worst."""
+    merged: dict[tuple[str, str, bool], StageArc] = {}
+    for arc in arcs:
+        key = (arc.trigger, arc.output, arc.inverting)
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = arc
+            continue
+        merged[key] = StageArc(
+            stage_index=arc.stage_index,
+            trigger=arc.trigger,
+            via="gate" if "gate" in (arc.via, existing.via) else arc.via,
+            output=arc.output,
+            inverting=arc.inverting,
+            rise=_worse(existing.rise, arc.rise),
+            fall=_worse(existing.fall, arc.fall),
+        )
+    return list(merged.values())
+
+
+def _worse(a: ArcTiming | None, b: ArcTiming | None) -> ArcTiming | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a.delay >= b.delay else b

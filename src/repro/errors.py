@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Subclasses identify the subsystem that failed:
+netlist construction, ``.sim`` parsing, electrical rules, stage analysis,
+signal-flow inference, timing analysis, or simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetlistError(ReproError):
+    """A netlist is malformed or an illegal construction was attempted."""
+
+
+class SimFormatError(NetlistError):
+    """A ``.sim`` file could not be parsed or written."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class ElectricalRuleError(NetlistError):
+    """An electrical rules check (ERC) failed on a netlist."""
+
+
+class StageError(ReproError):
+    """Stage decomposition or node classification failed."""
+
+
+class FlowError(ReproError):
+    """Signal-flow direction inference failed or was contradictory."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failed (e.g. unbroken combinational cycle)."""
+
+
+class ClockingError(TimingError):
+    """A clock schema is inconsistent or a clocking constraint is violated."""
+
+
+class SimulationError(ReproError):
+    """A circuit simulation (switch-level or SPICE-lite) failed."""
+
+
+class ConvergenceError(SimulationError):
+    """The SPICE-lite Newton iteration failed to converge."""

@@ -1,0 +1,13 @@
+"""Signal-flow direction inference for pass-transistor networks.
+
+Public surface:
+
+* :func:`infer_flow` -- structural inference over a netlist (in place)
+* :class:`FlowReport` -- coverage accounting (experiment R-T4)
+* :class:`Hint`, :class:`HintSet` -- designer annotations
+"""
+
+from .direction import FlowReport, infer_flow
+from .hints import Hint, HintSet
+
+__all__ = ["infer_flow", "FlowReport", "Hint", "HintSet"]

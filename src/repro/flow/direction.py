@@ -1,0 +1,278 @@
+"""Signal-flow direction inference for pass-transistor networks.
+
+nMOS designs route data through enhancement pass transistors (buses, muxes,
+barrel shifters, latch switches).  A static timing analyzer must know which
+way signal flows through each pass channel, or every pass network becomes an
+unanalyzable bidirectional blob.  TV's answer -- one of the paper's central
+contributions -- is *structural inference*: a small set of rules decides the
+direction of nearly every pass device from the shape of the netlist alone,
+leaving only a handful for the designer to annotate.
+
+Rules (applied to a fixpoint):
+
+``rail``       devices with a rail terminal carry drive out of the rail
+               (pull-downs discharge, precharge devices charge)
+``boundary``   an externally driven node (primary input, clock) drives its
+               pass channels outward; a pure primary output receives
+``driven``     a locally driven node (depletion pull-up present, i.e. a
+               restoring gate output) drives its pass channels outward;
+               two driven terminals make the device bidirectional
+``sink``       a terminal that only feeds gates (and has no other channel
+               or local drive) receives
+``through``    if every *other* resolved channel of an undriven node flows
+               into it, its remaining channels flow out (the signal must
+               pass through); symmetrically, if every other channel flows
+               out, the remaining one flows in
+``hint``       designer annotations (:mod:`repro.flow.hints`) win outright
+
+Unresolved devices after the fixpoint are assigned ``BIDIR`` --
+pessimistically analyzable both ways -- and reported, reproducing the
+paper's accounting of how much of a real chip the rules cover (experiment
+R-T4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import FlowError
+from ..netlist import DeviceKind, FlowDirection, Netlist, Transistor
+
+__all__ = ["FlowReport", "infer_flow"]
+
+
+@dataclass
+class FlowReport:
+    """Outcome of signal-flow inference over one netlist.
+
+    ``by_rule`` counts devices resolved by each rule name; ``unresolved``
+    lists devices that fell back to BIDIR; ``conflicts`` lists devices where
+    two rules demanded opposite directions (also left BIDIR).
+    """
+
+    total_devices: int = 0
+    pass_candidates: int = 0
+    by_rule: Counter = field(default_factory=Counter)
+    hinted: list[str] = field(default_factory=list)
+    unresolved: list[str] = field(default_factory=list)
+    conflicts: list[str] = field(default_factory=list)
+
+    @property
+    def auto_resolved(self) -> int:
+        """Pass devices resolved by structural rules (not hints)."""
+        return self.pass_candidates - len(self.hinted) - len(self.unresolved)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of pass candidates resolved without hints."""
+        if self.pass_candidates == 0:
+            return 1.0
+        return self.auto_resolved / self.pass_candidates
+
+    def summary(self) -> str:
+        """Multi-line coverage report (the R-T4 accounting)."""
+        lines = [
+            f"signal-flow inference: {self.pass_candidates} pass devices "
+            f"of {self.total_devices} total",
+            f"  auto-resolved : {self.auto_resolved} "
+            f"({100.0 * self.coverage:.1f}%)",
+            f"  hinted        : {len(self.hinted)}",
+            f"  unresolved    : {len(self.unresolved)} (treated as bidir)",
+        ]
+        if self.conflicts:
+            lines.append(f"  conflicts     : {len(self.conflicts)}")
+        for rule, count in sorted(self.by_rule.items()):
+            lines.append(f"    rule {rule:<9}: {count}")
+        return "\n".join(lines)
+
+
+def infer_flow(netlist: Netlist, *, reset: bool = False) -> FlowReport:
+    """Assign a flow direction to every device of ``netlist`` in place.
+
+    Pre-set directions on devices (from :meth:`Netlist.set_flow_hint` or a
+    previous run) are respected as hints unless ``reset`` is true.  Returns
+    a :class:`FlowReport`; raises :class:`FlowError` only on internal
+    inconsistency, never on mere ambiguity (ambiguous devices become BIDIR).
+    """
+    report = FlowReport(total_devices=len(netlist.devices))
+
+    if reset:
+        for dev in netlist.devices.values():
+            dev.flow = FlowDirection.UNKNOWN
+
+    pass_candidates = [
+        d
+        for d in netlist.devices.values()
+        if d.kind is DeviceKind.ENH
+        and not netlist.is_rail(d.source)
+        and not netlist.is_rail(d.drain)
+    ]
+    report.pass_candidates = len(pass_candidates)
+    report.hinted = [d.name for d in pass_candidates if d.flow.resolved]
+
+    _resolve_rail_devices(netlist, report)
+    _resolve_boundary_and_driven(netlist, pass_candidates, report)
+    _fixpoint_through(netlist, pass_candidates, report)
+
+    for dev in pass_candidates:
+        if not dev.flow.resolved:
+            dev.flow = FlowDirection.BIDIR
+            report.unresolved.append(dev.name)
+
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rule implementations.
+# ----------------------------------------------------------------------
+def _set_flow(
+    dev: Transistor,
+    out_of: str,
+    rule: str,
+    report: FlowReport,
+) -> bool:
+    """Assign flow out of terminal ``out_of``; detect conflicts.
+
+    Returns True if the assignment changed the device.
+    """
+    wanted = (
+        FlowDirection.S_TO_D if out_of == dev.source else FlowDirection.D_TO_S
+    )
+    if dev.flow is FlowDirection.UNKNOWN:
+        dev.flow = wanted
+        report.by_rule[rule] += 1
+        return True
+    if dev.flow in (wanted, FlowDirection.BIDIR):
+        return False
+    # Opposite direction already assigned: a genuine conflict.
+    dev.flow = FlowDirection.BIDIR
+    report.conflicts.append(dev.name)
+    return True
+
+
+def _resolve_rail_devices(netlist: Netlist, report: FlowReport) -> None:
+    """Rule ``rail``: drive flows out of rail terminals."""
+    for dev in netlist.devices.values():
+        if dev.flow.resolved:
+            continue
+        if netlist.is_rail(dev.source):
+            _set_flow(dev, dev.source, "rail", report)
+        elif netlist.is_rail(dev.drain):
+            _set_flow(dev, dev.drain, "rail", report)
+
+
+def _locally_driven(netlist: Netlist, node: str) -> bool:
+    """A node with static local drive: pull-up, follower, or precharge."""
+    if netlist.has_pullup(node):
+        return True
+    for dev in netlist.channel_devices(node):
+        other_is_vdd = dev.other_channel(node) == netlist.vdd
+        if dev.kind is DeviceKind.DEP and other_is_vdd:
+            return True  # gated depletion follower (superbuffer output)
+        if (
+            dev.kind is DeviceKind.ENH
+            and dev.gate in netlist.clocks
+            and other_is_vdd
+        ):
+            return True
+    return False
+
+
+def _resolve_boundary_and_driven(
+    netlist: Netlist,
+    pass_candidates: list[Transistor],
+    report: FlowReport,
+) -> None:
+    """Rules ``boundary``, ``driven``, and ``sink``."""
+    for dev in pass_candidates:
+        if dev.flow.resolved:
+            continue
+        s, d = dev.source, dev.drain
+        s_drives = _terminal_drives(netlist, s)
+        d_drives = _terminal_drives(netlist, d)
+        if s_drives and d_drives:
+            dev.flow = FlowDirection.BIDIR
+            report.by_rule["driven"] += 1
+            continue
+        if s_drives:
+            _set_flow(dev, s, "driven" if _locally_driven(netlist, s) else "boundary", report)
+            continue
+        if d_drives:
+            _set_flow(dev, d, "driven" if _locally_driven(netlist, d) else "boundary", report)
+            continue
+        # Sink rule: a terminal with no other channel device, no drive, that
+        # only feeds gates or is a primary output, must receive.
+        if _is_pure_sink(netlist, s, dev):
+            _set_flow(dev, d, "sink", report)
+        elif _is_pure_sink(netlist, d, dev):
+            _set_flow(dev, s, "sink", report)
+
+
+def _terminal_drives(netlist: Netlist, node: str) -> bool:
+    """True if the node is a source of signal by itself."""
+    if node in netlist.inputs or node in netlist.clocks:
+        return True
+    return _locally_driven(netlist, node)
+
+
+def _is_pure_sink(netlist: Netlist, node: str, via: Transistor) -> bool:
+    if netlist.is_boundary(node):
+        return False
+    others = [d for d in netlist.channel_devices(node) if d.name != via.name]
+    if others:
+        return False
+    return bool(netlist.gate_loads(node)) or node in netlist.outputs
+
+
+def _fixpoint_through(
+    netlist: Netlist,
+    pass_candidates: list[Transistor],
+    report: FlowReport,
+) -> None:
+    """Rule ``through``, iterated to a fixpoint.
+
+    For an undriven internal node, signal conservation applies: if every
+    resolved channel flows in, unresolved channels must flow out, and if
+    every resolved channel flows out, a single unresolved channel must flow
+    in.
+    """
+    changed = True
+    guard = 0
+    limit = 2 * len(netlist.devices) + 10
+    while changed:
+        guard += 1
+        if guard > limit:
+            raise FlowError(
+                "signal-flow fixpoint failed to converge "
+                f"(> {limit} sweeps) -- internal error"
+            )
+        changed = False
+        for dev in pass_candidates:
+            if dev.flow.resolved:
+                continue
+            for node in dev.channel_nodes:
+                if netlist.is_boundary(node) or _terminal_drives(netlist, node):
+                    continue
+                siblings = [
+                    d
+                    for d in netlist.channel_devices(node)
+                    if d.name != dev.name
+                ]
+                if not siblings:
+                    continue
+                if all(d.flow.resolved for d in siblings):
+                    if all(d.flows_into(node) for d in siblings):
+                        # All signal arrives here; this device carries it on.
+                        if _set_flow(dev, node, "through", report):
+                            changed = True
+                        break
+                    unresolved_out = [
+                        d for d in siblings if d.flows_out_of(node)
+                    ]
+                    if len(unresolved_out) == len(siblings):
+                        # Everything else leaves: signal must enter here.
+                        other = dev.other_channel(node)
+                        if _set_flow(dev, other, "through", report):
+                            changed = True
+                        break

@@ -1,0 +1,76 @@
+"""Designer hints for signal-flow inference.
+
+TV accepted a small annotation file naming the pass transistors whose
+direction the structural rules could not decide (bidirectional buses being
+the classic case).  :class:`HintSet` reproduces that mechanism: a list of
+``(pattern, direction)`` pairs applied to device names, with ``fnmatch``
+glob patterns so a whole bus (``"bus.sw*"``) can be annotated in one line.
+
+Hints are applied *before* :func:`repro.flow.infer_flow`, which then treats
+the pinned devices as resolved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+from ..errors import FlowError
+from ..netlist import FlowDirection, Netlist
+
+__all__ = ["Hint", "HintSet"]
+
+
+@dataclass(frozen=True)
+class Hint:
+    """One hint: devices matching ``pattern`` flow in ``direction``.
+
+    ``direction`` accepts a :class:`FlowDirection` or one of the spellings
+    ``"s->d"``, ``"d->s"``, ``"bidir"``.
+    """
+
+    pattern: str
+    direction: FlowDirection
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise FlowError("hint pattern must be non-empty")
+        object.__setattr__(self, "direction", FlowDirection(self.direction))
+        if self.direction is FlowDirection.UNKNOWN:
+            raise FlowError("a hint cannot assign UNKNOWN")
+
+
+@dataclass
+class HintSet:
+    """An ordered collection of hints (later hints win on overlap)."""
+
+    hints: list[Hint] = field(default_factory=list)
+
+    def add(self, pattern: str, direction: FlowDirection | str) -> "HintSet":
+        """Append a hint; returns self for chaining."""
+        self.hints.append(Hint(pattern, FlowDirection(direction)))
+        return self
+
+    def apply(self, netlist: Netlist) -> int:
+        """Pin matching devices' flow in place; return devices touched.
+
+        Raises :class:`FlowError` if any hint matches nothing -- a stale
+        hint file is a real design-flow bug worth surfacing.
+        """
+        touched: set[str] = set()
+        for hint in self.hints:
+            matched = False
+            for name, dev in netlist.devices.items():
+                if fnmatchcase(name, hint.pattern):
+                    dev.flow = hint.direction
+                    touched.add(name)
+                    matched = True
+            if not matched:
+                raise FlowError(
+                    f"flow hint {hint.pattern!r} matched no device in "
+                    f"netlist {netlist.name!r}"
+                )
+        return len(touched)
+
+    def __len__(self) -> int:
+        return len(self.hints)

@@ -1,0 +1,34 @@
+"""Transistor-level nMOS netlist substrate.
+
+Public surface:
+
+* :class:`Netlist` -- the circuit container and builder API
+* :class:`Node`, :class:`Transistor`, :class:`DeviceKind`,
+  :class:`FlowDirection` -- primitive components
+* :mod:`repro.netlist.simfmt` -- ``.sim`` interchange-format codec
+  (:func:`sim_dumps`, :func:`sim_loads`, :func:`sim_dump`, :func:`sim_load`)
+* :func:`check`, :func:`validate`, :class:`Violation` -- electrical rules
+"""
+
+from .components import DeviceKind, FlowDirection, Node, Transistor
+from .netlist import Netlist
+from .simfmt import dump as sim_dump
+from .simfmt import dumps as sim_dumps
+from .simfmt import load as sim_load
+from .simfmt import loads as sim_loads
+from .validate import Violation, check, validate
+
+__all__ = [
+    "Netlist",
+    "Node",
+    "Transistor",
+    "DeviceKind",
+    "FlowDirection",
+    "sim_dump",
+    "sim_dumps",
+    "sim_load",
+    "sim_loads",
+    "Violation",
+    "check",
+    "validate",
+]

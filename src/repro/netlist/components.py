@@ -1,0 +1,169 @@
+"""Primitive netlist components: nodes and transistors.
+
+An nMOS netlist is a bipartite structure of electrical *nodes* and MOS
+*transistors*.  Each transistor has three terminals -- gate, source, drain --
+naming nodes.  Two device kinds exist in an nMOS depletion-load process:
+
+``enh``
+    Enhancement-mode device (Vt > 0): used as pull-downs in restoring logic
+    and as pass transistors / transmission switches.
+
+``dep``
+    Depletion-mode device (Vt < 0, always conducting): used as the pull-up
+    load of restoring logic, conventionally with its gate tied to its source
+    so it behaves as a two-terminal nonlinear resistor.
+
+Source and drain of a MOS device are physically symmetric; the netlist keeps
+the two names so that signal-flow inference (:mod:`repro.flow`) can express a
+direction, but nothing in the electrical model distinguishes them until a
+direction is assigned.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceKind", "FlowDirection", "Node", "Transistor"]
+
+
+class DeviceKind(str, enum.Enum):
+    """MOS device kind in a depletion-load nMOS process."""
+
+    ENH = "enh"
+    DEP = "dep"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class FlowDirection(enum.Enum):
+    """Direction of signal flow through a device's channel.
+
+    Assigned by :mod:`repro.flow`; ``UNKNOWN`` devices that survive inference
+    are treated pessimistically as ``BIDIR``.
+    """
+
+    UNKNOWN = "unknown"
+    S_TO_D = "s->d"
+    D_TO_S = "d->s"
+    BIDIR = "bidir"
+
+    @property
+    def resolved(self) -> bool:
+        """True if the direction has been decided (including BIDIR)."""
+        return self is not FlowDirection.UNKNOWN
+
+    def reversed(self) -> "FlowDirection":
+        """The opposite direction (BIDIR and UNKNOWN are self-inverse)."""
+        if self is FlowDirection.S_TO_D:
+            return FlowDirection.D_TO_S
+        if self is FlowDirection.D_TO_S:
+            return FlowDirection.S_TO_D
+        return self
+
+
+@dataclass
+class Node:
+    """An electrical node.
+
+    ``cap`` is the *explicit* wiring capacitance attached to the node, in
+    farads.  The total electrical capacitance of a node also includes the
+    gate and diffusion capacitances of attached devices; use
+    :meth:`repro.netlist.Netlist.node_capacitance` for that figure.
+    """
+
+    name: str
+    cap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        if self.cap < 0:
+            raise ValueError(f"node {self.name!r}: capacitance must be >= 0")
+
+
+@dataclass
+class Transistor:
+    """A MOS transistor.
+
+    ``w`` and ``l`` are drawn channel width and length in metres.  ``flow``
+    records the inferred or hinted signal-flow direction through the channel;
+    it defaults to UNKNOWN and is filled in by :mod:`repro.flow`.
+    """
+
+    name: str
+    kind: DeviceKind
+    gate: str
+    source: str
+    drain: str
+    w: float
+    l: float
+    flow: FlowDirection = FlowDirection.UNKNOWN
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("transistor name must be non-empty")
+        if self.w <= 0 or self.l <= 0:
+            raise ValueError(
+                f"transistor {self.name!r}: geometry must be positive "
+                f"(w={self.w}, l={self.l})"
+            )
+        if self.source == self.drain:
+            raise ValueError(
+                f"transistor {self.name!r}: source and drain are the same "
+                f"node {self.source!r}"
+            )
+        self.kind = DeviceKind(self.kind)
+
+    @property
+    def channel_nodes(self) -> tuple[str, str]:
+        """The two channel terminals, ``(source, drain)``."""
+        return (self.source, self.drain)
+
+    def other_channel(self, node: str) -> str:
+        """Given one channel terminal name, return the other one."""
+        if node == self.source:
+            return self.drain
+        if node == self.drain:
+            return self.source
+        raise ValueError(
+            f"node {node!r} is not a channel terminal of {self.name!r}"
+        )
+
+    def touches_channel(self, node: str) -> bool:
+        """True if ``node`` is this device's source or drain."""
+        return node == self.source or node == self.drain
+
+    def flows_out_of(self, node: str) -> bool:
+        """True if the assigned flow direction carries signal out of ``node``.
+
+        BIDIR devices flow out of both terminals; UNKNOWN devices flow out of
+        neither (callers should resolve flow first, or treat UNKNOWN as BIDIR
+        explicitly).
+        """
+        if self.flow is FlowDirection.BIDIR:
+            return self.touches_channel(node)
+        if self.flow is FlowDirection.S_TO_D:
+            return node == self.source
+        if self.flow is FlowDirection.D_TO_S:
+            return node == self.drain
+        return False
+
+    def flows_into(self, node: str) -> bool:
+        """True if the assigned flow direction carries signal into ``node``."""
+        if self.flow is FlowDirection.BIDIR:
+            return self.touches_channel(node)
+        if self.flow is FlowDirection.S_TO_D:
+            return node == self.drain
+        if self.flow is FlowDirection.D_TO_S:
+            return node == self.source
+        return False
+
+    @property
+    def is_load(self) -> bool:
+        """True for the conventional depletion load (gate tied to a channel
+        terminal), the pull-up of restoring nMOS logic."""
+        return self.kind is DeviceKind.DEP and (
+            self.gate == self.source or self.gate == self.drain
+        )

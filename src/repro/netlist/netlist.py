@@ -1,0 +1,471 @@
+"""The :class:`Netlist` container: a transistor-level nMOS circuit.
+
+A netlist owns a set of :class:`~repro.netlist.components.Node` objects and a
+set of :class:`~repro.netlist.components.Transistor` objects, plus the
+*boundary declarations* that a timing analyzer needs and that a raw layout
+extract does not carry: which nodes are primary inputs, primary outputs, and
+clocks (with their phase).
+
+Construction is incremental through the ``add_*`` methods, which is how the
+circuit generators in :mod:`repro.circuits` build blocks, and whole
+sub-netlists can be embedded with :meth:`Netlist.embed`, which is how
+composite designs (e.g. the MIPS-like datapath) are assembled.
+
+Conventions
+-----------
+* The power rails are the nodes named by :attr:`Netlist.vdd` and
+  :attr:`Netlist.gnd` (default ``"vdd"`` / ``"gnd"``).  They always exist.
+* Node and device names are arbitrary non-empty strings; hierarchical names
+  use ``.`` separators by convention (``alu.add.c3``).
+* All electrical quantities are SI (farads, metres).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import NetlistError
+from ..tech import Technology, NMOS4
+from .components import DeviceKind, FlowDirection, Node, Transistor
+
+__all__ = ["Netlist", "PortMap"]
+
+PortMap = Mapping[str, str]
+
+
+class Netlist:
+    """A transistor-level nMOS circuit with boundary declarations."""
+
+    def __init__(
+        self,
+        name: str = "top",
+        *,
+        tech: Technology = NMOS4,
+        vdd: str = "vdd",
+        gnd: str = "gnd",
+    ):
+        if vdd == gnd:
+            raise NetlistError("vdd and gnd must be distinct nodes")
+        self.name = name
+        self.tech = tech
+        self.vdd = vdd
+        self.gnd = gnd
+
+        self._nodes: dict[str, Node] = {}
+        self._devices: dict[str, Transistor] = {}
+        self._inputs: set[str] = set()
+        self._outputs: set[str] = set()
+        self._clocks: dict[str, str] = {}  # node name -> phase label
+        self._exclusive_groups: list[frozenset[str]] = []
+        self._exclusive_of: dict[str, int] = {}  # node -> group index
+
+        # Adjacency indices, maintained incrementally.
+        self._channel_index: dict[str, list[Transistor]] = {}
+        self._gate_index: dict[str, list[Transistor]] = {}
+
+        self._auto_device = 0
+        self._auto_node = 0
+
+        self.add_node(vdd)
+        self.add_node(gnd)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> dict[str, Node]:
+        """Mapping of node name to :class:`Node` (do not mutate directly)."""
+        return self._nodes
+
+    @property
+    def devices(self) -> dict[str, Transistor]:
+        """Mapping of device name to :class:`Transistor`."""
+        return self._devices
+
+    @property
+    def inputs(self) -> frozenset[str]:
+        """Declared primary input nodes."""
+        return frozenset(self._inputs)
+
+    @property
+    def outputs(self) -> frozenset[str]:
+        """Declared primary output nodes."""
+        return frozenset(self._outputs)
+
+    @property
+    def clocks(self) -> dict[str, str]:
+        """Declared clock nodes, mapping node name to phase label."""
+        return dict(self._clocks)
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __contains__(self, node_name: str) -> bool:
+        return node_name in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Netlist({self.name!r}: {len(self._nodes)} nodes, "
+            f"{len(self._devices)} devices)"
+        )
+
+    def is_rail(self, node_name: str) -> bool:
+        """True if the node is a power rail (vdd or gnd)."""
+        return node_name == self.vdd or node_name == self.gnd
+
+    def is_boundary(self, node_name: str) -> bool:
+        """True for rails, primary inputs, and clocks: externally driven."""
+        return (
+            self.is_rail(node_name)
+            or node_name in self._inputs
+            or node_name in self._clocks
+        )
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name, raising :class:`NetlistError` if absent."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetlistError(
+                f"netlist {self.name!r} has no node {name!r}"
+            ) from None
+
+    def device(self, name: str) -> Transistor:
+        """Look up a device by name, raising :class:`NetlistError` if absent."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise NetlistError(
+                f"netlist {self.name!r} has no device {name!r}"
+            ) from None
+
+    def channel_devices(self, node_name: str) -> list[Transistor]:
+        """Devices whose source or drain is ``node_name``."""
+        return list(self._channel_index.get(node_name, ()))
+
+    def gate_loads(self, node_name: str) -> list[Transistor]:
+        """Devices whose gate is ``node_name``."""
+        return list(self._gate_index.get(node_name, ()))
+
+    def pullups_at(self, node_name: str) -> list[Transistor]:
+        """Depletion loads attached to (pulling up) ``node_name``."""
+        return [
+            t
+            for t in self._channel_index.get(node_name, ())
+            if t.is_load and t.other_channel(node_name) == self.vdd
+        ]
+
+    def has_pullup(self, node_name: str) -> bool:
+        """True if a depletion load pulls the node toward Vdd."""
+        return bool(self.pullups_at(node_name))
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, cap: float = 0.0) -> Node:
+        """Create a node (or add wiring capacitance to an existing one)."""
+        existing = self._nodes.get(name)
+        if existing is not None:
+            existing.cap += cap
+            return existing
+        node = Node(name, cap)
+        self._nodes[name] = node
+        return node
+
+    def fresh_node(self, prefix: str = "n", cap: float = 0.0) -> Node:
+        """Create a node with a generated unique name."""
+        while True:
+            self._auto_node += 1
+            name = f"{prefix}{self._auto_node}"
+            if name not in self._nodes:
+                return self.add_node(name, cap)
+
+    def add_cap(self, node_name: str, cap: float) -> None:
+        """Add wiring capacitance to an existing node."""
+        if cap < 0:
+            raise NetlistError(f"capacitance must be >= 0, got {cap}")
+        self.node(node_name).cap += cap
+
+    def add_transistor(
+        self,
+        kind: DeviceKind | str,
+        gate: str,
+        source: str,
+        drain: str,
+        *,
+        w: float | None = None,
+        l: float | None = None,
+        name: str | None = None,
+        flow: FlowDirection = FlowDirection.UNKNOWN,
+    ) -> Transistor:
+        """Add a transistor, auto-creating its terminal nodes.
+
+        ``w`` and ``l`` default to the technology's minimum device.
+        """
+        kind = DeviceKind(kind)
+        if w is None:
+            w = self.tech.min_width()
+        if l is None:
+            l = self.tech.min_length()
+        if name is None:
+            self._auto_device += 1
+            name = f"m{self._auto_device}"
+        if name in self._devices:
+            raise NetlistError(f"duplicate device name {name!r}")
+        for terminal in (gate, source, drain):
+            self.add_node(terminal)
+        t = Transistor(name, kind, gate, source, drain, w, l, flow)
+        self._devices[name] = t
+        self._channel_index.setdefault(source, []).append(t)
+        self._channel_index.setdefault(drain, []).append(t)
+        self._gate_index.setdefault(gate, []).append(t)
+        return t
+
+    def add_enh(
+        self,
+        gate: str,
+        source: str,
+        drain: str,
+        *,
+        w: float | None = None,
+        l: float | None = None,
+        name: str | None = None,
+        flow: FlowDirection = FlowDirection.UNKNOWN,
+    ) -> Transistor:
+        """Add an enhancement-mode device."""
+        return self.add_transistor(
+            DeviceKind.ENH, gate, source, drain, w=w, l=l, name=name, flow=flow
+        )
+
+    def add_pullup(
+        self,
+        node_name: str,
+        *,
+        w: float | None = None,
+        l: float | None = None,
+        name: str | None = None,
+    ) -> Transistor:
+        """Add a conventional depletion load pulling ``node_name`` to Vdd.
+
+        The load's gate is tied to its source (the pulled-up node), the
+        standard nMOS configuration.  The default geometry is the classic
+        weak load: minimum width, 4x minimum length, giving the 4:1 ratio
+        against a minimum pull-down.
+        """
+        if w is None:
+            w = self.tech.min_width()
+        if l is None:
+            l = 4.0 * self.tech.min_length()
+        return self.add_transistor(
+            DeviceKind.DEP,
+            gate=node_name,
+            source=node_name,
+            drain=self.vdd,
+            w=w,
+            l=l,
+            name=name,
+            flow=FlowDirection.D_TO_S,
+        )
+
+    def set_input(self, *node_names: str) -> None:
+        """Declare nodes as primary inputs (created if absent)."""
+        for n in node_names:
+            if self.is_rail(n):
+                raise NetlistError(f"rail {n!r} cannot be an input")
+            self.add_node(n)
+            self._inputs.add(n)
+
+    def set_output(self, *node_names: str) -> None:
+        """Declare nodes as primary outputs (created if absent)."""
+        for n in node_names:
+            if self.is_rail(n):
+                raise NetlistError(f"rail {n!r} cannot be an output")
+            self.add_node(n)
+            self._outputs.add(n)
+
+    def set_clock(self, node_name: str, phase: str) -> None:
+        """Declare a node as a clock of the given phase (e.g. ``"phi1"``)."""
+        if self.is_rail(node_name):
+            raise NetlistError(f"rail {node_name!r} cannot be a clock")
+        if not phase:
+            raise NetlistError("clock phase label must be non-empty")
+        self.add_node(node_name)
+        existing = self._clocks.get(node_name)
+        if existing is not None and existing != phase:
+            raise NetlistError(
+                f"clock {node_name!r} already declared with phase "
+                f"{existing!r}, cannot redeclare as {phase!r}"
+            )
+        self._clocks[node_name] = phase
+
+    def set_flow_hint(self, device_name: str, flow: FlowDirection) -> None:
+        """Pin a device's signal-flow direction (a designer hint)."""
+        self.device(device_name).flow = flow
+
+    def add_exclusive_group(self, *node_names: str) -> int:
+        """Assert that at most one of these control nodes is high at a time.
+
+        This is the TV-style user assertion for one-hot select lines (mux
+        selects, decoded word lines, shifter amounts).  The analyzer uses it
+        to rule out worst-case paths that would require two mutually
+        exclusive switches to conduct simultaneously.  Returns the group
+        index.  A node may belong to at most one group.
+        """
+        names = tuple(node_names)
+        if len(names) < 2:
+            raise NetlistError("an exclusive group needs at least two nodes")
+        for name in names:
+            self.add_node(name)
+            if name in self._exclusive_of:
+                raise NetlistError(
+                    f"node {name!r} is already in exclusive group "
+                    f"{self._exclusive_of[name]}"
+                )
+        index = len(self._exclusive_groups)
+        self._exclusive_groups.append(frozenset(names))
+        for name in names:
+            self._exclusive_of[name] = index
+        return index
+
+    @property
+    def exclusive_groups(self) -> list[frozenset[str]]:
+        """Declared one-hot control groups."""
+        return list(self._exclusive_groups)
+
+    def exclusive_group_of(self, node_name: str) -> int | None:
+        """Group index of a control node, or None."""
+        return self._exclusive_of.get(node_name)
+
+    # ------------------------------------------------------------------
+    # Composition.
+    # ------------------------------------------------------------------
+    def embed(
+        self,
+        sub: "Netlist",
+        prefix: str,
+        port_map: PortMap | None = None,
+        *,
+        import_io: bool = False,
+    ) -> dict[str, str]:
+        """Embed ``sub`` into this netlist under ``prefix``.
+
+        Every node and device of ``sub`` is copied with its name prefixed by
+        ``"{prefix}."``, except that ``sub``'s rails map onto this netlist's
+        rails and nodes named in ``port_map`` map onto the given local nodes.
+        Clock declarations are imported (connected clocks keep their phase);
+        input/output declarations are imported only when ``import_io`` is
+        true (a block's ports usually become internal nodes of the parent).
+
+        Returns the complete node-name translation applied, so callers can
+        locate any internal node of the embedded block.
+        """
+        if not prefix:
+            raise NetlistError("embed requires a non-empty prefix")
+        port_map = dict(port_map or {})
+        translation: dict[str, str] = {
+            sub.vdd: self.vdd,
+            sub.gnd: self.gnd,
+        }
+        for sub_name, local_name in port_map.items():
+            if sub_name not in sub.nodes:
+                raise NetlistError(
+                    f"port map names {sub_name!r}, which is not a node of "
+                    f"sub-netlist {sub.name!r}"
+                )
+            translation[sub_name] = local_name
+        for sub_name in sub.nodes:
+            if sub_name not in translation:
+                translation[sub_name] = f"{prefix}.{sub_name}"
+
+        for sub_name, node in sub.nodes.items():
+            local = translation[sub_name]
+            self.add_node(local, node.cap)
+        for dev in sub.devices.values():
+            self.add_transistor(
+                dev.kind,
+                translation[dev.gate],
+                translation[dev.source],
+                translation[dev.drain],
+                w=dev.w,
+                l=dev.l,
+                name=f"{prefix}.{dev.name}",
+                flow=dev.flow,
+            )
+        for clk, phase in sub.clocks.items():
+            self.set_clock(translation[clk], phase)
+        for group in sub.exclusive_groups:
+            translated = [translation[n] for n in group]
+            if all(self.exclusive_group_of(n) is None for n in translated):
+                self.add_exclusive_group(*translated)
+        if import_io:
+            self.set_input(*(translation[n] for n in sub.inputs))
+            self.set_output(*(translation[n] for n in sub.outputs))
+        return translation
+
+    # ------------------------------------------------------------------
+    # Electrical summaries.
+    # ------------------------------------------------------------------
+    def node_capacitance(self, node_name: str, tech: Technology | None = None) -> float:
+        """Total capacitance of a node, farads.
+
+        Sums the explicit wiring capacitance, the gate capacitance of every
+        device gated by the node, the diffusion capacitance of every channel
+        terminal on the node, and the technology's node floor.
+        """
+        tech = tech or self.tech
+        node = self.node(node_name)
+        total = node.cap + tech.c_node_floor
+        for dev in self._gate_index.get(node_name, ()):
+            if dev.touches_channel(node_name):
+                # Gate tied to its own channel terminal (a depletion load's
+                # conventional hookup): the gate-source capacitance is
+                # shorted out and contributes nothing to the node.
+                continue
+            total += tech.c_gate(dev.w, dev.l)
+        for dev in self._channel_index.get(node_name, ()):
+            total += tech.c_diff(dev.w)
+        return total
+
+    def total_capacitance(self) -> float:
+        """Sum of all node capacitances (excluding rails), farads."""
+        return sum(
+            self.node_capacitance(n)
+            for n in self._nodes
+            if not self.is_rail(n)
+        )
+
+    def device_count(self, kind: DeviceKind | str | None = None) -> int:
+        """Number of devices, optionally restricted to one kind."""
+        if kind is None:
+            return len(self._devices)
+        kind = DeviceKind(kind)
+        return sum(1 for t in self._devices.values() if t.kind is kind)
+
+    def pass_devices(self) -> list[Transistor]:
+        """Enhancement devices that are not grounded-source pull-downs of a
+        restoring gate -- i.e. candidates for pass-transistor duty.
+
+        A device counts as a *pass* candidate if neither channel terminal is
+        a rail.  (Pull-downs always reach gnd; loads always reach vdd.)
+        """
+        return [
+            t
+            for t in self._devices.values()
+            if t.kind is DeviceKind.ENH
+            and not self.is_rail(t.source)
+            and not self.is_rail(t.drain)
+        ]
+
+    def stats(self) -> dict[str, int]:
+        """A small summary used by reports and benchmarks."""
+        return {
+            "nodes": len(self._nodes),
+            "devices": len(self._devices),
+            "enh": self.device_count(DeviceKind.ENH),
+            "dep": self.device_count(DeviceKind.DEP),
+            "pass_candidates": len(self.pass_devices()),
+            "inputs": len(self._inputs),
+            "outputs": len(self._outputs),
+            "clocks": len(self._clocks),
+        }

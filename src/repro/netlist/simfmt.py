@@ -1,0 +1,205 @@
+""".sim-format reader and writer.
+
+``.sim`` is the transistor-netlist interchange format produced by the
+Mead-Conway-era layout extractors (``mextra``) and consumed by the MIT/
+Berkeley tool family (``esim``, ``rsim``, ``crystal`` -- and TV's
+contemporaries).  A file is line oriented::
+
+    | units: 100 tech: nmos          comment / header line
+    e gate source drain [x y [w l]]  enhancement transistor
+    d gate source drain [x y [w l]]  depletion transistor
+    c node femtofarads               lumped capacitance on a node
+    C node1 node2 femtofarads        coupling cap (lumped half to each node)
+    = alias canonical                node aliasing
+    R node ohms                      (ignored: node resistance record)
+
+Geometry in classic ``.sim`` is in *centimicrons* (10^-8 m) when a header
+``units:`` scale is present; we write and read plain centimicrons with a
+``units: 1`` header.  Because a raw extract does not carry boundary
+declarations, this codec defines extension records (written as comments so
+other tools skip them)::
+
+    |I node        declare primary input
+    |O node        declare primary output
+    |K node phase  declare clock node with phase label
+
+Round-tripping a :class:`~repro.netlist.Netlist` through ``dumps``/``loads``
+preserves nodes, devices, geometry, explicit capacitance, and boundary
+declarations (device flow hints are not part of the format).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, TextIO
+
+from ..errors import SimFormatError
+from ..tech import Technology, NMOS4
+from .components import DeviceKind
+from .netlist import Netlist
+
+__all__ = ["dumps", "dump", "loads", "load"]
+
+#: One centimicron in metres (classic .sim geometry unit).
+CENTIMICRON = 1e-8
+#: Capacitance records are in femtofarads.
+FEMTOFARAD = 1e-15
+
+
+def dumps(netlist: Netlist) -> str:
+    """Serialize a netlist to ``.sim`` text."""
+    out = io.StringIO()
+    dump(netlist, out)
+    return out.getvalue()
+
+
+def dump(netlist: Netlist, fp: TextIO) -> None:
+    """Serialize a netlist to an open text file."""
+    fp.write(f"| units: 1 tech: nmos name: {netlist.name}\n")
+    fp.write(f"| vdd: {netlist.vdd} gnd: {netlist.gnd}\n")
+    for name in sorted(netlist.inputs):
+        fp.write(f"|I {name}\n")
+    for name in sorted(netlist.outputs):
+        fp.write(f"|O {name}\n")
+    for name, phase in sorted(netlist.clocks.items()):
+        fp.write(f"|K {name} {phase}\n")
+    for dev in netlist.devices.values():
+        code = "e" if dev.kind is DeviceKind.ENH else "d"
+        w_cu = dev.w / CENTIMICRON
+        l_cu = dev.l / CENTIMICRON
+        fp.write(
+            f"{code} {dev.gate} {dev.source} {dev.drain} "
+            f"0 0 {w_cu:.12g} {l_cu:.12g}\n"
+        )
+    for name, node in netlist.nodes.items():
+        if node.cap > 0:
+            fp.write(f"c {name} {node.cap / FEMTOFARAD:.12g}\n")
+
+
+def loads(
+    text: str,
+    *,
+    name: str = "sim",
+    tech: Technology = NMOS4,
+) -> Netlist:
+    """Parse ``.sim`` text into a netlist."""
+    return load(io.StringIO(text), name=name, tech=tech)
+
+
+def load(
+    fp: TextIO | Iterable[str],
+    *,
+    name: str = "sim",
+    tech: Technology = NMOS4,
+) -> Netlist:
+    """Parse an open ``.sim`` file (or iterable of lines) into a netlist."""
+    header: dict[str, str] = {}
+    records: list[tuple[int, list[str]]] = []
+    aliases: dict[str, str] = {}
+    io_records: list[tuple[int, str, list[str]]] = []
+
+    for lineno, raw in enumerate(fp, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("|"):
+            body = line[1:].strip()
+            tokens = body.split()
+            if tokens and tokens[0] in ("I", "O", "K"):
+                io_records.append((lineno, tokens[0], tokens[1:]))
+            else:
+                _parse_header(body, header)
+            continue
+        fields = line.split()
+        records.append((lineno, fields))
+
+    vdd = header.get("vdd", "vdd")
+    gnd = header.get("gnd", "gnd")
+    netlist = Netlist(header.get("name", name), tech=tech, vdd=vdd, gnd=gnd)
+
+    # First pass: collect aliases so later records use canonical names.
+    for lineno, fields in records:
+        if fields[0] == "=":
+            if len(fields) != 3:
+                raise SimFormatError("alias record needs 2 names", lineno)
+            aliases[fields[1]] = fields[2]
+
+    def canon(node: str) -> str:
+        seen = set()
+        while node in aliases:
+            if node in seen:
+                raise SimFormatError(f"alias cycle at {node!r}")
+            seen.add(node)
+            node = aliases[node]
+        return node
+
+    for lineno, fields in records:
+        code = fields[0]
+        if code in ("e", "d"):
+            if len(fields) < 4:
+                raise SimFormatError(
+                    f"transistor record needs at least 3 node names: {fields}",
+                    lineno,
+                )
+            gate, source, drain = (canon(f) for f in fields[1:4])
+            w = netlist.tech.min_width()
+            l = netlist.tech.min_length()
+            if len(fields) >= 8:
+                w = _number(fields[6], lineno) * CENTIMICRON
+                l = _number(fields[7], lineno) * CENTIMICRON
+            kind = DeviceKind.ENH if code == "e" else DeviceKind.DEP
+            netlist.add_transistor(kind, gate, source, drain, w=w, l=l)
+        elif code == "c":
+            if len(fields) != 3:
+                raise SimFormatError("c record needs node and value", lineno)
+            netlist.add_node(canon(fields[1]), _number(fields[2], lineno) * FEMTOFARAD)
+        elif code == "C":
+            if len(fields) != 4:
+                raise SimFormatError("C record needs 2 nodes and value", lineno)
+            half = _number(fields[3], lineno) * FEMTOFARAD / 2.0
+            netlist.add_node(canon(fields[1]), half)
+            netlist.add_node(canon(fields[2]), half)
+        elif code == "=":
+            pass  # handled above
+        elif code == "R":
+            pass  # node-resistance records are accepted and ignored
+        else:
+            raise SimFormatError(f"unknown record type {code!r}", lineno)
+
+    for lineno, kind, rest in io_records:
+        if kind == "I":
+            if len(rest) != 1:
+                raise SimFormatError("|I record needs one node", lineno)
+            netlist.set_input(canon(rest[0]))
+        elif kind == "O":
+            if len(rest) != 1:
+                raise SimFormatError("|O record needs one node", lineno)
+            netlist.set_output(canon(rest[0]))
+        else:  # K
+            if len(rest) != 2:
+                raise SimFormatError("|K record needs node and phase", lineno)
+            netlist.set_clock(canon(rest[0]), rest[1])
+
+    return netlist
+
+
+def _parse_header(body: str, header: dict[str, str]) -> None:
+    """Accumulate ``key: value`` pairs from a comment/header line."""
+    tokens = body.split()
+    i = 0
+    while i < len(tokens) - 1:
+        if tokens[i].endswith(":"):
+            header[tokens[i][:-1]] = tokens[i + 1]
+            i += 2
+        else:
+            i += 1
+
+
+def _number(text: str, lineno: int) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise SimFormatError(f"expected a number, got {text!r}", lineno) from None
+    if value < 0:
+        raise SimFormatError(f"expected a non-negative number, got {text}", lineno)
+    return value

@@ -1,0 +1,215 @@
+"""Electrical rules checks (ERC) for nMOS netlists.
+
+TV-era flows ran a static electrical-rules pass over the extracted netlist
+before timing analysis, because layout extraction surfaces wiring mistakes
+that make timing meaningless: floating gates, outputs with no pull-up path,
+rail shorts, and ratio violations in restoring logic.  :func:`check`
+implements that pass and returns a list of :class:`Violation` records;
+:func:`validate` raises on any violation of severity ``"error"``.
+
+Checks implemented
+------------------
+``floating-gate``     a gate node with no driver of any kind
+``rail-short``        a conducting device directly bridging vdd and gnd
+                      whose gate is permanently on (a depletion device)
+``undriven-node``     a non-boundary node with no channel connection at all
+``no-dc-path``        a gate-driving node that can never reach either rail
+``ratio``             a restoring gate whose pull-down:pull-up resistance
+                      ratio is too weak to produce a valid low level
+``dangling-output``   a declared output that does not exist or is undriven
+``gated-rail``        an enhancement device whose gate is tied to a rail
+                      (permanently on or off -- almost always an extraction
+                      artifact; warning only)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ElectricalRuleError
+from .components import DeviceKind, Transistor
+from .netlist import Netlist
+
+__all__ = ["Violation", "check", "validate"]
+
+#: A restoring nMOS gate needs roughly a 4:1 load:driver resistance ratio
+#: for a legal output-low level; we flag anything weaker than this.
+MIN_RATIO = 3.0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One electrical-rules violation.
+
+    ``severity`` is ``"error"`` or ``"warning"``; ``subject`` names the node
+    or device at fault.
+    """
+
+    code: str
+    severity: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code} @ {self.subject}: {self.message}"
+
+
+def check(netlist: Netlist) -> list[Violation]:
+    """Run all electrical rules checks; return the violations found."""
+    violations: list[Violation] = []
+    violations.extend(_check_floating_gates(netlist))
+    violations.extend(_check_rail_shorts(netlist))
+    violations.extend(_check_undriven_nodes(netlist))
+    violations.extend(_check_dc_paths(netlist))
+    violations.extend(_check_ratios(netlist))
+    violations.extend(_check_outputs(netlist))
+    violations.extend(_check_gated_rails(netlist))
+    return violations
+
+
+def validate(netlist: Netlist) -> list[Violation]:
+    """Run :func:`check`; raise if any error-severity violation was found.
+
+    Returns the warning-severity violations (if any) for the caller to log.
+    """
+    violations = check(netlist)
+    errors = [v for v in violations if v.severity == "error"]
+    if errors:
+        summary = "; ".join(str(v) for v in errors[:5])
+        more = f" (and {len(errors) - 5} more)" if len(errors) > 5 else ""
+        raise ElectricalRuleError(
+            f"netlist {netlist.name!r} failed ERC: {summary}{more}"
+        )
+    return [v for v in violations if v.severity == "warning"]
+
+
+# ----------------------------------------------------------------------
+# Individual checks.
+# ----------------------------------------------------------------------
+def _check_floating_gates(netlist: Netlist):
+    for name in netlist.nodes:
+        if netlist.is_boundary(name):
+            continue
+        if not netlist.gate_loads(name):
+            continue  # not used as a gate; other checks cover it
+        if not netlist.channel_devices(name):
+            yield Violation(
+                "floating-gate",
+                "error",
+                name,
+                "node drives gates but has no channel connection (no driver)",
+            )
+
+
+def _check_rail_shorts(netlist: Netlist):
+    for dev in netlist.devices.values():
+        bridges_rails = {dev.source, dev.drain} == {netlist.vdd, netlist.gnd}
+        if bridges_rails and dev.kind is DeviceKind.DEP:
+            yield Violation(
+                "rail-short",
+                "error",
+                dev.name,
+                "depletion device (always on) directly bridges vdd and gnd",
+            )
+
+
+def _check_undriven_nodes(netlist: Netlist):
+    for name in netlist.nodes:
+        if netlist.is_boundary(name):
+            continue
+        if not netlist.channel_devices(name) and not netlist.gate_loads(name):
+            yield Violation(
+                "undriven-node",
+                "warning",
+                name,
+                "node is connected to nothing",
+            )
+
+
+def _check_dc_paths(netlist: Netlist):
+    """Flag gate-driving nodes with no conceivable path to either rail."""
+    reachable = _rail_reachable_nodes(netlist)
+    for name in netlist.nodes:
+        if netlist.is_boundary(name):
+            continue
+        if not netlist.gate_loads(name):
+            continue
+        if name not in reachable:
+            yield Violation(
+                "no-dc-path",
+                "error",
+                name,
+                "node drives gates but has no channel path to any rail or input",
+            )
+
+
+def _rail_reachable_nodes(netlist: Netlist) -> set[str]:
+    """Nodes reachable from a rail/input/clock through device channels."""
+    frontier = [n for n in netlist.nodes if netlist.is_boundary(n)]
+    seen = set(frontier)
+    while frontier:
+        node = frontier.pop()
+        for dev in netlist.channel_devices(node):
+            other = dev.other_channel(node)
+            if other not in seen:
+                seen.add(other)
+                frontier.append(other)
+    return seen
+
+
+def _check_ratios(netlist: Netlist):
+    """Check pull-down vs pull-up strength on restoring gate outputs.
+
+    For each node with a depletion load, find the *strongest* (minimum
+    resistance) single-device pull-down on the node; if the load resistance
+    divided by that pull-down resistance is below :data:`MIN_RATIO`, the
+    output-low level would be illegal.  Series pull-down chains are checked
+    against the worst series path by :mod:`repro.delay`; here we only flag
+    the clearly broken single-device case, matching TV-era ERC behaviour.
+    """
+    tech = netlist.tech
+    for name in netlist.nodes:
+        pullups = netlist.pullups_at(name)
+        if not pullups:
+            continue
+        r_up = min(tech.r_eff("dep", t.w, t.l) for t in pullups)
+        pulldowns = [
+            t
+            for t in netlist.channel_devices(name)
+            if t.kind is DeviceKind.ENH and t.other_channel(name) == netlist.gnd
+        ]
+        if not pulldowns:
+            continue
+        r_down = min(tech.r_eff("enh", t.w, t.l) for t in pulldowns)
+        ratio = r_up / r_down
+        if ratio < MIN_RATIO:
+            yield Violation(
+                "ratio",
+                "error",
+                name,
+                f"pull-up/pull-down resistance ratio {ratio:.2f} is below "
+                f"the minimum {MIN_RATIO:.1f} for a legal low level",
+            )
+
+
+def _check_outputs(netlist: Netlist):
+    for name in netlist.outputs:
+        if not netlist.channel_devices(name):
+            yield Violation(
+                "dangling-output",
+                "error",
+                name,
+                "declared output has no channel connection",
+            )
+
+
+def _check_gated_rails(netlist: Netlist):
+    for dev in netlist.devices.values():
+        if dev.kind is DeviceKind.ENH and netlist.is_rail(dev.gate):
+            state = "always on" if dev.gate == netlist.vdd else "always off"
+            yield Violation(
+                "gated-rail",
+                "warning",
+                dev.name,
+                f"enhancement gate tied to rail {dev.gate!r} ({state})",
+            )

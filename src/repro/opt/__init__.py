@@ -1,0 +1,17 @@
+"""Performance improvement: critical-path-driven device resizing."""
+
+from .advisor import (
+    OptimizationStep,
+    Suggestion,
+    apply_suggestions,
+    optimize,
+    suggest_resizing,
+)
+
+__all__ = [
+    "Suggestion",
+    "OptimizationStep",
+    "suggest_resizing",
+    "apply_suggestions",
+    "optimize",
+]

@@ -1,0 +1,225 @@
+"""Performance improvement: critical-path device resizing.
+
+TV was not just a verifier -- its reports drove a tuning loop the MIPS
+team ran by hand and Jouppi later systematized ("Timing Analysis and
+Performance Improvement of MOS VLSI Designs", TCAD 1987): find the worst
+path, widen the devices that dominate it, re-analyze, repeat until the
+target cycle is met or the path stops improving.
+
+:func:`suggest_resizing` turns one analysis into concrete suggestions
+(device -> new width) by walking the critical path's worst RC spines and
+ranking members by their resistance share.  :func:`optimize` runs the full
+loop.  Depletion loads are never widened directly (that would wreck the
+ratio); when a rise through a load dominates, the suggestion widens the
+load *and* its pull-downs together, preserving legality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import AnalysisResult, TimingAnalyzer, TimingPath
+from ..delay import device_resistance
+from ..errors import ReproError
+from ..netlist import DeviceKind, Netlist
+
+__all__ = ["Suggestion", "OptimizationStep", "suggest_resizing", "optimize"]
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """Widen one device (and its ratio partners, if any)."""
+
+    device: str
+    new_w: float
+    reason: str
+    partners: tuple[str, ...] = ()  # widened along for ratio legality
+
+
+@dataclass
+class OptimizationStep:
+    """One iteration of the tuning loop."""
+
+    iteration: int
+    delay_before: float
+    delay_after: float
+    applied: list[Suggestion] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        return self.delay_before - self.delay_after
+
+
+def _critical_path_of(result: AnalysisResult) -> TimingPath | None:
+    if result.critical_path is not None:
+        return result.critical_path
+    return None
+
+
+def _metric_of(result: AnalysisResult) -> float:
+    if result.min_cycle is not None:
+        return result.min_cycle
+    return result.max_delay or 0.0
+
+
+def suggest_resizing(
+    netlist: Netlist,
+    result: AnalysisResult,
+    *,
+    factor: float = 1.5,
+    max_w_multiple: float = 16.0,
+    limit: int = 4,
+) -> list[Suggestion]:
+    """Suggestions for the analysis's critical path.
+
+    Devices on the path's worst RC spines are ranked by effective
+    resistance; the top ``limit`` that are still below ``max_w_multiple``
+    times the minimum width get ``factor``-wider.  Loads bring their
+    pull-downs along (see module docstring).
+    """
+    if factor <= 1.0:
+        raise ReproError("resize factor must be > 1")
+    path = _critical_path_of(result)
+    if path is None:
+        return []
+    tech = netlist.tech
+    w_cap = max_w_multiple * tech.min_width()
+
+    candidates: dict[str, float] = {}
+    for step in path.steps:
+        for name in step.devices:
+            names = [name]
+            if name.startswith("load@"):
+                # Synthetic spine label for the (possibly parallel) pull-up
+                # at a node: expand to the real depletion devices.
+                node = name[len("load@"):]
+                names = [
+                    d.name
+                    for d in netlist.channel_devices(node)
+                    if d.kind is DeviceKind.DEP
+                    and netlist.vdd in d.channel_nodes
+                ]
+            for real in names:
+                if real not in netlist.devices:
+                    continue
+                dev = netlist.device(real)
+                role = "pullup" if dev.kind is DeviceKind.DEP else "pulldown"
+                r = device_resistance(
+                    tech, dev, role, "fall" if role == "pulldown" else "rise"
+                )
+                candidates[real] = max(candidates.get(real, 0.0), r)
+
+    ranked = sorted(candidates.items(), key=lambda kv: kv[1], reverse=True)
+    suggestions: list[Suggestion] = []
+    for name, r in ranked:
+        if len(suggestions) >= limit:
+            break
+        dev = netlist.device(name)
+        if dev.w * factor > w_cap:
+            continue
+        if dev.kind is DeviceKind.DEP:
+            # Widening a load demands widening its pull-downs to keep the
+            # output-low level legal.
+            node = (
+                dev.other_channel(netlist.vdd)
+                if netlist.vdd in dev.channel_nodes
+                else dev.source
+            )
+            partners = tuple(
+                d.name
+                for d in netlist.channel_devices(node)
+                if d.kind is DeviceKind.ENH and d.w * factor <= w_cap
+            )
+            suggestions.append(
+                Suggestion(
+                    device=name,
+                    new_w=dev.w * factor,
+                    reason=f"pull-up dominates ({r / 1e3:.1f} kohm)",
+                    partners=partners,
+                )
+            )
+        else:
+            suggestions.append(
+                Suggestion(
+                    device=name,
+                    new_w=dev.w * factor,
+                    reason=f"series resistance {r / 1e3:.1f} kohm on path",
+                )
+            )
+    return suggestions
+
+
+def apply_suggestions(
+    netlist: Netlist, suggestions: list[Suggestion], factor: float = 1.5
+) -> int:
+    """Widen the suggested devices in place; returns devices touched."""
+    touched = 0
+    for suggestion in suggestions:
+        dev = netlist.device(suggestion.device)
+        dev.w = suggestion.new_w
+        touched += 1
+        for partner in suggestion.partners:
+            p = netlist.device(partner)
+            p.w = p.w * factor
+            touched += 1
+    return touched
+
+
+def optimize(
+    netlist: Netlist,
+    *,
+    target: float | None = None,
+    iterations: int = 8,
+    factor: float = 1.5,
+    limit: int = 4,
+    analyzer_kwargs: dict | None = None,
+) -> list[OptimizationStep]:
+    """The tuning loop: analyze -> widen the critical path -> repeat.
+
+    Mutates ``netlist``.  Stops when the metric (min cycle for clocked
+    designs, max delay otherwise) meets ``target``, stops improving, or
+    ``iterations`` runs out.  Returns the step history.
+    """
+    analyzer_kwargs = analyzer_kwargs or {}
+    history: list[OptimizationStep] = []
+    # One analyzer for the whole loop: resizes invalidate only the touched
+    # stages' cached arcs, so each re-analysis is incremental.
+    analyzer = TimingAnalyzer(netlist, **analyzer_kwargs)
+    result = analyzer.analyze()
+    metric = _metric_of(result)
+
+    for iteration in range(1, iterations + 1):
+        if target is not None and metric <= target:
+            break
+        suggestions = suggest_resizing(
+            netlist, result, factor=factor, limit=limit
+        )
+        if not suggestions:
+            break
+        snapshot = {
+            name: dev.w for name, dev in netlist.devices.items()
+        }
+        apply_suggestions(netlist, suggestions, factor)
+        touched = [s.device for s in suggestions] + [
+            p for s in suggestions for p in s.partners
+        ]
+        analyzer.notify_changed(touched)
+        result = analyzer.analyze()
+        new_metric = _metric_of(result)
+        if new_metric >= metric:
+            # The step made things worse (widening adds diffusion load
+            # somewhere else): roll it back and stop at the best point.
+            for name, w in snapshot.items():
+                netlist.device(name).w = w
+            analyzer.notify_changed(touched)
+            break
+        history.append(
+            OptimizationStep(
+                iteration=iteration,
+                delay_before=metric,
+                delay_after=new_metric,
+                applied=suggestions,
+            )
+        )
+        metric = new_metric
+    return history

@@ -1,0 +1,58 @@
+"""Reference simulators.
+
+Public surface:
+
+* :class:`SpiceLite`, :class:`TransientOptions` -- the numerical transient
+  simulator (the package's SPICE2 stand-in)
+* :func:`measure_step_delay`, :class:`DelayMeasurement` -- one-shot delay
+  measurements
+* :class:`Waveform` -- sampled traces with crossing/slew measurements
+* stimulus builders: :func:`constant`, :func:`step`, :func:`pulse`,
+  :func:`piecewise`, :func:`two_phase_waveforms`
+* :class:`SwitchSim`, :data:`X` -- the three-valued switch-level functional
+  simulator
+* :class:`RSim` -- event-driven switch-level simulator with RC-derived
+  event delays (the RSIM-class middle ground)
+* :func:`mos_current`, :func:`threshold` -- level-1 device equations
+"""
+
+from .devices import mos_current, threshold
+from .measure import DelayMeasurement, measure_step_delay
+from .rsim import Event, RSim
+from .spicelite import SpiceLite, TransientOptions
+from .stimuli import (
+    Stimulus,
+    constant,
+    piecewise,
+    pulse,
+    step,
+    two_phase_waveforms,
+)
+from .switchsim import SwitchSim, X
+from .vectors import DeckResult, Failure, VectorCommand, parse_deck, run_deck
+from .waveforms import Waveform
+
+__all__ = [
+    "SpiceLite",
+    "TransientOptions",
+    "DelayMeasurement",
+    "measure_step_delay",
+    "Waveform",
+    "Stimulus",
+    "constant",
+    "step",
+    "pulse",
+    "piecewise",
+    "two_phase_waveforms",
+    "SwitchSim",
+    "X",
+    "RSim",
+    "Event",
+    "VectorCommand",
+    "Failure",
+    "DeckResult",
+    "parse_deck",
+    "run_deck",
+    "mos_current",
+    "threshold",
+]

@@ -1,0 +1,99 @@
+"""Level-1 (Shichman-Hodges) MOS device equations for SPICE-lite.
+
+The golden-reference simulator needs a nonlinear DC model -- the whole point
+of comparing against it is to measure how much the static linear-RC
+abstraction gives up.  We use the classic level-1 model that SPICE2 itself
+defaulted to in 1983:
+
+* cutoff:      Vgs <= Vt            Ids = 0
+* triode:      Vds <  Vgs - Vt      Ids = beta * (Vgs - Vt - Vds/2) * Vds
+* saturation:  Vds >= Vgs - Vt      Ids = beta/2 * (Vgs - Vt)^2
+
+with channel-length modulation ``(1 + lambda * Vds)`` applied in both
+conducting regions (keeping the current continuous at the region boundary),
+and source/drain symmetry handled by swapping terminals when Vds < 0.
+
+:func:`mos_current` returns the drain->source current and its analytic
+partial derivatives with respect to the three terminal voltages, as needed
+by the Newton iteration.  The derivatives are verified against finite
+differences in the test suite.
+"""
+
+from __future__ import annotations
+
+from ..netlist import DeviceKind, Transistor
+from ..tech import Technology
+
+__all__ = ["mos_current", "threshold"]
+
+
+def threshold(tech: Technology, kind: DeviceKind) -> float:
+    """Threshold voltage of a device kind, volts."""
+    return tech.vt_enh if DeviceKind(kind) is DeviceKind.ENH else tech.vt_dep
+
+
+def mos_current(
+    tech: Technology,
+    kind: DeviceKind,
+    vg: float,
+    vs: float,
+    vd: float,
+    w: float,
+    l: float,
+) -> tuple[float, float, float, float]:
+    """Drain current and derivatives of a level-1 MOS device.
+
+    Returns ``(ids, d_ids/d_vg, d_ids/d_vs, d_ids/d_vd)`` where ``ids`` is
+    the current flowing from the drain terminal to the source terminal
+    (positive when ``vd > vs`` and the channel conducts).
+    """
+    if vd >= vs:
+        i, dg, ds_, dd = _forward(tech, kind, vg, vs, vd, w, l)
+        return i, dg, ds_, dd
+    # Swap source and drain: the physical device is symmetric.
+    i, dg, ds_, dd = _forward(tech, kind, vg, vd, vs, w, l)
+    # i' flows from (old vs) to (old vd); our convention wants drain->source.
+    return -i, -dg, -dd, -ds_
+
+
+def _forward(
+    tech: Technology,
+    kind: DeviceKind,
+    vg: float,
+    vs: float,
+    vd: float,
+    w: float,
+    l: float,
+) -> tuple[float, float, float, float]:
+    """Level-1 current for vd >= vs, with derivatives (vg, vs, vd order)."""
+    vt = threshold(tech, kind)
+    beta = tech.beta(w, l)
+    lam = tech.channel_lambda
+
+    vgs = vg - vs
+    vds = vd - vs
+    vov = vgs - vt
+    if vov <= 0.0:
+        return 0.0, 0.0, 0.0, 0.0
+
+    clm = 1.0 + lam * vds
+    if vds < vov:
+        # Triode.
+        core = (vov - 0.5 * vds) * vds
+        i = beta * core * clm
+        d_core_dvgs = vds
+        d_core_dvds = vov - vds
+        di_dvgs = beta * d_core_dvgs * clm
+        di_dvds = beta * (d_core_dvds * clm + core * lam)
+    else:
+        # Saturation.
+        core = 0.5 * vov * vov
+        i = beta * core * clm
+        di_dvgs = beta * vov * clm
+        di_dvds = beta * core * lam
+
+    # Chain rule: vgs = vg - vs, vds = vd - vs.
+    dg = di_dvgs
+    dd = di_dvds
+    ds_ = -di_dvgs - di_dvds
+    return i, dg, ds_, dd

@@ -1,0 +1,116 @@
+"""Single-shot delay measurements on top of SPICE-lite.
+
+These helpers package the standard experiment: hold the circuit in a known
+state, step one input, and measure the 50%-crossing delay to an output.
+They are what the accuracy experiments (R-T1, R-T2, R-F2) call in their
+inner loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..netlist import Netlist
+from .spicelite import SpiceLite, TransientOptions
+from .stimuli import Stimulus, constant, step
+from .waveforms import Waveform
+
+__all__ = ["DelayMeasurement", "measure_step_delay"]
+
+
+@dataclass(frozen=True)
+class DelayMeasurement:
+    """Result of one step-response measurement.
+
+    ``delay`` is input-50% to output-50%; ``output_direction`` is what the
+    output actually did; ``output_transition_time`` is its 10-90% figure.
+    """
+
+    delay: float
+    input_direction: str
+    output_direction: str
+    output_transition_time: float
+    waveform: Waveform
+
+
+def measure_step_delay(
+    netlist: Netlist,
+    trigger: str,
+    output: str,
+    *,
+    input_state: dict[str, int] | None = None,
+    direction: str = "rise",
+    t_step: float = 5e-9,
+    t_stop: float | None = None,
+    ramp: float = 1e-9,
+    options: TransientOptions | None = None,
+) -> DelayMeasurement:
+    """Step ``trigger`` and measure the delay to ``output``.
+
+    ``input_state`` gives the logic level (0/1) of every other input and
+    clock; unlisted ones default to 0.  ``direction`` is the trigger's
+    transition.  The measurement threshold is the technology's ``v_meas``.
+    """
+    if direction not in ("rise", "fall"):
+        raise SimulationError(f"unknown direction {direction!r}")
+    tech = netlist.tech
+    drive_names = set(netlist.inputs) | set(netlist.clocks)
+    if trigger not in drive_names:
+        raise SimulationError(f"{trigger!r} is not an input or clock")
+    input_state = dict(input_state or {})
+
+    stimuli: dict[str, Stimulus] = {}
+    for name in drive_names:
+        if name == trigger:
+            continue
+        level = tech.vdd if input_state.get(name, 0) else 0.0
+        stimuli[name] = constant(level)
+    if direction == "rise":
+        stimuli[trigger] = step(t_step, 0.0, tech.vdd, ramp)
+    else:
+        stimuli[trigger] = step(t_step, tech.vdd, 0.0, ramp)
+
+    if t_stop is None:
+        t_stop = t_step + 60e-9
+
+    sim = SpiceLite(netlist, options=options)
+    wave = sim.transient(stimuli, t_stop, record=[trigger, output])
+
+    t_in = wave.crossing_after(trigger, tech.v_meas, direction, t_step * 0.5)
+    if t_in is None:
+        raise SimulationError(f"trigger {trigger!r} never crossed threshold")
+    t_rise = wave.crossing_after(output, tech.v_meas, "rise", t_in)
+    t_fall = wave.crossing_after(output, tech.v_meas, "fall", t_in)
+
+    candidates = [
+        (t, d) for t, d in ((t_rise, "rise"), (t_fall, "fall")) if t is not None
+    ]
+    if not candidates:
+        raise SimulationError(
+            f"output {output!r} did not switch after {trigger!r} {direction} "
+            f"(final value {wave.final_value(output):.2f} V)"
+        )
+    t_out, out_dir = min(candidates)
+
+    # The output starts moving as soon as the input ramp begins -- before
+    # the input's 50% crossing -- so slew is measured from the step start.
+    # Thresholds are 10-90% of the *observed swing*: ratioed nMOS lows and
+    # pass-degraded highs never reach the rails.
+    slew_from = t_step * 0.5
+    v_start = wave.value_at(output, slew_from)
+    v_final = wave.final_value(output)
+    v_10 = v_start + 0.1 * (v_final - v_start)
+    v_90 = v_start + 0.9 * (v_final - v_start)
+    if out_dir == "rise":
+        trans = wave.transition_time(output, v_10, v_90, "rise", slew_from)
+    else:
+        trans = wave.transition_time(output, v_90, v_10, "fall", slew_from)
+
+    return DelayMeasurement(
+        delay=t_out - t_in,
+        input_direction=direction,
+        output_direction=out_dir,
+        output_transition_time=trans,
+        waveform=wave,
+    )

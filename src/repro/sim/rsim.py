@@ -1,0 +1,286 @@
+"""RSIM-class event-driven switch-level simulator with timing.
+
+Between the static analyzer (no values, worst-case times) and SPICE-lite
+(exact values and times, tiny capacity) sat the third tool of the 1983
+flow: an *event-driven* switch-level simulator whose logic values come
+from the switch model and whose event delays come from the RC model --
+RSIM.  It answers "when does this vector's effect reach that node?" at
+logic-simulation cost.
+
+This implementation reuses the package's existing substrates:
+
+* values: the same three-valued stage resolution as
+  :class:`repro.sim.switchsim.SwitchSim`;
+* delays: per-node rise/fall figures precomputed from the static
+  calculator's timing arcs (the fastest arc driving the node -- see
+  ``_precompute_delays``), so an event's latency is the same RC physics
+  the analyzer uses.
+
+Because rsim times one concrete vector while the analyzer times the worst
+case over all vectors, ``rsim settle time <= TV arrival`` holds on any
+node of a *flow-clean* design (one where no closed pass switch can
+backdrive its source) -- a cross-engine invariant the test suite checks
+exactly on the adders.  On structures with electrically bidirectional
+switches (muxes whose sources fight through the closed pass), the switch
+simulator reproduces back-conduction that design-intent static analysis
+rightly excludes, so the bound there holds with a small tolerance; the
+static analyzer remains the signoff authority.
+
+Example::
+
+    rsim = RSim(netlist)
+    rsim.drive("a", 0)
+    rsim.settle()                  # establish initial state
+    rsim.drive("a", 1)             # event at current time
+    rsim.settle()
+    print(rsim.now, rsim.value("out"), rsim.history("out"))
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..delay import FALL, RISE, StageDelayCalculator
+from ..errors import SimulationError
+from ..netlist import Netlist
+from ..stages import StageGraph, decompose
+from .switchsim import SwitchSim, X
+
+__all__ = ["RSim", "Event"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled value change."""
+
+    time: float
+    node: str
+    value: object
+
+
+class RSim:
+    """Event-driven switch-level simulator with RC-derived delays."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        *,
+        calculator: StageDelayCalculator | None = None,
+        default_delay: float = 0.5e-9,
+        max_events_per_node: int = 64,
+    ):
+        self.netlist = netlist
+        if calculator is None:
+            # The delay table needs oriented pass devices.
+            from ..flow import infer_flow
+
+            infer_flow(netlist)
+        self.graph: StageGraph = decompose(netlist)
+        self._switch = SwitchSim(netlist, self.graph)
+        self._calculator = calculator or StageDelayCalculator(
+            netlist, self.graph
+        )
+        self.default_delay = default_delay
+        self.max_events_per_node = max_events_per_node
+
+        self.now = 0.0
+        self._queue: list[tuple[float, int, str, object]] = []
+        self._sequence = 0
+        self._event_counts: dict[str, int] = {}
+        self._history: dict[str, list[tuple[float, object]]] = {}
+        self._delays = self._precompute_delays()
+
+    # ------------------------------------------------------------------
+    # Delay table.
+    # ------------------------------------------------------------------
+    def _precompute_delays(self) -> dict[str, tuple[float, float]]:
+        """Per-node (rise, fall) latency from the static timing arcs.
+
+        The simulator does not know which arc caused a change, so it uses
+        the *fastest* intrinsic arc delay into the node.  That choice makes
+        the cross-engine invariant hold by construction: every hop of the
+        active path is charged no more than its static arc delay, so an
+        event-simulated settle time never exceeds the analyzer's worst-case
+        arrival.  (It also makes rsim an optimistic estimator -- the same
+        trade RSIM made; sign-off numbers come from the static analyzer.)
+        Nodes no arc covers fall back to ``default_delay``.
+        """
+        table: dict[str, tuple[float | None, float | None]] = {}
+
+        def better(old: float | None, new: float | None) -> float | None:
+            if new is None:
+                return old
+            if old is None:
+                return new
+            return min(old, new)
+
+        for arc in self._calculator.all_arcs(active_clocks=None):
+            rise = arc.rise.delay if arc.rise else None
+            fall = arc.fall.delay if arc.fall else None
+            old_rise, old_fall = table.get(arc.output, (None, None))
+            table[arc.output] = (
+                better(old_rise, rise),
+                better(old_fall, fall),
+            )
+        return {
+            node: (rise or 0.0, fall or 0.0)
+            for node, (rise, fall) in table.items()
+        }
+
+    def _delay_for(self, node: str, value: object) -> float:
+        rise, fall = self._delays.get(node, (0.0, 0.0))
+        if value == 1:
+            chosen = rise
+        elif value == 0:
+            chosen = fall
+        else:
+            chosen = min(rise, fall)  # X arrives as early as possible
+        return chosen if chosen > 0.0 else self.default_delay
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def value(self, node: str) -> object:
+        """Current logic value of a node: 0, 1, or X."""
+        return self._switch.value(node)
+
+    def history(self, node: str) -> list[tuple[float, object]]:
+        """Recorded (time, value) changes of a node."""
+        return list(self._history.get(node, ()))
+
+    def drive(self, name: str, value: object, at: float | None = None) -> None:
+        """Schedule an input/clock change (defaults to the current time)."""
+        time = self.now if at is None else at
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time} < {self.now})"
+            )
+        if name not in self.netlist.inputs and name not in self.netlist.clocks:
+            raise SimulationError(f"{name!r} is not an input or clock")
+        self._schedule(time, name, value)
+
+    def drive_word(self, nodes: list[str], value: int) -> None:
+        """Drive a little-endian input word at the current time."""
+        for bit, name in enumerate(nodes):
+            self.drive(name, (value >> bit) & 1)
+
+    def word(self, nodes: list[str]) -> int | None:
+        """Read nodes as an unsigned little-endian word; None on any X."""
+        return self._switch.word(nodes)
+
+    def settle(self, limit: float | None = None) -> float:
+        """Process events until the queue drains (or ``limit`` is hit).
+
+        Returns the time of the last processed event.  Raises on runaway
+        activity (oscillation): more than ``max_events_per_node`` changes
+        of one node within a single settle call.
+        """
+        self._event_counts = {}
+        last = self.now
+        while self._queue:
+            time, _seq, node, value = heapq.heappop(self._queue)
+            if limit is not None and time > limit:
+                # Not yet due: put it back and stop.
+                self._schedule(time, node, value)
+                self.now = limit
+                return last
+            self.now = max(self.now, time)
+            last = self.now
+            self._apply(node, value)
+        return last
+
+    def run_vector(self, assignments: dict[str, object]) -> float:
+        """Drive several inputs at the current time and settle.
+
+        Returns the settle time (time of the last event).
+        """
+        for name, value in assignments.items():
+            self.drive(name, value)
+        return self.settle()
+
+    def settle_time_of(self, node: str, since: float) -> float | None:
+        """Last change of ``node`` at or after ``since`` (None if quiet)."""
+        changes = [t for t, _v in self._history.get(node, ()) if t >= since]
+        return max(changes) if changes else None
+
+    # ------------------------------------------------------------------
+    # Engine.
+    # ------------------------------------------------------------------
+    def _schedule(self, time: float, node: str, value: object) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, node, value))
+
+    def _apply(self, node: str, value: object) -> None:
+        if self._switch._values.get(node) == value:
+            return
+        count = self._event_counts.get(node, 0) + 1
+        self._event_counts[node] = count
+        if count > self.max_events_per_node:
+            raise SimulationError(
+                f"node {node!r} changed {count} times in one settle: "
+                "oscillating feedback"
+            )
+        self._switch._values[node] = value
+        self._history.setdefault(node, []).append((self.now, value))
+
+        # Re-evaluate every stage this node can influence: the stage that
+        # owns it and every stage it gates.
+        affected = []
+        own = self.graph.stage_of(node)
+        if own is not None:
+            affected.append(own)
+        affected.extend(self.graph.stages_gated_by(node))
+        if node in self.netlist.inputs or node in self.netlist.clocks:
+            affected.extend(self.graph.stages_at_boundary(node))
+
+        seen = set()
+        for stage in affected:
+            if stage.index in seen:
+                continue
+            seen.add(stage.index)
+            self._evaluate_stage(stage)
+
+    def _evaluate_stage(self, stage) -> None:
+        """Compute the stage's new values; schedule differences as events.
+
+        Latency is charged at the stage's *outputs* -- the granularity of
+        the static timing arcs.  Internal cascade nodes are invisible
+        outside the stage, so they are settled immediately with a bounded
+        local fixpoint (no events, no oscillation accounting); only output
+        changes enter the event queue.  This keeps the cross-engine
+        invariant exact: each inter-stage hop costs no more than its
+        static arc, so a vector's settle time never exceeds the analyzer's
+        worst-case arrival.
+        """
+        switch = self._switch
+        outputs = stage.outputs
+        retracted = {n: switch._values[n] for n in outputs}
+
+        limit = 4 * len(stage.nodes) + 8
+        pending: dict[str, object] = {}
+        for _sweep in range(limit):
+            before = {n: switch._values[n] for n in stage.nodes}
+            switch._evaluate_stage(stage)
+            # Hold outputs at their externally visible values; they change
+            # only through scheduled events.
+            pending = {}
+            for node in outputs:
+                new = switch._values[node]
+                if new != retracted[node]:
+                    pending[node] = new
+                    switch._values[node] = retracted[node]
+            internal_changed = any(
+                switch._values[n] != before[n]
+                for n in stage.nodes
+                if n not in outputs
+            )
+            if not internal_changed:
+                break
+        else:
+            raise SimulationError(
+                f"stage #{stage.index} did not settle internally in "
+                f"{limit} sweeps (oscillating feedback)"
+            )
+        for node, new in pending.items():
+            self._schedule(self.now + self._delay_for(node, new), node, new)

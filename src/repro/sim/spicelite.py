@@ -1,0 +1,283 @@
+"""SPICE-lite: a transistor-level transient circuit simulator.
+
+This is the package's stand-in for SPICE2 -- the golden reference every
+static estimate is judged against (experiments R-T1, R-T2, R-F2) and the
+"three orders of magnitude slower" comparison point of R-T3.  It is a real
+(if small) circuit simulator:
+
+* nodal formulation over the netlist's internal nodes; rails, primary
+  inputs, and clocks are ideal voltage sources driven by
+  :mod:`repro.sim.stimuli` waveforms;
+* level-1 MOS devices (:mod:`repro.sim.devices`), a grounded linear
+  capacitor per node (:meth:`repro.netlist.Netlist.node_capacitance`), and a
+  ``gmin`` leak to ground for conditioning;
+* backward-Euler integration with full Newton iteration per step (L-stable,
+  so initial conditions can be settled by integration rather than a fragile
+  DC solve), with automatic step halving on nonconvergence.
+
+Dense numpy linear algebra keeps the implementation transparent; intended
+circuit sizes are the golden-reference cones and blocks (up to a few
+hundred nodes), exactly the sizes SPICE itself was usable at in 1983.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError, SimulationError
+from ..netlist import Netlist
+from ..tech import Technology
+from .devices import mos_current
+from .stimuli import Stimulus, constant
+from .waveforms import Waveform
+
+__all__ = ["SpiceLite", "TransientOptions"]
+
+
+@dataclass(frozen=True)
+class TransientOptions:
+    """Integration controls."""
+
+    dt: float = 0.1e-9  #: nominal timestep, seconds
+    settle: float = 40e-9  #: pre-roll with inputs frozen at t=0 values
+    newton_tol: float = 1e-6  #: volts
+    newton_max_iter: int = 40
+    max_step_halvings: int = 10
+    newton_clamp: float = 2.0  #: max |dV| per Newton update, volts
+    gmin: float = 1e-9  #: siemens to ground at every node
+
+
+class SpiceLite:
+    """Transient simulator for one netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        *,
+        tech: Technology | None = None,
+        options: TransientOptions | None = None,
+    ):
+        self.netlist = netlist
+        self.tech = tech or netlist.tech
+        self.options = options or TransientOptions()
+
+        self._forced = [
+            n
+            for n in netlist.nodes
+            if netlist.is_boundary(n)
+        ]
+        self._unknowns = [
+            n
+            for n in netlist.nodes
+            if not netlist.is_boundary(n) and netlist.channel_devices(n)
+        ]
+        dangling = [
+            n
+            for n in netlist.nodes
+            if not netlist.is_boundary(n)
+            and not netlist.channel_devices(n)
+            and netlist.gate_loads(n)
+        ]
+        if dangling:
+            raise SimulationError(
+                f"cannot simulate {netlist.name!r}: floating gate node(s) "
+                f"{sorted(dangling)[:5]}"
+            )
+
+        self._index = {n: i for i, n in enumerate(self._unknowns)}
+        self._caps = np.array(
+            [netlist.node_capacitance(n, self.tech) for n in self._unknowns]
+        )
+        if np.any(self._caps <= 0):  # pragma: no cover - floor guarantees > 0
+            raise SimulationError("every node needs positive capacitance")
+
+        # Pre-resolve device terminals to (kind, is_unknown, index-or-name).
+        self._devices = []
+        for dev in netlist.devices.values():
+            self._devices.append(
+                (
+                    dev.kind,
+                    self._slot(dev.gate),
+                    self._slot(dev.source),
+                    self._slot(dev.drain),
+                    dev.w,
+                    dev.l,
+                )
+            )
+
+    def _slot(self, node: str) -> tuple[bool, object]:
+        if node in self._index:
+            return (True, self._index[node])
+        return (False, node)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self._unknowns)
+
+    def transient(
+        self,
+        stimuli: dict[str, Stimulus],
+        t_stop: float,
+        *,
+        record: list[str] | None = None,
+        v_init: dict[str, float] | None = None,
+    ) -> Waveform:
+        """Integrate from t=0 to ``t_stop`` and return the waveform.
+
+        ``stimuli`` drives primary inputs and clocks by name; unlisted
+        inputs are held at 0 V.  Rails are implicit.  A settle pre-roll
+        (inputs frozen at their t=0 values) establishes the initial
+        operating point unless ``v_init`` pins every node.
+        """
+        opt = self.options
+        for name in stimuli:
+            if name not in self.netlist.inputs and name not in self.netlist.clocks:
+                raise SimulationError(
+                    f"stimulus for {name!r}, which is not an input or clock"
+                )
+        drive: dict[str, Stimulus] = {
+            name: stimuli.get(name, constant(0.0))
+            for name in list(self.netlist.inputs) + list(self.netlist.clocks)
+        }
+
+        v = np.zeros(len(self._unknowns))
+        if v_init:
+            for name, value in v_init.items():
+                if name in self._index:
+                    v[self._index[name]] = value
+        else:
+            v = self._settle(v, drive)
+
+        recorded = record or (self._unknowns + self._forced)
+        wave = Waveform(recorded)
+        record_unknown = [
+            (i, self._index[n]) for i, n in enumerate(recorded) if n in self._index
+        ]
+        record_forced = [
+            (i, n) for i, n in enumerate(recorded) if n not in self._index
+        ]
+
+        def snapshot(t: float, v_now: np.ndarray) -> None:
+            row = np.empty(len(recorded))
+            for slot, idx in record_unknown:
+                row[slot] = v_now[idx]
+            for slot, name in record_forced:
+                row[slot] = self._forced_value(name, drive, t)
+            wave.append(t, row)
+
+        snapshot(0.0, v)
+        t = 0.0
+        while t < t_stop - 1e-18:
+            h = min(opt.dt, t_stop - t)
+            v, h_used = self._step(v, drive, t, h)
+            t += h_used
+            snapshot(t, v)
+        return wave
+
+    # ------------------------------------------------------------------
+    def _forced_value(
+        self, name: str, drive: dict[str, Stimulus], t: float
+    ) -> float:
+        if name == self.netlist.vdd:
+            return self.tech.vdd
+        if name == self.netlist.gnd:
+            return 0.0
+        return drive[name](t)
+
+    def _settle(self, v: np.ndarray, drive: dict[str, Stimulus]) -> np.ndarray:
+        """Integrate with inputs frozen at t=0 to reach the operating point."""
+        opt = self.options
+        frozen = {name: constant(wave(0.0)) for name, wave in drive.items()}
+        t = -opt.settle
+        while t < -1e-18:
+            h = min(4.0 * opt.dt, -t)
+            v, h_used = self._step(v, frozen, t, h)
+            t += h_used
+        return v
+
+    def _step(
+        self,
+        v_old: np.ndarray,
+        drive: dict[str, Stimulus],
+        t: float,
+        h: float,
+    ) -> tuple[np.ndarray, float]:
+        """One backward-Euler step with halving on nonconvergence."""
+        opt = self.options
+        for _attempt in range(opt.max_step_halvings + 1):
+            converged, v_new = self._newton(v_old, drive, t + h, h)
+            if converged:
+                return v_new, h
+            h *= 0.5
+        raise ConvergenceError(
+            f"backward-Euler step failed to converge at t={t:.3e}s even "
+            f"after {opt.max_step_halvings} halvings"
+        )
+
+    def _newton(
+        self,
+        v_old: np.ndarray,
+        drive: dict[str, Stimulus],
+        t_new: float,
+        h: float,
+    ) -> tuple[bool, np.ndarray]:
+        opt = self.options
+        n = len(self._unknowns)
+        v = v_old.copy()
+        inv_h = 1.0 / h
+        forced_cache: dict[str, float] = {}
+
+        def forced(name: str) -> float:
+            value = forced_cache.get(name)
+            if value is None:
+                value = self._forced_value(name, drive, t_new)
+                forced_cache[name] = value
+            return value
+
+        for _iteration in range(opt.newton_max_iter):
+            f = self._caps * (v - v_old) * inv_h + opt.gmin * v
+            jac = np.zeros((n, n))
+            diag = self._caps * inv_h + opt.gmin
+            jac[np.arange(n), np.arange(n)] = diag
+
+            for kind, g_slot, s_slot, d_slot, w, l in self._devices:
+                vg = v[g_slot[1]] if g_slot[0] else forced(g_slot[1])
+                vs = v[s_slot[1]] if s_slot[0] else forced(s_slot[1])
+                vd = v[d_slot[1]] if d_slot[0] else forced(d_slot[1])
+                ids, dg, ds_, dd = mos_current(
+                    self.tech, kind, vg, vs, vd, w, l
+                )
+                # Current leaves the drain node and enters the source node.
+                if d_slot[0]:
+                    row = d_slot[1]
+                    f[row] += ids
+                    if g_slot[0]:
+                        jac[row, g_slot[1]] += dg
+                    if s_slot[0]:
+                        jac[row, s_slot[1]] += ds_
+                    if d_slot[0]:
+                        jac[row, d_slot[1]] += dd
+                if s_slot[0]:
+                    row = s_slot[1]
+                    f[row] -= ids
+                    if g_slot[0]:
+                        jac[row, g_slot[1]] -= dg
+                    if s_slot[0]:
+                        jac[row, s_slot[1]] -= ds_
+                    if d_slot[0]:
+                        jac[row, d_slot[1]] -= dd
+
+            try:
+                delta = np.linalg.solve(jac, -f)
+            except np.linalg.LinAlgError:
+                return False, v
+            max_delta = float(np.max(np.abs(delta))) if n else 0.0
+            if max_delta > opt.newton_clamp:
+                delta *= opt.newton_clamp / max_delta
+            v = v + delta
+            if max_delta < opt.newton_tol:
+                return True, v
+        return False, v

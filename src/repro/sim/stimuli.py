@@ -1,0 +1,125 @@
+"""Stimulus waveforms for SPICE-lite transient simulation.
+
+A stimulus is just a callable ``t -> volts``.  This module provides the
+builders every experiment needs: constant levels, single steps with a
+controlled ramp, pulses, and the two-phase non-overlapping clock pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..clocks import TwoPhaseClock
+from ..errors import SimulationError
+
+__all__ = [
+    "Stimulus",
+    "constant",
+    "step",
+    "pulse",
+    "piecewise",
+    "two_phase_waveforms",
+]
+
+Stimulus = Callable[[float], float]
+
+
+def constant(level: float) -> Stimulus:
+    """A DC level."""
+    return lambda t: level
+
+
+def step(
+    t0: float,
+    v_from: float,
+    v_to: float,
+    ramp: float = 1e-9,
+) -> Stimulus:
+    """A single transition at ``t0`` with a linear ramp of ``ramp`` seconds."""
+    if ramp <= 0:
+        raise SimulationError("step ramp must be positive")
+
+    def wave(t: float) -> float:
+        if t <= t0:
+            return v_from
+        if t >= t0 + ramp:
+            return v_to
+        return v_from + (v_to - v_from) * (t - t0) / ramp
+
+    return wave
+
+
+def pulse(
+    t0: float,
+    width: float,
+    v_low: float,
+    v_high: float,
+    ramp: float = 1e-9,
+) -> Stimulus:
+    """low -> high at ``t0``, back to low at ``t0 + width``."""
+    up = step(t0, v_low, v_high, ramp)
+    down = step(t0 + width, v_high, v_low, ramp)
+
+    def wave(t: float) -> float:
+        return up(t) if t < t0 + width else down(t)
+
+    return wave
+
+
+def piecewise(points: list[tuple[float, float]]) -> Stimulus:
+    """Linear interpolation through ``(time, volts)`` points."""
+    if len(points) < 1:
+        raise SimulationError("piecewise stimulus needs at least one point")
+    times = [p[0] for p in points]
+    if any(b <= a for a, b in zip(times, times[1:])):
+        raise SimulationError("piecewise times must be strictly increasing")
+
+    def wave(t: float) -> float:
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        for (t_a, v_a), (t_b, v_b) in zip(points, points[1:]):
+            if t_a <= t <= t_b:
+                return v_a + (v_b - v_a) * (t - t_a) / (t_b - t_a)
+        return points[-1][1]  # pragma: no cover - unreachable
+
+    return wave
+
+
+def two_phase_waveforms(
+    clock: TwoPhaseClock,
+    width1: float,
+    width2: float,
+    vdd: float,
+    *,
+    cycles: int = 2,
+    ramp: float = 1e-9,
+    start: float = 0.0,
+) -> dict[str, Stimulus]:
+    """Non-overlapping phi1/phi2 waveforms for transient verification.
+
+    Layout of one cycle: phi1 high for ``width1``, gap, phi2 high for
+    ``width2``, gap.  Returns ``{phase_label: stimulus}``.
+    """
+    gap = clock.nonoverlap
+    period = width1 + width2 + 2.0 * gap
+    points1: list[tuple[float, float]] = [(start, 0.0)]
+    points2: list[tuple[float, float]] = [(start, 0.0)]
+    t = start
+    for _cycle in range(cycles):
+        points1 += [(t + ramp, vdd), (t + width1, vdd), (t + width1 + ramp, 0.0)]
+        t2 = t + width1 + gap
+        points2 += [
+            (t2, 0.0),
+            (t2 + ramp, vdd),
+            (t2 + width2, vdd),
+            (t2 + width2 + ramp, 0.0),
+        ]
+        t += period
+        points1.append((t, 0.0))
+    return {
+        clock.phase1: piecewise(points1),
+        clock.phase2: piecewise(points2),
+    }

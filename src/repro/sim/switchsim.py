@@ -1,0 +1,268 @@
+"""Switch-level functional simulator (esim-class).
+
+The timing analyzer never executes the circuit; to *trust* the benchmark
+generators (is this netlist really a 32-bit adder?) the test suite needs a
+functional reference.  :class:`SwitchSim` is a three-valued (0/1/X)
+switch-level simulator in the esim tradition:
+
+* enhancement devices conduct when their gate is 1, are open at 0, and
+  "maybe conduct" at X; depletion devices always conduct;
+* a node resolves, in strength order: definite conducting path to gnd
+  (ratioed pull-downs always win) -> 0; definite path to an externally
+  driven boundary node -> that value (conflicting boundary values -> X);
+  definite path to vdd (depletion load or precharge switch) -> 1;
+* a node with no conducting path retains its stored value (dynamic charge
+  storage -- what makes nMOS latches work), going X only if a "maybe" path
+  could disturb it;
+* evaluation relaxes stage by stage to a global fixpoint; failure to settle
+  is reported as an oscillation error.
+
+Charge *sharing* ratios are not modelled (a stored node disturbed by a
+maybe-path goes X rather than computing capacitance ratios) -- the standard
+switch-level simplification.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..netlist import DeviceKind, Netlist, Transistor
+from ..stages import Stage, StageGraph, decompose
+
+__all__ = ["SwitchSim", "X"]
+
+#: The unknown logic value.
+X = "x"
+
+_VALID = (0, 1, X)
+
+
+class SwitchSim:
+    """Three-valued switch-level simulator for one netlist."""
+
+    def __init__(self, netlist: Netlist, graph: StageGraph | None = None):
+        self.netlist = netlist
+        self.graph = graph or decompose(netlist)
+        self._values: dict[str, object] = {
+            name: X for name in netlist.nodes
+        }
+        self._values[netlist.vdd] = 1
+        self._values[netlist.gnd] = 0
+        self._drive_names = set(netlist.inputs) | set(netlist.clocks)
+        for name in self._drive_names:
+            self._values[name] = X
+
+    # ------------------------------------------------------------------
+    def value(self, node: str) -> object:
+        """Current value of a node: 0, 1, or X."""
+        try:
+            return self._values[node]
+        except KeyError:
+            raise SimulationError(f"no node {node!r}") from None
+
+    def values(self, nodes: list[str]) -> list[object]:
+        """Current values of several nodes."""
+        return [self.value(n) for n in nodes]
+
+    def word(self, nodes: list[str]) -> int | None:
+        """Interpret nodes as an unsigned little-endian word; None if any X."""
+        total = 0
+        for bit, name in enumerate(nodes):
+            v = self.value(name)
+            if v is X:
+                return None
+            total |= int(v) << bit
+        return total
+
+    def set_input(self, name: str, value: object) -> None:
+        """Drive one input or clock to 0, 1, or X (no settling)."""
+        if name not in self._drive_names:
+            raise SimulationError(f"{name!r} is not an input or clock")
+        if value not in _VALID:
+            raise SimulationError(f"logic value must be 0, 1, or X")
+        self._values[name] = value
+
+    def set_inputs(self, assignments: dict[str, object]) -> None:
+        """Drive several inputs/clocks (no settling)."""
+        for name, value in assignments.items():
+            self.set_input(name, value)
+
+    def set_word(self, nodes: list[str], value: int) -> None:
+        """Drive a little-endian input word."""
+        for bit, name in enumerate(nodes):
+            self.set_input(name, (value >> bit) & 1)
+
+    # ------------------------------------------------------------------
+    def settle(self, max_sweeps: int | None = None) -> int:
+        """Relax all stages to a fixpoint; returns the number of sweeps.
+
+        Raises :class:`SimulationError` if the circuit oscillates.
+        """
+        if max_sweeps is None:
+            max_sweeps = 4 * len(self.graph) + 20
+        for sweep in range(1, max_sweeps + 1):
+            changed = False
+            for stage in self.graph:
+                if self._evaluate_stage(stage):
+                    changed = True
+            if not changed:
+                return sweep
+        raise SimulationError(
+            f"switch-level simulation did not settle in {max_sweeps} sweeps "
+            "(oscillating feedback?)"
+        )
+
+    def step(self, assignments: dict[str, object]) -> None:
+        """Apply inputs and settle (one 'vector' of a functional test)."""
+        self.set_inputs(assignments)
+        self.settle()
+
+    # ------------------------------------------------------------------
+    def _device_state(self, dev: Transistor) -> str:
+        """'on', 'off', or 'maybe'."""
+        if dev.kind is DeviceKind.DEP:
+            return "on"
+        gate = self._values[dev.gate]
+        if gate == 1:
+            return "on"
+        if gate == 0:
+            return "off"
+        return "maybe"
+
+    def _evaluate_stage(self, stage: Stage) -> bool:
+        """Re-resolve one stage's internal nodes; True if anything changed."""
+        netlist = self.netlist
+        devices = [netlist.device(n) for n in stage.device_names]
+        if not stage.nodes:
+            return False
+
+        # Adjacency with per-edge conduction state.
+        adjacency: dict[str, list[tuple[str, str]]] = {}
+        for dev in devices:
+            state = self._device_state(dev)
+            if state == "off":
+                continue
+            a, b = dev.channel_nodes
+            adjacency.setdefault(a, []).append((b, state))
+            adjacency.setdefault(b, []).append((a, state))
+
+        sources: list[tuple[str, object]] = []
+        if netlist.gnd in adjacency:
+            sources.append((netlist.gnd, 0))
+        if netlist.vdd in adjacency:
+            sources.append((netlist.vdd, 1))
+        for boundary in stage.boundary:
+            if netlist.is_rail(boundary):
+                continue
+            sources.append((boundary, self._values[boundary]))
+
+        definite: dict[str, set] = {n: set() for n in stage.nodes}
+        maybe: dict[str, set] = {n: set() for n in stage.nodes}
+        gnd_definite: set[str] = set()
+        gnd_maybe: set[str] = set()
+        vdd_definite: set[str] = set()
+        vdd_maybe: set[str] = set()
+
+        for origin, label in sources:
+            def_reach, may_reach = self._reach(origin, adjacency, stage.nodes)
+            if origin == netlist.gnd:
+                gnd_definite, gnd_maybe = def_reach, may_reach
+            elif origin == netlist.vdd:
+                vdd_definite, vdd_maybe = def_reach, may_reach
+            else:
+                # Rail strength is tracked separately; only boundary-driven
+                # values participate in the pass-value label sets.
+                for node in def_reach:
+                    definite[node].add(label)
+                for node in may_reach:
+                    maybe[node].add(label)
+
+        changed = False
+        for node in stage.nodes:
+            new = self._resolve(
+                node,
+                definite[node],
+                maybe[node],
+                node in gnd_definite,
+                node in gnd_maybe,
+                node in vdd_definite,
+                node in vdd_maybe,
+            )
+            if new != self._values[node]:
+                self._values[node] = new
+                changed = True
+        return changed
+
+    def _reach(
+        self,
+        origin: str,
+        adjacency: dict[str, list[tuple[str, str]]],
+        internal: frozenset[str],
+    ) -> tuple[set[str], set[str]]:
+        """Internal nodes reachable from origin: (definite, incl-maybe)."""
+        def bfs(allow_maybe: bool) -> set[str]:
+            seen = {origin}
+            frontier = [origin]
+            reached: set[str] = set()
+            while frontier:
+                node = frontier.pop()
+                for neighbor, state in adjacency.get(node, ()):
+                    if state == "maybe" and not allow_maybe:
+                        continue
+                    if neighbor in seen:
+                        continue
+                    seen.add(neighbor)
+                    if neighbor in internal:
+                        reached.add(neighbor)
+                        frontier.append(neighbor)
+                    # Conduction does not continue through boundary nodes:
+                    # they are voltage sources.
+            return reached
+
+        return bfs(False), bfs(True)
+
+    def _resolve(
+        self,
+        node: str,
+        definite_labels: set,
+        maybe_labels: set,
+        gnd_def: bool,
+        gnd_may: bool,
+        vdd_def: bool,
+        vdd_may: bool,
+    ) -> object:
+        # Strength 1: a definite conducting path to gnd always wins
+        # (ratioed design rule).
+        if gnd_def:
+            return 0
+        # Strength 2: externally driven boundary values through definite
+        # pass paths.
+        boundary_def = {v for v in definite_labels if v in (0, 1)}
+        if X in definite_labels:
+            return X
+        if boundary_def == {0, 1}:
+            return X  # bus contention
+        if boundary_def == {0}:
+            # A driven 0 wins against the (weaker) pull-up; only a possible
+            # gnd path cannot weaken it further.
+            return 0
+        if boundary_def == {1}:
+            # A driven 1 loses to any *possible* pull-down.
+            return X if gnd_may else 1
+        # Strength 3: pull-up / precharge to vdd -- but a maybe-conducting
+        # pull-down or maybe-driven 0 makes the level unknowable.
+        if vdd_def:
+            if gnd_may or 0 in maybe_labels or X in maybe_labels:
+                return X
+            return 1
+        # Nothing definite: stored charge, possibly disturbed.
+        stored = self._values[node]
+        disturbers = set(maybe_labels)
+        if gnd_may:
+            disturbers.add(0)
+        if vdd_may:
+            disturbers.add(1)
+        if X in disturbers:
+            return X
+        if any(v != stored for v in disturbers):
+            return X
+        return stored

@@ -1,0 +1,181 @@
+"""Test-vector files and the regression runner.
+
+Real 1983 flows kept a deck of test vectors next to every block: apply
+inputs, clock the design, compare observed outputs.  This module gives the
+package the same infrastructure over the switch-level simulator, with a
+small line-oriented file format:
+
+::
+
+    | comment
+    set a=1 b=0 cin=1          drive inputs (0/1/x)
+    cycle                      one full two-phase cycle (phi1 then phi2)
+    cycle 3                    three cycles
+    settle                     settle combinational logic (no clocks)
+    expect sum=0 cout=1        assert node values
+    expect sum0=x              x asserts "unknown here"
+
+Words on ``set``/``expect`` lines are ``name=value`` pairs.  ``run_deck``
+executes a parsed deck and returns a :class:`DeckResult` listing every
+expectation checked and every failure -- the CLI's ``simulate`` subcommand
+is a thin wrapper over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..netlist import Netlist
+from .switchsim import SwitchSim, X
+
+__all__ = [
+    "VectorCommand",
+    "Failure",
+    "DeckResult",
+    "parse_deck",
+    "run_deck",
+]
+
+
+@dataclass(frozen=True)
+class VectorCommand:
+    """One parsed deck line."""
+
+    line: int
+    op: str  # "set" | "cycle" | "settle" | "expect"
+    assignments: tuple[tuple[str, object], ...] = ()
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One failed expectation."""
+
+    line: int
+    node: str
+    expected: object
+    actual: object
+
+    def __str__(self) -> str:
+        return (
+            f"line {self.line}: {self.node} expected {self.expected}, "
+            f"got {self.actual}"
+        )
+
+
+@dataclass
+class DeckResult:
+    """Outcome of a deck run."""
+
+    commands: int = 0
+    expectations: int = 0
+    failures: list[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        """PASS/FAIL banner plus one line per failed expectation."""
+        status = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"{status}: {self.expectations} expectation(s) over "
+            f"{self.commands} command(s), {len(self.failures)} failure(s)"
+        ]
+        lines.extend(f"  {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+def _parse_value(token: str, line: int) -> object:
+    if token in ("0", "1"):
+        return int(token)
+    if token.lower() == "x":
+        return X
+    raise SimulationError(f"line {line}: value must be 0, 1, or x: {token!r}")
+
+
+def parse_deck(text: str) -> list[VectorCommand]:
+    """Parse deck text into commands (see module docstring)."""
+    commands: list[VectorCommand] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("|"):
+            continue
+        op, *rest = line.split()
+        if op in ("set", "expect"):
+            if not rest:
+                raise SimulationError(
+                    f"line {lineno}: {op} needs name=value pairs"
+                )
+            assignments = []
+            for token in rest:
+                name, eq, value = token.partition("=")
+                if not eq or not name:
+                    raise SimulationError(
+                        f"line {lineno}: malformed pair {token!r}"
+                    )
+                assignments.append((name, _parse_value(value, lineno)))
+            commands.append(
+                VectorCommand(lineno, op, tuple(assignments))
+            )
+        elif op == "cycle":
+            count = 1
+            if rest:
+                try:
+                    count = int(rest[0])
+                except ValueError:
+                    raise SimulationError(
+                        f"line {lineno}: cycle count must be an integer"
+                    ) from None
+                if count < 1:
+                    raise SimulationError(
+                        f"line {lineno}: cycle count must be >= 1"
+                    )
+            commands.append(VectorCommand(lineno, "cycle", count=count))
+        elif op == "settle":
+            commands.append(VectorCommand(lineno, "settle"))
+        else:
+            raise SimulationError(f"line {lineno}: unknown command {op!r}")
+    return commands
+
+
+def run_deck(
+    netlist: Netlist,
+    commands: list[VectorCommand],
+    *,
+    phase1: str = "phi1",
+    phase2: str = "phi2",
+) -> DeckResult:
+    """Execute a deck on the switch-level simulator."""
+    sim = SwitchSim(netlist)
+    result = DeckResult()
+    clocked = bool(netlist.clocks)
+
+    for command in commands:
+        result.commands += 1
+        if command.op == "set":
+            for name, value in command.assignments:
+                sim.set_input(name, value)
+        elif command.op == "settle":
+            sim.settle()
+        elif command.op == "cycle":
+            if not clocked:
+                raise SimulationError(
+                    f"line {command.line}: 'cycle' needs a clocked design "
+                    "(use 'settle' for combinational logic)"
+                )
+            for _ in range(command.count):
+                sim.step({phase1: 1, phase2: 0})
+                sim.step({phase1: 0, phase2: 1})
+                sim.step({phase1: 0, phase2: 0})
+        else:  # expect
+            sim.settle()
+            for name, expected in command.assignments:
+                result.expectations += 1
+                actual = sim.value(name)
+                if actual != expected:
+                    result.failures.append(
+                        Failure(command.line, name, expected, actual)
+                    )
+    return result

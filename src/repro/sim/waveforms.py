@@ -1,0 +1,160 @@
+"""Waveform capture and measurement.
+
+SPICE-lite records every node's voltage at every accepted timestep in a
+:class:`Waveform`.  Measurements mirror what a 1983 bench tech would do with
+scope cursors: threshold crossings, 50% delays between two signals, and
+10-90% transition times.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["Waveform"]
+
+
+class Waveform:
+    """Sampled node voltages over time."""
+
+    def __init__(self, node_order: list[str]):
+        self._index = {name: i for i, name in enumerate(node_order)}
+        self._times: list[float] = []
+        self._samples: list[np.ndarray] = []
+
+    def append(self, t: float, voltages: np.ndarray) -> None:
+        """Record one sample row (times must strictly increase)."""
+        if self._times and t <= self._times[-1]:
+            raise SimulationError("waveform samples must advance in time")
+        self._times.append(t)
+        self._samples.append(np.array(voltages, dtype=float, copy=True))
+
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        return np.array(self._times)
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._index)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def trace(self, node: str) -> np.ndarray:
+        """The full voltage trace of one node."""
+        try:
+            column = self._index[node]
+        except KeyError:
+            raise SimulationError(f"waveform has no node {node!r}") from None
+        return np.array([s[column] for s in self._samples])
+
+    def value_at(self, node: str, t: float) -> float:
+        """Linearly interpolated voltage of ``node`` at time ``t``."""
+        times = self._times
+        if not times:
+            raise SimulationError("empty waveform")
+        trace = self.trace(node)
+        if t <= times[0]:
+            return float(trace[0])
+        if t >= times[-1]:
+            return float(trace[-1])
+        i = bisect.bisect_right(times, t)
+        t0, t1 = times[i - 1], times[i]
+        v0, v1 = trace[i - 1], trace[i]
+        return float(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+
+    # ------------------------------------------------------------------
+    def crossings(
+        self, node: str, threshold: float, direction: str = "any"
+    ) -> list[float]:
+        """All times the node crosses ``threshold``.
+
+        ``direction`` is ``"rise"``, ``"fall"``, or ``"any"``.
+        """
+        if direction not in ("rise", "fall", "any"):
+            raise SimulationError(f"unknown direction {direction!r}")
+        trace = self.trace(node)
+        times = self._times
+        found: list[float] = []
+        for i in range(1, len(times)):
+            v0, v1 = trace[i - 1], trace[i]
+            rising = v0 < threshold <= v1
+            falling = v0 > threshold >= v1
+            if direction == "rise" and not rising:
+                continue
+            if direction == "fall" and not falling:
+                continue
+            if not (rising or falling):
+                continue
+            t0, t1 = times[i - 1], times[i]
+            frac = (threshold - v0) / (v1 - v0)
+            found.append(t0 + frac * (t1 - t0))
+        return found
+
+    def crossing_after(
+        self,
+        node: str,
+        threshold: float,
+        direction: str,
+        after: float,
+    ) -> float | None:
+        """First qualifying crossing at or after time ``after``."""
+        for t in self.crossings(node, threshold, direction):
+            if t >= after:
+                return t
+        return None
+
+    def delay(
+        self,
+        from_node: str,
+        to_node: str,
+        threshold: float,
+        *,
+        from_direction: str = "any",
+        to_direction: str = "any",
+        after: float = 0.0,
+    ) -> float:
+        """50%-style delay: first crossing of ``from_node`` after ``after``
+        to the next qualifying crossing of ``to_node``."""
+        start = self.crossing_after(from_node, threshold, from_direction, after)
+        if start is None:
+            raise SimulationError(
+                f"{from_node!r} never crosses {threshold} V after {after}"
+            )
+        end = self.crossing_after(to_node, threshold, to_direction, start)
+        if end is None:
+            raise SimulationError(
+                f"{to_node!r} never crosses {threshold} V after {start}"
+            )
+        return end - start
+
+    def transition_time(
+        self,
+        node: str,
+        v_low: float,
+        v_high: float,
+        direction: str,
+        after: float = 0.0,
+    ) -> float:
+        """10-90%-style transition time between two thresholds."""
+        if direction == "rise":
+            t0 = self.crossing_after(node, v_low, "rise", after)
+            t1 = self.crossing_after(node, v_high, "rise", t0 or after)
+        elif direction == "fall":
+            t0 = self.crossing_after(node, v_high, "fall", after)
+            t1 = self.crossing_after(node, v_low, "fall", t0 or after)
+        else:
+            raise SimulationError(f"unknown direction {direction!r}")
+        if t0 is None or t1 is None:
+            raise SimulationError(
+                f"{node!r} has no complete {direction} transition after {after}"
+            )
+        return t1 - t0
+
+    def final_value(self, node: str) -> float:
+        """Voltage at the last sample."""
+        return float(self.trace(node)[-1])

@@ -1,0 +1,26 @@
+"""Stage decomposition and static node classification.
+
+Public surface:
+
+* :func:`decompose` -- split a netlist into channel-connected stages
+* :class:`Stage`, :class:`StageGraph`
+* :class:`NodeClass`, :func:`classify_node`, :func:`classify_nodes`
+* :class:`StageArchetype`, :func:`archetype_of`, :func:`archetype_census`
+"""
+
+from .archetypes import StageArchetype, archetype_census, archetype_of
+from .classify import NodeClass, classify_node, classify_nodes
+from .decompose import decompose
+from .stage import Stage, StageGraph
+
+__all__ = [
+    "decompose",
+    "Stage",
+    "StageGraph",
+    "NodeClass",
+    "classify_node",
+    "classify_nodes",
+    "StageArchetype",
+    "archetype_of",
+    "archetype_census",
+]

@@ -1,0 +1,132 @@
+"""Stage archetype recognition.
+
+nMOS design practice used a small repertoire of stage shapes; recognizing
+them lets the delay calculator pick the right model and makes reports read
+the way a designer thinks:
+
+``RESTORING``    one or more depletion-loaded outputs with enhancement
+                 pull-down networks to gnd: NAND/NOR/inverter/AOI logic
+``PASS``         pure pass-transistor network (no pull-up, no static path
+                 to a rail inside the stage): buses, muxes, shifters,
+                 latch input switches
+``PRECHARGED``   clock-precharged dynamic stage (precharge device to vdd,
+                 conditional discharge path): Manchester carry, dynamic PLAs
+``SUPERBUFFER``  the two-output driver idiom: an inverting restoring gate
+                 whose output and input both drive a second, larger
+                 totem-pole output (low-impedance both ways)
+``MIXED``        restoring outputs *and* pass devices in one stage (common:
+                 a gate output feeding an attached pass switch)
+``DEGENERATE``   a boundary-to-boundary device with no internal node
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..netlist import DeviceKind, Netlist, Transistor
+from .stage import Stage, StageGraph
+
+__all__ = ["StageArchetype", "archetype_of", "archetype_census"]
+
+
+class StageArchetype(enum.Enum):
+    RESTORING = "restoring"
+    PASS = "pass"
+    PRECHARGED = "precharged"
+    SUPERBUFFER = "superbuffer"
+    MIXED = "mixed"
+    DEGENERATE = "degenerate"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def archetype_of(netlist: Netlist, stage: Stage) -> StageArchetype:
+    """Classify one stage (see module docstring)."""
+    if not stage.nodes:
+        return StageArchetype.DEGENERATE
+
+    devices = [netlist.device(n) for n in stage.device_names]
+
+    followers = [
+        d
+        for d in devices
+        if d.kind is DeviceKind.DEP
+        and not d.is_load
+        and netlist.vdd in d.channel_nodes
+    ]
+    pulled_up = {n for n in stage.nodes if netlist.has_pullup(n)}
+    pulled_up |= {
+        d.other_channel(netlist.vdd) for d in followers
+    } & stage.nodes
+    precharged = {
+        n
+        for n in stage.nodes
+        if any(
+            d.kind is DeviceKind.ENH
+            and d.gate in netlist.clocks
+            and d.other_channel(n) == netlist.vdd
+            for d in netlist.channel_devices(n)
+        )
+    }
+    pass_devices = [
+        d
+        for d in devices
+        if _is_pass_like(netlist, stage, d, pulled_up)
+    ]
+    touches_gnd = netlist.gnd in stage.boundary
+
+    if precharged and not pulled_up:
+        return StageArchetype.PRECHARGED
+
+    if pulled_up:
+        if followers:
+            return StageArchetype.SUPERBUFFER
+        if pass_devices:
+            return StageArchetype.MIXED
+        return StageArchetype.RESTORING
+
+    if not touches_gnd:
+        return StageArchetype.PASS
+
+    # No pull-up but a gnd path: a bare pull-down network (e.g. an
+    # open-drain driver onto a shared precharged node in another stage's
+    # locality) -- electrically it behaves like pass/dynamic circuitry.
+    return StageArchetype.MIXED
+
+
+def _is_pass_like(
+    netlist: Netlist,
+    stage: Stage,
+    dev: Transistor,
+    pulled_up: set[str],
+) -> bool:
+    """True for devices routing signal rather than pulling a gate output.
+
+    A series device *inside* a pull-down chain (NAND interior) has only
+    anonymous internal terminals; a pass switch carries signal to a node
+    the outside world sees -- a non-pulled-up stage output or a non-rail
+    boundary node.
+    """
+    if dev.kind is not DeviceKind.ENH:
+        return False
+    if netlist.is_rail(dev.source) or netlist.is_rail(dev.drain):
+        return False
+    if dev.gate in netlist.clocks:
+        return False  # clocked switches are counted by the latch analysis
+    for terminal in dev.channel_nodes:
+        if terminal in pulled_up:
+            continue
+        if terminal in stage.outputs:
+            return True
+        if terminal in stage.boundary and not netlist.is_rail(terminal):
+            return True
+    return False
+
+
+def archetype_census(netlist: Netlist, graph: StageGraph) -> dict[StageArchetype, int]:
+    """Count stages per archetype -- a one-line design fingerprint."""
+    census: dict[StageArchetype, int] = {a: 0 for a in StageArchetype}
+    for stage in graph:
+        census[archetype_of(netlist, stage)] += 1
+    return census

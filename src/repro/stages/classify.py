@@ -1,0 +1,114 @@
+"""Static node classification.
+
+TV classifies every node of the netlist before timing analysis, because the
+delay model and the clocking rules depend on what a node *is*: a restoring
+gate output behaves differently from a precharged bus or a dynamic storage
+node.  Classification is purely structural (value-independent), matching the
+static character of the whole analysis.
+
+Classes, in decision order:
+
+``RAIL``        vdd or gnd
+``INPUT``       declared primary input
+``CLOCK``       declared clock node
+``GATE_OUTPUT`` node with a depletion pull-up: output of restoring logic
+``PRECHARGED``  node pulled to vdd through a clock-gated enhancement device
+                (dynamic/precharged logic, e.g. Manchester carry, buses)
+``STORAGE``     node whose every channel connection is a clock-gated pass
+                device: a dynamic latch node that holds charge while its
+                clocks are low
+``PASS``        other internal node of a pass-transistor network
+``GATE_ONLY``   node that only gates devices (no channel connection);
+                normally a boundary or an extraction artifact
+``ISOLATED``    node connected to nothing
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..netlist import DeviceKind, Netlist
+
+__all__ = ["NodeClass", "classify_node", "classify_nodes"]
+
+
+class NodeClass(enum.Enum):
+    RAIL = "rail"
+    INPUT = "input"
+    CLOCK = "clock"
+    GATE_OUTPUT = "gate-output"
+    PRECHARGED = "precharged"
+    STORAGE = "storage"
+    PASS = "pass"
+    GATE_ONLY = "gate-only"
+    ISOLATED = "isolated"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify_node(netlist: Netlist, node_name: str) -> NodeClass:
+    """Classify one node (see module docstring for the decision order)."""
+    if netlist.is_rail(node_name):
+        return NodeClass.RAIL
+    if node_name in netlist.inputs:
+        return NodeClass.INPUT
+    if node_name in netlist.clocks:
+        return NodeClass.CLOCK
+
+    channel = netlist.channel_devices(node_name)
+    if not channel:
+        if netlist.gate_loads(node_name):
+            return NodeClass.GATE_ONLY
+        return NodeClass.ISOLATED
+
+    # A tied-gate depletion load, or a gated depletion follower from vdd
+    # (superbuffer output stage), both mark a restoring output.
+    if netlist.has_pullup(node_name) or any(
+        dev.kind is DeviceKind.DEP and dev.other_channel(node_name) == netlist.vdd
+        for dev in channel
+    ):
+        return NodeClass.GATE_OUTPUT
+
+    if _is_precharged(netlist, node_name):
+        return NodeClass.PRECHARGED
+
+    if _is_storage(netlist, node_name):
+        return NodeClass.STORAGE
+
+    return NodeClass.PASS
+
+
+def classify_nodes(netlist: Netlist) -> dict[str, NodeClass]:
+    """Classify every node of the netlist."""
+    return {name: classify_node(netlist, name) for name in netlist.nodes}
+
+
+def _is_precharged(netlist: Netlist, node_name: str) -> bool:
+    """True if a clock-gated enhancement device pulls the node to vdd."""
+    for dev in netlist.channel_devices(node_name):
+        if (
+            dev.kind is DeviceKind.ENH
+            and dev.gate in netlist.clocks
+            and dev.other_channel(node_name) == netlist.vdd
+        ):
+            return True
+    return False
+
+
+def _is_storage(netlist: Netlist, node_name: str) -> bool:
+    """True if every channel connection is a clock-gated pass device.
+
+    Such a node is isolated from all drivers whenever its clocks are low, so
+    it stores state dynamically -- the nMOS "pass transistor + inverter"
+    latch idiom.  The node must also actually feed something (gate a device
+    or be a declared output) to count as storage rather than debris.
+    """
+    channel = netlist.channel_devices(node_name)
+    for dev in channel:
+        if dev.kind is not DeviceKind.ENH or dev.gate not in netlist.clocks:
+            return False
+    feeds_something = bool(netlist.gate_loads(node_name)) or (
+        node_name in netlist.outputs
+    )
+    return feeds_something

@@ -1,0 +1,131 @@
+"""Channel-connected component (stage) decomposition.
+
+The decomposition walks the netlist's channel graph -- nodes joined by
+transistor source/drain pairs -- with every *boundary* node (rail, primary
+input, clock) acting as a cut point.  Each connected component of internal
+nodes, together with all devices touching it, forms one
+:class:`~repro.stages.stage.Stage`.
+
+Devices whose channel runs directly between two boundary nodes (e.g. a pass
+transistor bridging two primary inputs) belong to no internal component; each
+such device becomes its own degenerate stage so no device is lost.
+
+The algorithm is a single union-find pass over the devices followed by one
+gathering pass, O(devices * alpha); this linearity is what makes whole-chip
+static analysis cheap (paper claim #5).
+"""
+
+from __future__ import annotations
+
+from ..netlist import Netlist, Transistor
+from .stage import Stage, StageGraph
+
+__all__ = ["decompose"]
+
+
+class _UnionFind:
+    """Minimal union-find over string keys."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def find(self, key: str) -> str:
+        parent = self._parent.setdefault(key, key)
+        if parent == key:
+            return key
+        root = self.find(parent)
+        self._parent[key] = root
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def decompose(netlist: Netlist) -> StageGraph:
+    """Decompose a netlist into its stage graph."""
+    uf = _UnionFind()
+    degenerate: list[Transistor] = []
+
+    for dev in netlist.devices.values():
+        s_internal = not netlist.is_boundary(dev.source)
+        d_internal = not netlist.is_boundary(dev.drain)
+        if s_internal and d_internal:
+            uf.union(dev.source, dev.drain)
+        elif s_internal:
+            uf.find(dev.source)
+        elif d_internal:
+            uf.find(dev.drain)
+        else:
+            degenerate.append(dev)
+
+    # Gather members per component root.
+    component_nodes: dict[str, set[str]] = {}
+    for name in netlist.nodes:
+        if netlist.is_boundary(name):
+            continue
+        if not netlist.channel_devices(name):
+            continue  # gate-only or floating nodes belong to no stage
+        root = uf.find(name)
+        component_nodes.setdefault(root, set()).add(name)
+
+    component_devices: dict[str, list[Transistor]] = {r: [] for r in component_nodes}
+    for dev in netlist.devices.values():
+        for terminal in dev.channel_nodes:
+            if not netlist.is_boundary(terminal):
+                component_devices[uf.find(terminal)].append(dev)
+                break  # each device joins exactly one component
+
+    # Deterministic ordering: by smallest node name in the component.
+    ordered_roots = sorted(component_nodes, key=lambda r: min(component_nodes[r]))
+
+    stages: list[Stage] = []
+    for root in ordered_roots:
+        nodes = component_nodes[root]
+        devices = component_devices[root]
+        stages.append(_build_stage(netlist, len(stages), nodes, devices))
+    for dev in degenerate:
+        stages.append(_build_stage(netlist, len(stages), set(), [dev]))
+
+    return StageGraph(netlist, stages)
+
+
+def _build_stage(
+    netlist: Netlist,
+    index: int,
+    nodes: set[str],
+    devices: list[Transistor],
+) -> Stage:
+    gate_inputs: set[str] = set()
+    boundary: set[str] = set()
+    for dev in devices:
+        gate_inputs.add(dev.gate)
+        for terminal in dev.channel_nodes:
+            if netlist.is_boundary(terminal):
+                boundary.add(terminal)
+
+    member_names = {d.name for d in devices}
+    outputs: set[str] = set()
+    for node in nodes:
+        if node in netlist.outputs:
+            outputs.add(node)
+            continue
+        # Externally visible iff the node gates a device of another stage.
+        # (Gating a member device -- a depletion load's tied gate, or a
+        # feedback/bootstrap structure -- keeps the node internal.)
+        if any(
+            load.name not in member_names
+            for load in netlist.gate_loads(node)
+        ):
+            outputs.add(node)
+
+    devices_sorted = sorted(devices, key=lambda d: d.name)
+    return Stage(
+        index=index,
+        nodes=frozenset(nodes),
+        device_names=tuple(d.name for d in devices_sorted),
+        gate_inputs=frozenset(gate_inputs),
+        boundary=frozenset(boundary),
+        outputs=frozenset(outputs),
+    )

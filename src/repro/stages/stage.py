@@ -1,0 +1,158 @@
+"""Stage data model.
+
+TV analyzes circuits in units of *stages*: maximal groups of transistors
+connected through their sources and drains, with the externally driven nodes
+(power rails, primary inputs, clocks) acting as cut points.  A stage is the
+natural electrical unit of an nMOS circuit -- a restoring gate with its
+pull-up and pull-down network, a pass-transistor network, a precharged bus --
+because charge flows freely inside a stage and only crosses stage boundaries
+through transistor gates or boundary nodes.
+
+:class:`Stage` is a frozen record produced by
+:func:`repro.stages.decompose.decompose`; :class:`StageGraph` holds the full
+decomposition plus the node-to-stage index and inter-stage connectivity used
+by the timing-graph builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import StageError
+from ..netlist import Netlist, Transistor
+
+__all__ = ["Stage", "StageGraph"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One channel-connected transistor group.
+
+    Attributes
+    ----------
+    index:
+        Position in the owning :class:`StageGraph` (stable, 0-based).
+    nodes:
+        Internal channel nodes of the stage (never rails/inputs/clocks).
+    device_names:
+        Names of the member devices: every device with at least one channel
+        terminal among ``nodes`` (or, for degenerate boundary-to-boundary
+        devices, the device itself).
+    gate_inputs:
+        Nodes gating member devices.  May include internal nodes (feedback
+        structures) and boundary nodes (clocks gating pass devices).
+    boundary:
+        Externally driven channel terminals touching the stage: rails,
+        primary inputs, clocks.
+    outputs:
+        Internal nodes observable outside the stage: they gate devices of
+        *other* stages or are declared primary outputs.
+    """
+
+    index: int
+    nodes: frozenset[str]
+    device_names: tuple[str, ...]
+    gate_inputs: frozenset[str]
+    boundary: frozenset[str]
+    outputs: frozenset[str]
+
+    @property
+    def external_gate_inputs(self) -> frozenset[str]:
+        """Gate inputs coming from outside the stage."""
+        return self.gate_inputs - self.nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Stage(#{self.index}, {len(self.nodes)} nodes, "
+            f"{len(self.device_names)} devices, outputs={sorted(self.outputs)})"
+        )
+
+
+class StageGraph:
+    """The complete stage decomposition of a netlist.
+
+    Provides the node-to-stage index and the derived stage-level
+    connectivity: stage A *feeds* stage B when an output of A is an external
+    gate input of B.  (Channel connections never cross stages except through
+    boundary nodes, by construction.)
+    """
+
+    def __init__(self, netlist: Netlist, stages: list[Stage]):
+        self.netlist = netlist
+        self.stages: tuple[Stage, ...] = tuple(stages)
+        self._stage_of: dict[str, int] = {}
+        for stage in self.stages:
+            for node in stage.nodes:
+                if node in self._stage_of:
+                    raise StageError(
+                        f"node {node!r} assigned to stages "
+                        f"{self._stage_of[node]} and {stage.index}"
+                    )
+                self._stage_of[node] = stage.index
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self.stages)
+
+    def __getitem__(self, index: int) -> Stage:
+        return self.stages[index]
+
+    def stage_of(self, node_name: str) -> Stage | None:
+        """The stage owning a node, or None for boundary/unconnected nodes."""
+        idx = self._stage_of.get(node_name)
+        return None if idx is None else self.stages[idx]
+
+    def devices_of(self, stage: Stage) -> list[Transistor]:
+        """Resolve a stage's member devices against the netlist."""
+        return [self.netlist.device(name) for name in stage.device_names]
+
+    def successors(self, stage: Stage) -> list[Stage]:
+        """Stages gated by an output of ``stage``."""
+        seen: set[int] = set()
+        result: list[Stage] = []
+        for out in stage.outputs:
+            for dev in self.netlist.gate_loads(out):
+                target = self.stage_of(dev.source) or self.stage_of(dev.drain)
+                if target is None or target.index == stage.index:
+                    continue
+                if target.index not in seen:
+                    seen.add(target.index)
+                    result.append(target)
+        return result
+
+    def stages_gated_by(self, node_name: str) -> list[Stage]:
+        """Stages having ``node_name`` as an *external* gate input.
+
+        The stage owning the node itself is excluded: a depletion load's
+        tied gate (or internal feedback) does not make a node an input of
+        its own stage.
+        """
+        own = self.stage_of(node_name)
+        seen: set[int] = set()
+        result: list[Stage] = []
+        for dev in self.netlist.gate_loads(node_name):
+            for terminal in dev.channel_nodes:
+                target = self.stage_of(terminal)
+                if target is None or (own is not None and target is own):
+                    continue
+                if target.index not in seen:
+                    seen.add(target.index)
+                    result.append(target)
+        return result
+
+    def stages_at_boundary(self, node_name: str) -> list[Stage]:
+        """Stages whose channel network touches boundary node ``node_name``."""
+        return [s for s in self.stages if node_name in s.boundary]
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate statistics used in reports."""
+        sizes = [len(s.device_names) for s in self.stages] or [0]
+        return {
+            "stages": len(self.stages),
+            "devices": sum(sizes),
+            "max_stage_devices": max(sizes),
+            "mean_stage_devices": sum(sizes) / max(1, len(self.stages)),
+        }

@@ -1,0 +1,241 @@
+"""Technology model: nMOS process parameters and derived electrical values.
+
+The TV timing analyzer (Jouppi, DAC 1983) was built for the Stanford MIPS
+project, fabricated in a circa-1983 nMOS process (4 um drawn features,
+lambda = 2 um in Mead-Conway terms, Vdd = 5 V, depletion-load ratioed logic).
+:class:`Technology` captures the process parameters needed by both the static
+RC delay models (effective resistances, node capacitances) and the SPICE-lite
+device equations (threshold voltages, transconductance).
+
+Units are strict SI throughout the package: seconds, ohms, farads, volts,
+amps.  Device geometry (``w``, ``l``) is in metres.  Convenience constants
+``UM``, ``FF``, ``NS``, ``PF``, ``KOHM`` are provided for readable literals.
+
+Effective-resistance model
+--------------------------
+A conducting MOS transistor is modelled, for delay estimation, as a linear
+resistor whose value scales with the number of "squares" of channel::
+
+    R_eff = r_sq * (l / w)
+
+where ``r_sq`` depends on the device kind and on the transition being driven
+(an enhancement pull-down discharging a node sees a different average
+operating point than a pass transistor transmitting a rising signal).  This
+is the classic Mead-Conway / TV abstraction; the values below are calibrated
+so that the Elmore estimates land within ~10-20% of the package's SPICE-lite
+transient simulations (see ``benchmarks/bench_t1_stage_accuracy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+__all__ = [
+    "Technology",
+    "NMOS4",
+    "UM",
+    "NS",
+    "PS",
+    "FF",
+    "PF",
+    "KOHM",
+]
+
+# Readable unit constants (all values in the package are plain SI floats).
+UM = 1e-6  #: one micrometre, in metres
+NS = 1e-9  #: one nanosecond, in seconds
+PS = 1e-12  #: one picosecond, in seconds
+FF = 1e-15  #: one femtofarad, in farads
+PF = 1e-12  #: one picofarad, in farads
+KOHM = 1e3  #: one kiloohm, in ohms
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Parameters of an nMOS depletion-load process.
+
+    The default values (see :data:`NMOS4`) model a 4 um drawn process:
+    lambda = 2 um, Vdd = 5 V, minimum enhancement device 4 lambda wide by
+    2 lambda long, standard 4:1 pull-up/pull-down ratio for restoring logic.
+    """
+
+    name: str = "nmos-4um"
+
+    # Supply and device thresholds (volts).
+    vdd: float = 5.0
+    vt_enh: float = 1.0  #: enhancement threshold
+    vt_dep: float = -3.0  #: depletion threshold (negative: always on)
+
+    # Level-1 (Shichman-Hodges) transconductance parameter, A/V^2,
+    # i.e. mu_n * Cox.  Used only by SPICE-lite.
+    kprime: float = 25e-6
+    channel_lambda: float = 0.02  #: channel-length modulation, 1/V
+
+    # Geometry.
+    lam: float = 2.0 * UM  #: Mead-Conway lambda (half the drawn feature size)
+
+    # Effective resistances, ohms per square of channel (R = r_sq * l/w).
+    r_sq_enh_pulldown: float = 11.0 * KOHM  #: enh device discharging a node
+    r_sq_enh_pass: float = 15.0 * KOHM  #: enh pass device, mid-rail signal
+    r_sq_dep_pullup: float = 11.0 * KOHM  #: depletion load charging a node
+
+    # A pass transistor pulling its output *high* saturates as the output
+    # approaches Vdd - Vt; its effective resistance for a rising transfer is
+    # derated by this factor on top of ``r_sq_enh_pass``.
+    pass_rise_derate: float = 1.6
+
+    # Capacitances.
+    c_gate_area: float = 0.45e-3  #: gate oxide capacitance, F/m^2 (0.45 fF/um^2)
+    c_diff_area: float = 0.12e-3  #: source/drain diffusion capacitance, F/m^2
+    c_diff_len: float = 4.0 * UM  #: assumed diffusion extent used for C_diff
+
+    # Delay-model calibration: an Elmore RC product is multiplied by these
+    # factors to yield a 50%-crossing delay.  0.69 = ln 2 is the ideal
+    # single-pole value; the rise factor is larger because a depletion load
+    # is a degrading current source near Vdd, not a linear resistor.
+    k_fall: float = 0.69
+    k_rise: float = 1.0
+
+    # Logic thresholds used by the waveform measurement and switch-level
+    # simulator (volts).
+    v_low: float = 1.0
+    v_high: float = 3.0
+    v_meas: float = 2.2  #: delay-measurement crossing (approx. inverter Vth)
+
+    # Minimum node capacitance floor, farads.  Every physical node has some
+    # parasitic; this also keeps SPICE-lite's nodal matrix nonsingular.
+    c_node_floor: float = 2.0 * FF
+
+    def corner(self, which: str) -> "Technology":
+        """A process corner of this technology.
+
+        1983 signoff ran three corners: ``"slow"`` (weak devices, fat
+        capacitance -- the shipping limit), ``"typ"`` (this technology,
+        unchanged), and ``"fast"`` (strong devices, lean capacitance --
+        the race-hazard limit).  Min-delay checks belong on the fast
+        corner; cycle-time signoff on the slow one.
+        """
+        if which == "typ":
+            return self
+        if which == "slow":
+            r_scale, c_scale, name = 1.35, 1.15, f"{self.name}-slow"
+        elif which == "fast":
+            r_scale, c_scale, name = 0.75, 0.9, f"{self.name}-fast"
+        else:
+            raise ValueError(
+                f"unknown corner {which!r}: choose slow, typ, or fast"
+            )
+        return replace(
+            self,
+            name=name,
+            r_sq_enh_pulldown=self.r_sq_enh_pulldown * r_scale,
+            r_sq_enh_pass=self.r_sq_enh_pass * r_scale,
+            r_sq_dep_pullup=self.r_sq_dep_pullup * r_scale,
+            kprime=self.kprime / r_scale,
+            c_gate_area=self.c_gate_area * c_scale,
+            c_diff_area=self.c_diff_area * c_scale,
+        )
+
+    @classmethod
+    def corners(cls, base: "Technology | None" = None) -> dict:
+        """The classic three-corner set, ``{"slow": ..., "typ": ..., "fast": ...}``."""
+        base = base or NMOS4
+        return {which: base.corner(which) for which in ("slow", "typ", "fast")}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Technology":
+        """Build a technology from a plain mapping (e.g. parsed JSON).
+
+        Unknown keys are rejected loudly -- a typo in a process file must
+        not silently fall back to the default value.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown technology parameter(s): {sorted(unknown)}; "
+                f"valid keys: {sorted(valid)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, path) -> "Technology":
+        """Load a technology from a JSON process file."""
+        import json
+        import pathlib
+
+        text = pathlib.Path(path).read_text()
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: technology file must hold an object")
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict:
+        """The full parameter set as a plain mapping (JSON-serializable)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def scaled(self, factor: float, name: str | None = None) -> "Technology":
+        """Return a constant-field-scaled copy of this technology.
+
+        ``factor`` < 1 shrinks the process: lambda scales by ``factor``,
+        capacitances per area are unchanged (to first order the oxide thins
+        with the process, raising C/area, while junctions shrink; we keep the
+        per-area figures and let geometry carry the scaling), and effective
+        resistances per square are unchanged (R_sq is geometry-independent).
+        Used by the scaling sweeps in the benchmark harness.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            lam=self.lam * factor,
+            c_diff_len=self.c_diff_len * factor,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived per-device electrical values.
+    # ------------------------------------------------------------------
+    def min_width(self) -> float:
+        """Minimum drawn transistor width (4 lambda), metres."""
+        return 4.0 * self.lam
+
+    def min_length(self) -> float:
+        """Minimum drawn transistor length (2 lambda), metres."""
+        return 2.0 * self.lam
+
+    def r_eff(self, kind: str, w: float, l: float, *, pass_mode: bool = False) -> float:
+        """Effective resistance of a conducting device, ohms.
+
+        ``kind`` is ``"enh"`` or ``"dep"``; ``pass_mode`` selects the pass
+        transistor operating point for enhancement devices (a pass device
+        transmitting a high level saturates near Vdd - Vt and is effectively
+        more resistive than a grounded-source pull-down).
+        """
+        if w <= 0 or l <= 0:
+            raise ValueError(f"device geometry must be positive (w={w}, l={l})")
+        squares = l / w
+        if kind == "enh":
+            r_sq = self.r_sq_enh_pass if pass_mode else self.r_sq_enh_pulldown
+        elif kind == "dep":
+            r_sq = self.r_sq_dep_pullup
+        else:
+            raise ValueError(f"unknown device kind {kind!r}")
+        return r_sq * squares
+
+    def c_gate(self, w: float, l: float) -> float:
+        """Gate capacitance of a device, farads."""
+        return self.c_gate_area * w * l
+
+    def c_diff(self, w: float) -> float:
+        """Source/drain diffusion capacitance of a device terminal, farads."""
+        return self.c_diff_area * w * self.c_diff_len
+
+    def beta(self, w: float, l: float) -> float:
+        """Level-1 device transconductance ``kprime * w / l``, A/V^2."""
+        return self.kprime * w / l
+
+
+#: The package-default technology: a 4 um nMOS depletion-load process of the
+#: kind the MIPS chip was fabricated in.
+NMOS4 = Technology()

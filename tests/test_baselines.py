@@ -1,0 +1,63 @@
+"""Tests for the gate-level baseline analyzers (repro.baselines)."""
+
+import pytest
+
+from repro import TimingAnalyzer
+from repro.baselines import FanoutDelayAnalyzer, UnitDelayAnalyzer
+from repro.circuits import (
+    inverter_chain,
+    pass_chain,
+    ripple_adder,
+)
+
+
+class TestUnitDelay:
+    def test_chain_counts_stages(self):
+        result = UnitDelayAnalyzer(inverter_chain(5), unit=1e-9).analyze()
+        assert result.max_delay == pytest.approx(5e-9)
+
+    def test_pass_chain_looks_constant(self):
+        # The defining blindness: a pass chain is one stage traversal no
+        # matter how long, so the unit model sees the same delay for any
+        # length -- while the transistor-level truth is quadratic.
+        short = UnitDelayAnalyzer(pass_chain(2), unit=1e-9).analyze()
+        long = UnitDelayAnalyzer(pass_chain(12), unit=1e-9).analyze()
+        assert long.max_delay == pytest.approx(short.max_delay)
+        tv_short = TimingAnalyzer(pass_chain(2)).analyze().max_delay
+        tv_long = TimingAnalyzer(pass_chain(12)).analyze().max_delay
+        assert tv_long > 5 * tv_short
+
+    def test_critical_path_available(self):
+        result = UnitDelayAnalyzer(ripple_adder(3)).analyze()
+        assert result.critical_path is not None
+        assert result.critical_path.arrival == result.max_delay
+
+
+class TestFanoutDelay:
+    def test_fanout_increases_delay(self):
+        light = inverter_chain(1)
+        result_light = FanoutDelayAnalyzer(light).analyze()
+        heavy = inverter_chain(1)
+        # Load n0 with extra gates.
+        for i in range(6):
+            from repro.circuits import add_inverter
+
+            add_inverter(heavy, "n0", f"extra{i}", tag=f"x{i}")
+        result_heavy = FanoutDelayAnalyzer(heavy).analyze()
+        light_arr = result_light.arrivals.worst("n0").time
+        heavy_arr = result_heavy.arrivals.worst("n0").time
+        assert heavy_arr > light_arr
+
+    def test_still_blind_to_series_resistance(self):
+        # Fanout model sees load but not chain resistance: sublinear growth.
+        d3 = FanoutDelayAnalyzer(pass_chain(3)).analyze().max_delay
+        d12 = FanoutDelayAnalyzer(pass_chain(12)).analyze().max_delay
+        assert d12 < 2.5 * d3
+
+
+class TestRanking:
+    def test_baselines_and_tv_agree_on_trivial_chain(self):
+        net = inverter_chain(4)
+        tv = TimingAnalyzer(net).analyze()
+        unit = UnitDelayAnalyzer(net).analyze()
+        assert tv.critical_path.endpoint == unit.critical_path.endpoint

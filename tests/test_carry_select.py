@@ -1,0 +1,66 @@
+"""Tests for the carry-select adder (repro.circuits.adders)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import TimingAnalyzer
+from repro.circuits import bus, carry_select_adder, ripple_adder
+from repro.netlist import validate
+from repro.sim import SwitchSim
+
+
+class TestFunctional:
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    @settings(max_examples=20, deadline=None)
+    def test_adds_correctly(self, a, b, cin):
+        width = 8
+        net = carry_select_adder(width, section=4)
+        sim = SwitchSim(net)
+        sim.set_word(bus("a", width), a)
+        sim.set_word(bus("b", width), b)
+        sim.set_input("cin", cin)
+        sim.settle()
+        total = a + b + cin
+        assert sim.word(bus("sum", width)) == total & 0xFF
+        assert sim.value("cout") == total >> 8
+
+    @pytest.mark.parametrize("section", [1, 2, 3, 8])
+    def test_any_section_size(self, section):
+        width = 6
+        net = carry_select_adder(width, section=section)
+        sim = SwitchSim(net)
+        sim.set_word(bus("a", width), 45)
+        sim.set_word(bus("b", width), 27)
+        sim.set_input("cin", 1)
+        sim.settle()
+        assert sim.word(bus("sum", width)) == (45 + 27 + 1) & 63
+        assert sim.value("cout") == (45 + 27 + 1) >> 6
+
+    def test_erc_clean(self):
+        validate(carry_select_adder(8))
+
+    def test_invalid_section_rejected(self):
+        with pytest.raises(ValueError):
+            carry_select_adder(8, section=0)
+
+
+class TestTiming:
+    def test_faster_than_ripple_at_width(self):
+        width = 16
+        csel = TimingAnalyzer(carry_select_adder(width)).analyze().max_delay
+        ripple = TimingAnalyzer(ripple_adder(width)).analyze().max_delay
+        assert csel < 0.7 * ripple
+
+    def test_flow_fully_resolved(self):
+        result = TimingAnalyzer(carry_select_adder(8)).analyze()
+        assert result.flow.coverage == pytest.approx(1.0)
+
+    def test_carry_hops_by_section(self):
+        # Widening by one section adds roughly a constant (the mux + carry
+        # restore), not a per-bit ripple.
+        d8 = TimingAnalyzer(carry_select_adder(8, section=4)).analyze().max_delay
+        d16 = TimingAnalyzer(carry_select_adder(16, section=4)).analyze().max_delay
+        d24 = TimingAnalyzer(carry_select_adder(24, section=4)).analyze().max_delay
+        step1 = d16 - d8
+        step2 = d24 - d16
+        assert step2 == pytest.approx(step1, rel=0.5)

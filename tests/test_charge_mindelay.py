@@ -1,0 +1,171 @@
+"""Tests for charge-sharing analysis and min-delay/overlap margins."""
+
+import pytest
+
+from repro import Netlist, TimingAnalyzer, TwoPhaseClock
+from repro.circuits import (
+    add_inverter,
+    add_pass,
+    manchester_adder,
+    mips_like_datapath,
+    register_file,
+    shift_register,
+)
+from repro.core import (
+    ChargeHazard,
+    charge_sharing_report,
+    cross_phase_margins,
+    propagate_min,
+)
+from repro.core.graph import TimingGraph
+from repro.delay import RISE, FALL, ArcTiming, StageArc, StageDelayCalculator
+from repro.flow import infer_flow
+from repro.stages import decompose
+
+NS = 1e-9
+
+
+def _hazard_net(bus_cap=500e-15) -> Netlist:
+    net = Netlist("hazard")
+    net.set_input("d")
+    net.set_clock("phi1", "phi1")
+    net.set_clock("phi2", "phi2")
+    add_pass(net, "phi1", "d", "store", name="sw")
+    add_inverter(net, "store", "q", tag="i")
+    net.add_node("bigbus", bus_cap)
+    add_pass(net, "phi2", "store", "bigbus", name="leak")
+    net.set_output("q")
+    return net
+
+
+class TestChargeSharing:
+    def test_deliberate_hazard_flagged(self):
+        hazards = charge_sharing_report(_hazard_net())
+        assert len(hazards) == 1
+        hazard = hazards[0]
+        assert hazard.node == "store"
+        assert "leak" in hazard.via
+        assert hazard.ratio < 0.1
+
+    def test_small_partner_is_fine(self):
+        hazards = charge_sharing_report(_hazard_net(bus_cap=1e-15))
+        assert hazards == []
+
+    def test_threshold_controls_sensitivity(self):
+        net = _hazard_net(bus_cap=15e-15)  # mild sharing
+        strict = charge_sharing_report(net, threshold=0.9)
+        lax = charge_sharing_report(net, threshold=0.2)
+        assert len(strict) >= len(lax)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: manchester_adder(8),
+            lambda: shift_register(4),
+            lambda: register_file(4, 4)[0],
+            lambda: mips_like_datapath(8, 4)[0],
+        ],
+        ids=["manchester", "shiftreg", "regfile", "datapath"],
+    )
+    def test_generated_designs_are_clean(self, make):
+        net = make()
+        hazards = charge_sharing_report(net)
+        assert hazards == [], [str(h) for h in hazards]
+
+    def test_report_string_is_informative(self):
+        hazard = charge_sharing_report(_hazard_net())[0]
+        text = str(hazard)
+        assert "store" in text and "fF" in text and "retention" in text
+
+
+def arc(trigger, output, *, inverting=True, rise=1 * NS, fall=1 * NS):
+    return StageArc(
+        stage_index=0,
+        trigger=trigger,
+        via="gate",
+        output=output,
+        inverting=inverting,
+        rise=ArcTiming(rise, rise) if rise is not None else None,
+        fall=ArcTiming(fall, fall) if fall is not None else None,
+    )
+
+
+class TestPropagateMin:
+    def test_min_takes_fastest_path(self):
+        arcs = [
+            arc("a", "c", rise=1 * NS, fall=1 * NS),
+            arc("b", "c", rise=5 * NS, fall=5 * NS),
+        ]
+        graph = TimingGraph.build(arcs)
+        arrivals = propagate_min(
+            graph, {("a", RISE): 0.0, ("b", RISE): 0.0}
+        )
+        assert arrivals.get("c", FALL).time == pytest.approx(1 * NS)
+
+    def test_min_leq_max_everywhere(self):
+        from repro.core import propagate
+        from repro.delay import NO_SLOPE
+        from repro.circuits import ripple_adder
+
+        net = ripple_adder(3)
+        infer_flow(net)
+        calc = StageDelayCalculator(net, decompose(net))
+        graph = TimingGraph.build(calc.all_arcs())
+        sources = {}
+        for name in net.inputs:
+            sources[(name, RISE)] = 0.0
+            sources[(name, FALL)] = 0.0
+        worst = propagate(graph, sources, NO_SLOPE, source_slew=0.0)
+        best = propagate_min(graph, sources)
+        for arrival in best.items():
+            w = worst.get(arrival.node, arrival.transition)
+            assert w is not None
+            assert arrival.time <= w.time + 1e-15
+
+
+class TestOverlapMargins:
+    def test_margins_present_and_positive(self):
+        result = TimingAnalyzer(shift_register(3)).analyze()
+        margins = result.clock_verification.overlap_margins
+        assert len(margins) == 2
+        for margin in margins:
+            assert margin.margin is not None
+            assert margin.margin > 0
+
+    def test_margin_describe(self):
+        result = TimingAnalyzer(shift_register(2)).analyze()
+        text = result.clock_verification.overlap_margins[0].describe()
+        assert "tolerated overlap" in text
+
+    def test_more_logic_between_latches_more_margin(self):
+        # A register bit has one inverter between phases; adding logic
+        # between them must increase the tolerated overlap.
+        from repro.circuits import add_half_latch
+
+        def margin_of(extra_inverters):
+            net = Netlist(f"m{extra_inverters}")
+            net.set_input("d")
+            net.set_clock("phi1", "phi1")
+            net.set_clock("phi2", "phi2")
+            add_half_latch(net, "d", "x0", "phi1", tag="l1")
+            previous = "x0"
+            for i in range(extra_inverters):
+                nxt = f"x{i+1}"
+                add_inverter(net, previous, nxt, tag=f"e{i}")
+                previous = nxt
+            add_half_latch(net, previous, "q", "phi2", tag="l2")
+            net.set_output("q")
+            result = TimingAnalyzer(net).analyze()
+            for margin in result.clock_verification.overlap_margins:
+                if margin.from_phase == "phi1":
+                    return margin.margin
+            raise AssertionError("missing phi1 margin")
+
+        assert margin_of(4) > margin_of(0)
+
+    def test_direct_call(self):
+        net = shift_register(2)
+        infer_flow(net)
+        calc = StageDelayCalculator(net, decompose(net))
+        margins = cross_phase_margins(net, calc, TwoPhaseClock())
+        assert {m.from_phase for m in margins} == {"phi1", "phi2"}

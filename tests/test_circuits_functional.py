@@ -1,0 +1,249 @@
+"""Functional verification of the benchmark circuit generators.
+
+The switch-level simulator executes each generated netlist against its
+specification -- an adder must add, a shifter must rotate, a register file
+must remember.  Without these tests the timing experiments would be
+measuring unverified structures.
+"""
+
+import pytest
+
+from repro import TimingAnalyzer
+from repro.circuits import (
+    barrel_shifter,
+    bus,
+    decoder,
+    manchester_adder,
+    mips_like_datapath,
+    pla,
+    ProductTerm,
+    register_file,
+    ripple_adder,
+    shift_register,
+)
+from repro.sim import SwitchSim, X
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (3, 5, 0), (7, 9, 1), (15, 15, 1), (10, 5, 0)])
+    def test_adds(self, a, b, cin):
+        width = 4
+        net = ripple_adder(width)
+        sim = SwitchSim(net)
+        sim.set_word(bus("a", width), a)
+        sim.set_word(bus("b", width), b)
+        sim.set_input("cin", cin)
+        sim.settle()
+        total = a + b + cin
+        assert sim.word(bus("sum", width)) == total & (2**width - 1)
+        assert sim.value("cout") == total >> width
+
+    def test_exhaustive_2bit(self):
+        net = ripple_adder(2)
+        sim = SwitchSim(net)
+        for a in range(4):
+            for b in range(4):
+                for cin in (0, 1):
+                    sim.set_word(bus("a", 2), a)
+                    sim.set_word(bus("b", 2), b)
+                    sim.set_input("cin", cin)
+                    sim.settle()
+                    total = a + b + cin
+                    assert sim.word(bus("sum", 2)) == total & 3
+                    assert sim.value("cout") == total >> 2
+
+
+class TestManchesterAdder:
+    def _run_cycle(self, sim, width, a, b, cin):
+        sim.set_word(bus("a", width), a)
+        sim.set_word(bus("b", width), b)
+        sim.set_input("cin", cin)
+        # Precharge phase.
+        sim.step({"phi1": 1, "phi2": 0})
+        # Evaluate phase.
+        sim.step({"phi1": 0, "phi2": 1})
+
+    @pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (5, 3, 0), (12, 7, 1), (15, 1, 0), (15, 15, 1)])
+    def test_adds_dynamically(self, a, b, cin):
+        width = 4
+        net = manchester_adder(width)
+        sim = SwitchSim(net)
+        self._run_cycle(sim, width, a, b, cin)
+        total = a + b + cin
+        assert sim.word(bus("sum", width)) == total & (2**width - 1)
+        assert sim.value("cout") == total >> width
+
+    def test_carry_ripples_full_length(self):
+        # 1111 + 0001: carry propagates through every chain stage.
+        width = 6
+        sim = SwitchSim(manchester_adder(width))
+        self._run_cycle(sim, width, 2**width - 1, 1, 0)
+        assert sim.word(bus("sum", width)) == 0
+        assert sim.value("cout") == 1
+
+
+class TestBarrelShifter:
+    @pytest.mark.parametrize("value,k", [(0b0001, 1), (0b1001, 2), (0b1110, 0), (0b1011, 3)])
+    def test_rotation(self, value, k):
+        width = 4
+        net = barrel_shifter(width)
+        sim = SwitchSim(net)
+        sim.set_word(bus("d", width), value)
+        sim.set_word(bus("s", width), 1 << k)
+        sim.settle()
+        rotated = ((value >> k) | (value << (width - k))) & (2**width - 1)
+        # Outputs are inverting superbuffers of the matrix nodes.
+        got = sim.word(bus("q", width))
+        assert got == (~rotated) & (2**width - 1)
+
+
+class TestPla:
+    def test_programmed_function(self):
+        # out0 = in0 AND in1; out1 = NOT in2 (as a single-literal term).
+        terms = [
+            ProductTerm({0: 1, 1: 1}, (0,)),
+            ProductTerm({2: 0}, (1,)),
+        ]
+        net = pla(3, 2, terms)
+        sim = SwitchSim(net)
+        for vector in range(8):
+            ins = [(vector >> i) & 1 for i in range(3)]
+            sim.set_word(bus("in", 3), vector)
+            sim.settle()
+            assert sim.value("out0") == (ins[0] & ins[1])
+            assert sim.value("out1") == (1 - ins[2])
+
+    def test_term_evaluate_helper(self):
+        term = ProductTerm({0: 1, 2: 0}, (0,))
+        assert term.evaluate([1, 0, 0]) == 1
+        assert term.evaluate([1, 0, 1]) == 0
+
+    def test_constant_false_output(self):
+        net = pla(2, 2, [ProductTerm({0: 1}, (0,))])
+        sim = SwitchSim(net)
+        sim.set_word(bus("in", 2), 3)
+        sim.settle()
+        assert sim.value("out1") == 0
+
+
+class TestShiftRegister:
+    def cycle(self, sim):
+        sim.step({"phi1": 1, "phi2": 0})
+        sim.step({"phi1": 0, "phi2": 1})
+        sim.step({"phi1": 0, "phi2": 0})
+
+    def test_token_marches(self):
+        net = shift_register(3)
+        sim = SwitchSim(net)
+        sim.set_input("d", 1)
+        self.cycle(sim)
+        assert sim.value("q0") == 1
+        sim.set_input("d", 0)
+        self.cycle(sim)
+        assert sim.value("q0") == 0
+        assert sim.value("q1") == 1
+        self.cycle(sim)
+        assert sim.value("q2") == 1
+        assert sim.value("q1") == 0
+
+
+class TestRegisterFile:
+    def write(self, sim, ports, addr, value, width):
+        sim.set_word(ports.address, addr)
+        sim.set_word(ports.write_data, value)
+        sim.set_input(ports.write_enable, 1)
+        sim.step({"phi1": 1, "phi2": 0})
+        sim.step({"phi1": 0, "phi2": 0})
+        sim.set_input(ports.write_enable, 0)
+
+    def read(self, sim, ports, addr, width):
+        sim.set_word(ports.address, addr)
+        sim.step({"phi1": 1, "phi2": 0})  # precharge
+        sim.step({"phi1": 0, "phi2": 1})  # read
+        return sim.word(ports.read_data)
+
+    def test_write_then_read(self):
+        net, ports = register_file(4, 4)
+        sim = SwitchSim(net)
+        self.write(sim, ports, 2, 0b1010, 4)
+        assert self.read(sim, ports, 2, 4) == 0b1010
+
+    def test_two_registers_independent(self):
+        net, ports = register_file(4, 4)
+        sim = SwitchSim(net)
+        self.write(sim, ports, 0, 0b0011, 4)
+        self.write(sim, ports, 3, 0b1100, 4)
+        assert self.read(sim, ports, 0, 4) == 0b0011
+        assert self.read(sim, ports, 3, 4) == 0b1100
+
+    def test_overwrite(self):
+        net, ports = register_file(4, 2)
+        sim = SwitchSim(net)
+        self.write(sim, ports, 1, 0b01, 2)
+        self.write(sim, ports, 1, 0b10, 2)
+        assert self.read(sim, ports, 1, 2) == 0b10
+
+
+class TestDatapath:
+    def run_op(self, sim, ports, op, b_value, shift=0, cin=0):
+        """One full cycle: operands latch in phi1, ALU evaluates in phi2."""
+        for name in ports.op.values():
+            sim.set_input(name, 0)
+        sim.set_input(ports.op[op], 1)
+        sim.set_word(ports.b_ext, b_value)
+        sim.set_word(ports.shift_select, 1 << shift)
+        sim.set_input(ports.carry_in, cin)
+        sim.set_input(ports.write_enable, 0)
+        sim.step({"phi1": 1, "phi2": 0})
+        sim.step({"phi1": 0, "phi2": 1})
+        return sim.word(ports.result)
+
+    def test_add_of_zero_register(self):
+        # Registers power up unknown; write 0 first via we, then add b.
+        dp, ports = mips_like_datapath(4, 2, n_shifts=1)
+        sim = SwitchSim(dp)
+        # Cycle to write 0 into r0: result bus is unknown, so instead use
+        # the and-op trick: AND of anything with X is X... drive via we=0
+        # and rely on b only: a = rf[0] is X. Use OR with X -> X, so this
+        # test instead checks the B path through XOR with a zeroed cell.
+        # Simplest: write known value through the write port directly.
+        sim.set_word(ports.address, 0)
+        sim.set_input(ports.write_enable, 1)
+        # Write data comes from the result bus (unknown at power-up), so
+        # force the result latch by clocking phi2 with known shifter out is
+        # not possible externally; accept X here and verify the B-operand
+        # logic path instead with the 'or' op after zeroing cells manually.
+        for r in range(2):
+            for i in range(4):
+                cell = f"rf.cell{r}_{i}"
+                sim._values[f"{cell}.s"] = 0
+                sim._values[f"{cell}.ns"] = 1
+        sim.set_input(ports.write_enable, 0)
+        result = self.run_op(sim, ports, "or", 0b0110)
+        assert result == 0b0110
+
+    def test_add_with_register_zero(self):
+        dp, ports = mips_like_datapath(4, 2, n_shifts=1)
+        sim = SwitchSim(dp)
+        for r in range(2):
+            for i in range(4):
+                sim._values[f"rf.cell{r}_{i}.s"] = 0
+                sim._values[f"rf.cell{r}_{i}.ns"] = 1
+        assert self.run_op(sim, ports, "add", 5, cin=0) == 5
+        assert self.run_op(sim, ports, "add", 5, cin=1) == 6
+
+    def test_timing_analysis_runs_clean(self):
+        dp, _ = mips_like_datapath(4, 2)
+        result = TimingAnalyzer(dp).analyze()
+        assert result.clock_verification.races == []
+        assert result.flow.coverage == pytest.approx(1.0)
+
+
+class TestDecoderScaling:
+    def test_decoder_4bit(self):
+        net = decoder(4)
+        sim = SwitchSim(net)
+        sim.set_word(bus("a", 4), 11)
+        sim.settle()
+        for j in range(16):
+            assert sim.value(f"line{j}") == (1 if j == 11 else 0)

@@ -1,0 +1,122 @@
+"""Tests for node classification and stage archetypes (repro.stages)."""
+
+import pytest
+
+from repro import Netlist
+from repro.circuits import (
+    barrel_shifter,
+    inverter_chain,
+    manchester_adder,
+    pass_chain,
+    superbuffer,
+)
+from repro.stages import (
+    NodeClass,
+    StageArchetype,
+    archetype_census,
+    archetype_of,
+    classify_node,
+    classify_nodes,
+    decompose,
+)
+
+
+class TestNodeClasses:
+    def test_rails(self):
+        net = Netlist("t")
+        assert classify_node(net, "vdd") is NodeClass.RAIL
+        assert classify_node(net, "gnd") is NodeClass.RAIL
+
+    def test_inputs_and_clocks(self):
+        net = Netlist("t")
+        net.set_input("a")
+        net.set_clock("phi1", "phi1")
+        assert classify_node(net, "a") is NodeClass.INPUT
+        assert classify_node(net, "phi1") is NodeClass.CLOCK
+
+    def test_gate_output(self, inverter_net):
+        assert classify_node(inverter_net, "out") is NodeClass.GATE_OUTPUT
+
+    def test_superbuffer_output_is_gate_output(self):
+        net = superbuffer()
+        assert classify_node(net, "out") is NodeClass.GATE_OUTPUT
+
+    def test_precharged(self):
+        net = Netlist("t")
+        net.set_clock("phi1", "phi1")
+        net.set_input("g")
+        net.add_enh("phi1", "vdd", "bus", name="pre")
+        net.add_enh("g", "bus", "gnd", name="pd")
+        assert classify_node(net, "bus") is NodeClass.PRECHARGED
+
+    def test_storage(self, latch_net):
+        assert classify_node(latch_net, "store") is NodeClass.STORAGE
+
+    def test_pass_internal(self):
+        net = pass_chain(4)
+        assert classify_node(net, "p1") is NodeClass.PASS
+
+    def test_gate_only(self):
+        net = Netlist("t")
+        net.set_input("a")
+        net.add_enh("float", "a", "gnd")
+        assert classify_node(net, "float") is NodeClass.GATE_ONLY
+
+    def test_isolated(self):
+        net = Netlist("t")
+        net.add_node("lonely")
+        assert classify_node(net, "lonely") is NodeClass.ISOLATED
+
+    def test_classify_nodes_covers_everything(self):
+        net = inverter_chain(3)
+        classes = classify_nodes(net)
+        assert set(classes) == set(net.nodes)
+
+
+class TestArchetypes:
+    def test_restoring_gate(self, nand2_net):
+        graph = decompose(nand2_net)
+        assert archetype_of(nand2_net, graph[0]) is StageArchetype.RESTORING
+
+    def test_pass_network(self):
+        net = pass_chain(4)
+        graph = decompose(net)
+        stage = graph.stage_of("p0")
+        assert archetype_of(net, stage) is StageArchetype.PASS
+
+    def test_superbuffer_detected(self):
+        net = superbuffer()
+        graph = decompose(net)
+        out_stage = graph.stage_of("out")
+        assert archetype_of(net, out_stage) is StageArchetype.SUPERBUFFER
+
+    def test_precharged_stage(self):
+        net = manchester_adder(2)
+        graph = decompose(net)
+        stage = graph.stage_of("man.nc0")
+        assert archetype_of(net, stage) is StageArchetype.PRECHARGED
+
+    def test_mixed_stage(self, pass_mux_net):
+        graph = decompose(pass_mux_net)
+        stage = graph.stage_of("x")
+        # The inverter output x and the pass switch share a stage.
+        assert archetype_of(pass_mux_net, stage) is StageArchetype.MIXED
+
+    def test_degenerate_stage(self):
+        net = Netlist("t")
+        net.set_input("a", "b", "en")
+        net.add_enh("en", "a", "b")
+        graph = decompose(net)
+        assert archetype_of(net, graph[0]) is StageArchetype.DEGENERATE
+
+    def test_census_sums_to_stage_count(self):
+        net = barrel_shifter(4)
+        graph = decompose(net)
+        census = archetype_census(net, graph)
+        assert sum(census.values()) == len(graph)
+
+    def test_census_of_shifter_has_pass_and_superbuffer(self):
+        net = barrel_shifter(4)
+        graph = decompose(net)
+        census = archetype_census(net, graph)
+        assert census[StageArchetype.SUPERBUFFER] >= 1

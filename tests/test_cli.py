@@ -1,0 +1,189 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.circuits import inverter_chain, shift_register
+from repro.cli import main
+from repro.netlist import sim_dumps, sim_loads
+from repro.tech import NMOS4
+
+
+@pytest.fixture
+def chain_file(tmp_path):
+    path = tmp_path / "chain.sim"
+    path.write_text(sim_dumps(inverter_chain(3)))
+    return str(path)
+
+
+@pytest.fixture
+def clocked_file(tmp_path):
+    path = tmp_path / "sr.sim"
+    path.write_text(sim_dumps(shift_register(2)))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_combinational_report(self, chain_file, capsys):
+        assert main(["analyze", chain_file]) == 0
+        out = capsys.readouterr().out
+        assert "max delay" in out
+        assert "n2" in out
+
+    def test_two_phase_report(self, clocked_file, capsys):
+        assert main(["analyze", clocked_file]) == 0
+        out = capsys.readouterr().out
+        assert "min cycle time" in out
+        assert "races: none" in out
+
+    def test_input_arrival_flag(self, chain_file, capsys):
+        main(["analyze", chain_file])
+        base = capsys.readouterr().out
+        main(["analyze", chain_file, "--input-arrival", "a=5"])
+        shifted = capsys.readouterr().out
+
+        def delay(text):
+            line = [l for l in text.splitlines() if "max delay" in l][0]
+            return float(line.split(":")[1].split()[0])
+
+        assert delay(shifted) == pytest.approx(delay(base) + 5.0, abs=0.01)
+
+    def test_model_flag(self, chain_file, capsys):
+        assert main(["analyze", chain_file, "--model", "lumped"]) == 0
+
+    def test_race_sets_exit_code(self, tmp_path, capsys):
+        from repro import Netlist
+        from repro.circuits import add_half_latch
+
+        net = Netlist("racy")
+        net.set_input("d")
+        net.set_clock("phi1", "phi1")
+        net.set_clock("phi2", "phi2")
+        add_half_latch(net, "d", "q1", "phi1", tag="l1")
+        add_half_latch(net, "q1", "q2", "phi1", tag="l2")
+        add_half_latch(net, "q2", "q3", "phi2", tag="l3")
+        net.set_output("q3")
+        path = tmp_path / "racy.sim"
+        path.write_text(sim_dumps(net))
+        assert main(["analyze", str(path)]) == 1
+        assert "RACES" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.sim"]) == 2
+
+    def test_bad_arrival_spec(self, chain_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", chain_file, "--input-arrival", "nonsense"])
+
+
+class TestErc:
+    def test_clean(self, chain_file, capsys):
+        assert main(["erc", chain_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_broken(self, tmp_path, capsys):
+        path = tmp_path / "bad.sim"
+        path.write_text("|I a\ne ghost y gnd\ne a q gnd\nd q q vdd\n")
+        assert main(["erc", str(path)]) == 1
+        assert "floating-gate" in capsys.readouterr().out
+
+
+class TestFlow:
+    def test_clean_flow(self, chain_file, capsys):
+        assert main(["flow", chain_file]) == 0
+        assert "auto-resolved" in capsys.readouterr().out
+
+    def test_unresolved_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "island.sim"
+        path.write_text("|I en\ne en u v\n")
+        assert main(["flow", str(path)]) == 1
+        assert "unresolved" in capsys.readouterr().out
+
+    def test_hint_fixes_it(self, tmp_path, capsys):
+        path = tmp_path / "island.sim"
+        path.write_text("|I en\ne en u v\n")
+        code = main(["flow", str(path), "--hint", "m*=s->d"])
+        assert code == 0
+
+
+class TestStats:
+    def test_fingerprint(self, chain_file, capsys):
+        assert main(["stats", chain_file]) == 0
+        out = capsys.readouterr().out
+        assert "6 devices" in out
+
+
+class TestOptimize:
+    def test_optimize_writes_output(self, tmp_path, capsys):
+        net = inverter_chain(3, load=500e-15)
+        src = tmp_path / "slow.sim"
+        src.write_text(sim_dumps(net))
+        out = tmp_path / "fast.sim"
+        assert main(
+            ["optimize", str(src), "--iterations", "3", "-o", str(out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "iteration 1" in text
+        resized = sim_loads(out.read_text())
+        # Some device ended up wider than the original maximum width.
+        original_max = max(d.w for d in net.devices.values())
+        assert max(d.w for d in resized.devices.values()) >= original_max
+
+
+class TestTechFile:
+    def test_custom_tech_changes_delays(self, tmp_path, capsys):
+        netfile = tmp_path / "chain.sim"
+        netfile.write_text(sim_dumps(inverter_chain(3)))
+        slow = dict(NMOS4.to_dict())
+        slow["name"] = "slow"
+        slow["r_sq_enh_pulldown"] = NMOS4.r_sq_enh_pulldown * 4
+        slow["r_sq_dep_pullup"] = NMOS4.r_sq_dep_pullup * 4
+        techfile = tmp_path / "slow.json"
+        techfile.write_text(json.dumps(slow))
+
+        main(["analyze", str(netfile)])
+        base = capsys.readouterr().out
+        main(["analyze", str(netfile), "--tech", str(techfile)])
+        slowed = capsys.readouterr().out
+
+        def delay(text):
+            line = [l for l in text.splitlines() if "max delay" in l][0]
+            return float(line.split(":")[1].split()[0])
+
+        assert delay(slowed) > 1.5 * delay(base)
+
+    def test_unknown_tech_key_rejected(self, tmp_path, chain_file):
+        techfile = tmp_path / "typo.json"
+        techfile.write_text(json.dumps({"vdd": 5.0, "vt_typo": 1.0}))
+        with pytest.raises(ValueError):
+            main(["analyze", chain_file, "--tech", str(techfile)])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+
+
+class TestCharge:
+    def test_clean_design(self, chain_file, capsys):
+        assert main(["charge", chain_file]) == 0
+        assert "no charge-sharing hazards" in capsys.readouterr().out
+
+    def test_hazard_detected(self, tmp_path, capsys):
+        from repro import Netlist
+        from repro.circuits import add_inverter, add_pass
+
+        net = Netlist("hazard")
+        net.set_input("d")
+        net.set_clock("phi1", "phi1")
+        net.set_clock("phi2", "phi2")
+        add_pass(net, "phi1", "d", "store", name="sw")
+        add_inverter(net, "store", "q", tag="i")
+        net.add_node("bigbus", 500e-15)
+        add_pass(net, "phi2", "store", "bigbus", name="leak")
+        net.set_output("q")
+        path = tmp_path / "hazard.sim"
+        path.write_text(sim_dumps(net))
+        assert main(["charge", str(path)]) == 1
+        assert "charge sharing" in capsys.readouterr().out

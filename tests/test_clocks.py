@@ -1,0 +1,75 @@
+"""Tests for the two-phase clock schema (repro.clocks)."""
+
+import pytest
+
+from repro import ClockingError, Netlist, TwoPhaseClock
+from repro.circuits import shift_register
+
+
+class TestSchema:
+    def test_defaults(self):
+        clock = TwoPhaseClock()
+        assert clock.phases == ("phi1", "phi2")
+        assert clock.nonoverlap > 0
+
+    def test_other(self):
+        clock = TwoPhaseClock()
+        assert clock.other("phi1") == "phi2"
+        assert clock.other("phi2") == "phi1"
+        with pytest.raises(ClockingError):
+            clock.other("phi3")
+
+    def test_identical_phases_rejected(self):
+        with pytest.raises(ClockingError):
+            TwoPhaseClock(phase1="p", phase2="p")
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ClockingError):
+            TwoPhaseClock(nonoverlap=-1e-9)
+
+    def test_cycle_time(self):
+        clock = TwoPhaseClock(nonoverlap=2e-9)
+        assert clock.cycle_time(10e-9, 20e-9) == pytest.approx(34e-9)
+
+    def test_cycle_time_rejects_negative_widths(self):
+        with pytest.raises(ClockingError):
+            TwoPhaseClock().cycle_time(-1e-9, 1e-9)
+
+
+class TestNetlistBinding:
+    def test_clock_nodes_by_phase(self):
+        net = shift_register(2)
+        clock = TwoPhaseClock()
+        assert clock.clock_nodes(net, "phi1") == {"phi1"}
+        assert clock.clock_nodes(net, "phi2") == {"phi2"}
+
+    def test_clock_nodes_unknown_phase(self):
+        net = shift_register(2)
+        with pytest.raises(ClockingError):
+            TwoPhaseClock().clock_nodes(net, "phi9")
+
+    def test_check_passes_on_proper_design(self):
+        TwoPhaseClock().check(shift_register(2))
+
+    def test_check_rejects_unknown_phase_label(self):
+        net = Netlist("t")
+        net.set_clock("c", "weird_phase")
+        net.set_clock("phi1", "phi1")
+        net.set_clock("phi2", "phi2")
+        with pytest.raises(ClockingError):
+            TwoPhaseClock().check(net)
+
+    def test_check_rejects_missing_phase(self):
+        net = Netlist("t")
+        net.set_clock("phi1", "phi1")
+        with pytest.raises(ClockingError):
+            TwoPhaseClock().check(net)
+
+    def test_multiple_nodes_per_phase(self):
+        net = Netlist("t")
+        net.set_clock("phi1a", "phi1")
+        net.set_clock("phi1b", "phi1")
+        net.set_clock("phi2", "phi2")
+        clock = TwoPhaseClock()
+        clock.check(net)
+        assert clock.clock_nodes(net, "phi1") == {"phi1a", "phi1b"}

@@ -1,0 +1,112 @@
+"""Tests for two-phase verification internals (repro.core.constraints)."""
+
+import pytest
+
+from repro import Netlist, TimingAnalyzer, TwoPhaseClock
+from repro.circuits import (
+    add_half_latch,
+    manchester_adder,
+    register_file,
+    shift_register,
+)
+from repro.core import latch_devices, storage_nodes_of_phase
+from repro.core.constraints import qualified_low_nodes
+from repro.errors import ClockingError
+
+
+class TestLatchIdentification:
+    def test_shift_register_latches(self):
+        net = shift_register(2)
+        phi1_latches = latch_devices(net, frozenset({"phi1"}))
+        phi2_latches = latch_devices(net, frozenset({"phi2"}))
+        assert len(phi1_latches) == 2
+        assert len(phi2_latches) == 2
+
+    def test_precharge_not_a_latch(self):
+        net = manchester_adder(2)
+        for dev in latch_devices(net, frozenset({"phi1"})):
+            assert "pre" not in dev.name
+
+    def test_storage_nodes(self):
+        net = shift_register(2)
+        clock = TwoPhaseClock()
+        s1 = storage_nodes_of_phase(net, clock, "phi1")
+        s2 = storage_nodes_of_phase(net, clock, "phi2")
+        assert len(s1) == 2 and len(s2) == 2
+        assert not (s1 & s2)
+
+
+class TestQualifiedClocks:
+    def test_qualified_wordline_low_in_opposite_phase(self):
+        net, ports = register_file(4, 2)
+        clock = TwoPhaseClock()
+        low_phi1 = qualified_low_nodes(net, clock, "phi1")
+        # Read wordlines are phi2-qualified: provably low during phi1.
+        assert any("rwl" in n for n in low_phi1)
+        low_phi2 = qualified_low_nodes(net, clock, "phi2")
+        assert any("wwl" in n for n in low_phi2)
+
+    def test_data_dependent_nodes_not_constant(self):
+        net, ports = register_file(4, 2)
+        clock = TwoPhaseClock()
+        low = qualified_low_nodes(net, clock, "phi1")
+        # Write wordlines depend on we/address (unknown): must NOT be cut
+        # during their own phase.
+        assert not any("wwl" in n for n in low)
+
+
+class TestVerification:
+    def test_phase_widths_positive(self):
+        result = TimingAnalyzer(shift_register(3)).analyze()
+        for phase in ("phi1", "phi2"):
+            assert result.clock_verification.phases[phase].width > 0
+
+    def test_min_cycle_formula(self):
+        clock = TwoPhaseClock(nonoverlap=5e-9)
+        result = TimingAnalyzer(shift_register(2), clock=clock).analyze()
+        v = result.clock_verification
+        expected = (
+            v.phases["phi1"].width + v.phases["phi2"].width + 10e-9
+        )
+        assert v.min_cycle == pytest.approx(expected)
+
+    def test_summary_text(self):
+        result = TimingAnalyzer(shift_register(2)).analyze()
+        text = result.clock_verification.summary()
+        assert "min width phi1" in text
+        assert "min cycle time" in text
+        assert "races: none" in text
+
+    def test_violations_at_width(self):
+        result = TimingAnalyzer(shift_register(2)).analyze()
+        phase = result.clock_verification.phases["phi1"]
+        assert phase.violations_at_width(phase.width + 1e-9) == []
+        late = phase.violations_at_width(phase.width * 0.01)
+        assert late
+
+    def test_arrival_for_unknown_input_rejected(self):
+        from repro.core import verify_two_phase
+        from repro.delay import StageDelayCalculator
+        from repro.flow import infer_flow
+        from repro.stages import decompose
+
+        net = shift_register(2)
+        infer_flow(net)
+        calc = StageDelayCalculator(net, decompose(net))
+        with pytest.raises(ClockingError):
+            verify_two_phase(
+                net, calc, TwoPhaseClock(), input_arrivals={"ghost": 0.0}
+            )
+
+    def test_race_summary_printed(self):
+        net = Netlist("racy")
+        net.set_input("d")
+        net.set_clock("phi1", "phi1")
+        net.set_clock("phi2", "phi2")
+        add_half_latch(net, "d", "q1", "phi1", tag="l1")
+        add_half_latch(net, "q1", "q2", "phi1", tag="l2")
+        add_half_latch(net, "q2", "q3", "phi2", tag="l3")
+        net.set_output("q3")
+        result = TimingAnalyzer(net).analyze()
+        text = result.clock_verification.summary()
+        assert "RACES" in text

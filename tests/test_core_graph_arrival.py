@@ -1,0 +1,144 @@
+"""Tests for the timing graph and arrival propagation (repro.core)."""
+
+import pytest
+
+from repro.core import TimingGraph, propagate
+from repro.core.arrival import ArrivalMap
+from repro.delay import FALL, NO_SLOPE, RISE, ArcTiming, SlopeModel, StageArc
+from repro.errors import TimingError
+
+NS = 1e-9
+
+
+def arc(trigger, output, *, inverting=True, rise=1 * NS, fall=1 * NS, stage=0):
+    return StageArc(
+        stage_index=stage,
+        trigger=trigger,
+        via="gate",
+        output=output,
+        inverting=inverting,
+        rise=ArcTiming(rise, rise) if rise is not None else None,
+        fall=ArcTiming(fall, fall) if fall is not None else None,
+    )
+
+
+class TestTimingGraph:
+    def test_linear_chain_orders_topologically(self):
+        graph = TimingGraph.build([arc("a", "b"), arc("b", "c")])
+        assert graph.order.index("a") < graph.order.index("b") < graph.order.index("c")
+        assert graph.arc_count() == 2
+
+    def test_feedback_cut_and_recorded(self):
+        graph = TimingGraph.build([arc("a", "b"), arc("b", "a")])
+        assert len(graph.cut_arcs) == 1
+        assert graph.arc_count() == 1
+
+    def test_self_arc_dropped(self):
+        graph = TimingGraph.build([arc("a", "a"), arc("a", "b")])
+        assert graph.arc_count() == 1
+
+    def test_parallel_arcs_kept(self):
+        graph = TimingGraph.build([
+            arc("a", "b", rise=1 * NS),
+            arc("a", "b", rise=2 * NS, inverting=False),
+        ])
+        assert graph.arc_count() == 2
+
+    def test_larger_cycle_needs_single_cut(self):
+        arcs = [arc("a", "b"), arc("b", "c"), arc("c", "a"), arc("x", "a")]
+        graph = TimingGraph.build(arcs)
+        assert len(graph.cut_arcs) == 1
+        assert graph.arc_count() == 3
+
+
+class TestPropagate:
+    def test_inverting_arc_crosses_transitions(self):
+        graph = TimingGraph.build([arc("a", "b", rise=2 * NS, fall=1 * NS)])
+        arrivals = propagate(graph, {("a", RISE): 0.0}, NO_SLOPE)
+        # a rise -> b fall via fall timing.
+        assert arrivals.get("b", FALL).time == pytest.approx(1 * NS)
+        assert arrivals.get("b", RISE) is None
+
+    def test_noninverting_arc_keeps_transition(self):
+        graph = TimingGraph.build(
+            [arc("a", "b", inverting=False, rise=2 * NS, fall=1 * NS)]
+        )
+        arrivals = propagate(graph, {("a", RISE): 0.0}, NO_SLOPE)
+        assert arrivals.get("b", RISE).time == pytest.approx(2 * NS)
+
+    def test_worst_arrival_wins(self):
+        arcs = [
+            arc("a", "c", rise=1 * NS, fall=1 * NS),
+            arc("b", "c", rise=5 * NS, fall=5 * NS),
+        ]
+        graph = TimingGraph.build(arcs)
+        arrivals = propagate(
+            graph, {("a", RISE): 0.0, ("b", RISE): 0.0}, NO_SLOPE
+        )
+        assert arrivals.get("c", FALL).time == pytest.approx(5 * NS)
+        assert arrivals.get("c", FALL).pred == ("b", RISE)
+
+    def test_chain_accumulates(self):
+        graph = TimingGraph.build([arc("a", "b"), arc("b", "c"), arc("c", "d")])
+        arrivals = propagate(graph, {("a", RISE): 0.0, ("a", FALL): 0.0}, NO_SLOPE)
+        assert arrivals.worst("d").time == pytest.approx(3 * NS)
+
+    def test_source_offset_respected(self):
+        graph = TimingGraph.build([arc("a", "b")])
+        arrivals = propagate(graph, {("a", RISE): 7 * NS}, NO_SLOPE)
+        assert arrivals.get("b", FALL).time == pytest.approx(8 * NS)
+
+    def test_slope_adds_to_delay(self):
+        graph = TimingGraph.build([arc("a", "b", fall=1 * NS)])
+        slow = propagate(
+            graph,
+            {("a", RISE): 0.0},
+            SlopeModel(alpha=0.5),
+            source_slew=2 * NS,
+        )
+        assert slow.get("b", FALL).time == pytest.approx(2 * NS)
+
+    def test_slew_degrades_downstream(self):
+        graph = TimingGraph.build([arc("a", "b"), arc("b", "c")])
+        arrivals = propagate(
+            graph, {("a", RISE): 0.0}, SlopeModel(), source_slew=1 * NS
+        )
+        assert arrivals.get("c", RISE).slew > 0
+
+    def test_missing_timing_blocks_transition(self):
+        graph = TimingGraph.build([arc("a", "b", rise=None, fall=1 * NS)])
+        arrivals = propagate(graph, {("a", FALL): 0.0}, NO_SLOPE)
+        # a fall -> b rise needs rise timing, which is absent.
+        assert arrivals.get("b", RISE) is None
+
+    def test_empty_sources_rejected(self):
+        graph = TimingGraph.build([arc("a", "b")])
+        with pytest.raises(TimingError):
+            propagate(graph, {}, NO_SLOPE)
+
+    def test_bad_transition_rejected(self):
+        graph = TimingGraph.build([arc("a", "b")])
+        with pytest.raises(TimingError):
+            propagate(graph, {("a", "sideways"): 0.0}, NO_SLOPE)
+
+
+class TestArrivalMap:
+    def test_max_arrival_restriction(self):
+        graph = TimingGraph.build([arc("a", "b"), arc("a", "c", fall=9 * NS, rise=9 * NS)])
+        arrivals = propagate(graph, {("a", RISE): 0.0}, NO_SLOPE)
+        assert arrivals.max_arrival({"b"}).node == "b"
+        assert arrivals.max_arrival(None).node == "c"
+
+    def test_worst_picks_later_transition(self):
+        m = ArrivalMap()
+        from repro.core.arrival import Arrival
+
+        m.set(Arrival("n", RISE, 1 * NS, 0.0))
+        m.set(Arrival("n", FALL, 2 * NS, 0.0))
+        assert m.worst("n").transition == FALL
+
+    def test_len_and_nodes(self):
+        graph = TimingGraph.build([arc("a", "b")])
+        arrivals = propagate(graph, {("a", RISE): 0.0, ("a", FALL): 0.0}, NO_SLOPE)
+        assert arrivals.nodes() == {"a", "b"}
+        assert len(arrivals) == 4

@@ -1,0 +1,82 @@
+"""Tests for the level-1 MOS device model (repro.sim.devices)."""
+
+import pytest
+
+from repro import NMOS4, DeviceKind, UM
+from repro.sim import mos_current, threshold
+
+W, L = 8 * UM, 4 * UM
+
+
+def ids(kind, vg, vs, vd):
+    return mos_current(NMOS4, kind, vg, vs, vd, W, L)[0]
+
+
+class TestRegions:
+    def test_cutoff(self):
+        assert ids(DeviceKind.ENH, 0.5, 0.0, 5.0) == 0.0
+
+    def test_conducts_above_threshold(self):
+        assert ids(DeviceKind.ENH, 5.0, 0.0, 5.0) > 0.0
+
+    def test_triode_current_grows_with_vds(self):
+        i1 = ids(DeviceKind.ENH, 5.0, 0.0, 0.5)
+        i2 = ids(DeviceKind.ENH, 5.0, 0.0, 1.0)
+        assert i2 > i1
+
+    def test_saturation_nearly_flat(self):
+        i1 = ids(DeviceKind.ENH, 3.0, 0.0, 4.0)
+        i2 = ids(DeviceKind.ENH, 3.0, 0.0, 5.0)
+        assert i2 > i1  # channel-length modulation
+        assert (i2 - i1) / i1 < 0.05
+
+    def test_continuous_at_region_boundary(self):
+        vov = 5.0 - NMOS4.vt_enh
+        below = ids(DeviceKind.ENH, 5.0, 0.0, vov - 1e-9)
+        above = ids(DeviceKind.ENH, 5.0, 0.0, vov + 1e-9)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_depletion_conducts_at_zero_vgs(self):
+        assert ids(DeviceKind.DEP, 0.0, 0.0, 2.0) > 0.0
+
+    def test_thresholds(self):
+        assert threshold(NMOS4, DeviceKind.ENH) == NMOS4.vt_enh
+        assert threshold(NMOS4, DeviceKind.DEP) == NMOS4.vt_dep
+
+
+class TestSymmetry:
+    def test_reversed_terminals_negate_current(self):
+        fwd = ids(DeviceKind.ENH, 5.0, 1.0, 3.0)
+        rev = ids(DeviceKind.ENH, 5.0, 3.0, 1.0)
+        assert rev == pytest.approx(-fwd)
+
+    def test_zero_vds_zero_current(self):
+        assert ids(DeviceKind.ENH, 5.0, 2.0, 2.0) == pytest.approx(0.0)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize(
+        "kind,vg,vs,vd",
+        [
+            (DeviceKind.ENH, 5.0, 0.0, 0.5),  # triode
+            (DeviceKind.ENH, 3.0, 0.0, 4.5),  # saturation
+            (DeviceKind.ENH, 5.0, 3.0, 1.0),  # reversed
+            (DeviceKind.DEP, 0.0, 1.0, 4.0),  # depletion
+            (DeviceKind.ENH, 2.5, 1.2, 1.3),  # near-symmetric point
+        ],
+    )
+    def test_analytic_matches_finite_difference(self, kind, vg, vs, vd):
+        h = 1e-7
+        i0, dg, ds_, dd = mos_current(NMOS4, kind, vg, vs, vd, W, L)
+        fd_g = (ids(kind, vg + h, vs, vd) - ids(kind, vg - h, vs, vd)) / (2 * h)
+        fd_s = (ids(kind, vg, vs + h, vd) - ids(kind, vg, vs - h, vd)) / (2 * h)
+        fd_d = (ids(kind, vg, vs, vd + h) - ids(kind, vg, vs, vd - h)) / (2 * h)
+        scale = max(1e-6, abs(fd_g), abs(fd_s), abs(fd_d))
+        assert dg == pytest.approx(fd_g, abs=1e-7 * scale + 1e-12)
+        assert ds_ == pytest.approx(fd_s, abs=1e-7 * scale + 1e-12)
+        assert dd == pytest.approx(fd_d, abs=1e-7 * scale + 1e-12)
+
+    def test_current_scales_with_width(self):
+        narrow = mos_current(NMOS4, DeviceKind.ENH, 5.0, 0.0, 5.0, W, L)[0]
+        wide = mos_current(NMOS4, DeviceKind.ENH, 5.0, 0.0, 5.0, 2 * W, L)[0]
+        assert wide == pytest.approx(2 * narrow)

@@ -1,0 +1,136 @@
+"""Edge cases and failure injection across the stack."""
+
+import pytest
+
+from repro import (
+    ConvergenceError,
+    Netlist,
+    NetlistError,
+    TimingAnalyzer,
+)
+from repro.circuits import add_inverter, inverter_chain, pass_chain
+from repro.delay import StageDelayCalculator
+from repro.errors import ReproError
+from repro.flow import infer_flow
+from repro.sim import SpiceLite, TransientOptions, constant
+from repro.stages import decompose
+
+
+class TestPathTruncation:
+    def test_truncated_flag_set_when_cap_hit(self):
+        # A dense parallel mesh has combinatorially many simple paths; a
+        # tiny max_paths must trip the truncation flag, never fail silently.
+        net = Netlist("mesh")
+        net.set_input("g")
+        cols = 4
+        for layer in range(3):
+            for i in range(cols):
+                for j in range(cols):
+                    net.add_enh("g", f"l{layer}_{i}", f"l{layer+1}_{j}")
+        net.add_enh("g", "l0_0", "gnd")
+        for i in range(cols):
+            net.add_pullup(f"l3_{i}")
+            net.set_output(f"l3_{i}")
+        infer_flow(net)
+        calc = StageDelayCalculator(net, decompose(net), max_paths=3)
+        stage = calc.graph.stage_of("l1_0")
+        arcs = calc.arcs(stage)
+        assert any(
+            (a.fall and a.fall.truncated) or (a.rise and a.rise.truncated)
+            for a in arcs
+        )
+
+
+class TestDegenerateInputs:
+    def test_empty_netlist_analysis_rejected(self):
+        net = Netlist("empty")
+        net.set_input("a")
+        result = TimingAnalyzer(net).analyze()
+        # No logic at all: zero delay; only the trivial source "path".
+        assert result.max_delay == 0.0
+        assert all(p.length == 0 for p in result.paths)
+
+    def test_single_pass_device_between_inputs(self):
+        net = Netlist("bridge")
+        net.set_input("a", "b", "en")
+        net.add_enh("en", "a", "b")
+        net.set_output("b")
+        result = TimingAnalyzer(net).analyze()
+        assert result.mode == "combinational"
+
+    def test_zero_width_bus_rejected(self):
+        from repro.circuits import bus
+
+        with pytest.raises(ValueError):
+            bus("a", 0)
+
+    @pytest.mark.parametrize("factory_args", [0, -1])
+    def test_chain_length_validation(self, factory_args):
+        with pytest.raises(ValueError):
+            inverter_chain(factory_args)
+        with pytest.raises(ValueError):
+            pass_chain(factory_args)
+
+
+class TestSpiceLiteFailureInjection:
+    def test_convergence_error_reported(self):
+        # A femto-timestep budget with absurdly stiff elements: force the
+        # Newton/halving machinery to give up and identify itself.
+        net = inverter_chain(1)
+        net.add_cap("n0", 1.0)  # one farad: absurd on purpose
+        options = TransientOptions(
+            dt=1e-9, settle=0.0, newton_max_iter=1, max_step_halvings=0,
+            newton_tol=1e-15,
+        )
+        sim = SpiceLite(net, options=options)
+        with pytest.raises(ConvergenceError):
+            sim.transient({"a": constant(0.0)}, 5e-9)
+
+
+class TestEmbedComposition:
+    def test_three_level_hierarchy(self):
+        leaf = Netlist("leaf")
+        leaf.set_input("a")
+        add_inverter(leaf, "a", "y")
+        leaf.set_output("y")
+
+        mid = Netlist("mid")
+        mid.set_input("x")
+        mid.embed(leaf, "u0", {"a": "x"})
+        mid.embed(leaf, "u1", {"a": "u0.y"})
+        mid.set_output("u1.y")
+
+        top = Netlist("top")
+        top.set_input("p")
+        top.embed(mid, "m", {"x": "p", "u1.y": "q"})
+        top.set_output("q")
+
+        result = TimingAnalyzer(top).analyze()
+        assert result.critical_path.endpoint == "q"
+        assert result.critical_path.length == 2
+
+    def test_exclusive_groups_survive_embedding(self):
+        sub = Netlist("sub")
+        sub.set_input("s0", "s1", "d0", "d1")
+        sub.add_exclusive_group("s0", "s1")
+        sub.add_enh("s0", "d0", "bus")
+        sub.add_enh("s1", "d1", "bus")
+        top = Netlist("top")
+        top.embed(sub, "u")
+        assert top.exclusive_group_of("u.s0") is not None
+        assert top.exclusive_group_of("u.s0") == top.exclusive_group_of("u.s1")
+
+
+class TestAnalyzerRobustness:
+    def test_reanalysis_is_stable(self):
+        net = inverter_chain(4)
+        tv = TimingAnalyzer(net)
+        first = tv.analyze().max_delay
+        second = tv.analyze().max_delay
+        assert first == second
+
+    def test_two_analyzers_same_netlist_agree(self):
+        net = pass_chain(6)
+        a = TimingAnalyzer(net).analyze().max_delay
+        b = TimingAnalyzer(net).analyze().max_delay
+        assert a == pytest.approx(b)

@@ -1,0 +1,170 @@
+"""Tests for signal-flow inference (repro.flow)."""
+
+import pytest
+
+from repro import FlowDirection, Netlist
+from repro.circuits import (
+    barrel_shifter,
+    mips_like_datapath,
+    mux2,
+    pass_chain,
+    shift_register,
+)
+from repro.errors import FlowError
+from repro.flow import FlowReport, Hint, HintSet, infer_flow
+
+
+def flow_of(net: Netlist, device: str) -> FlowDirection:
+    return net.device(device).flow
+
+
+class TestRailRule:
+    def test_pulldown_flows_out_of_gnd(self, inverter_net):
+        infer_flow(inverter_net)
+        pd = inverter_net.device("inv.pd")
+        assert pd.flows_out_of("gnd")
+
+    def test_all_devices_resolved(self, inverter_net):
+        infer_flow(inverter_net)
+        assert all(d.flow.resolved for d in inverter_net.devices.values())
+
+
+class TestBoundaryAndDriven:
+    def test_pass_chain_flows_from_input(self):
+        net = pass_chain(4)
+        report = infer_flow(net)
+        assert report.unresolved == []
+        for i in range(4):
+            dev = net.device(f"sw{i}")
+            upstream = "d" if i == 0 else f"p{i-1}"
+            assert dev.flows_out_of(upstream), f"sw{i} direction wrong"
+
+    def test_mux_passes_flow_toward_output(self):
+        net = mux2()
+        infer_flow(net)
+        pa = net.device("mux.pa")
+        assert pa.flows_into("out")
+
+    def test_gate_output_drives_pass(self, pass_mux_net):
+        infer_flow(pass_mux_net)
+        sw = pass_mux_net.device("sw")
+        assert sw.flows_out_of("x")
+
+    def test_two_driven_ends_give_bidir(self):
+        net = Netlist("t")
+        net.set_input("en", "a", "b")
+        net.add_pullup("x")
+        net.add_enh("a", "x", "gnd")
+        net.add_pullup("y")
+        net.add_enh("b", "y", "gnd")
+        net.add_enh("en", "x", "y", name="bridge")
+        infer_flow(net)
+        assert flow_of(net, "bridge") is FlowDirection.BIDIR
+
+
+class TestThroughRule:
+    def test_chain_with_mid_tap(self):
+        # d -> sw0 -> m -> sw1 -> y(load); the mid node also feeds a gate.
+        net = Netlist("t")
+        net.set_input("d", "en")
+        net.add_enh("en", "d", "m", name="sw0")
+        net.add_enh("en", "m", "y", name="sw1")
+        net.add_enh("y", "q", "gnd")
+        net.add_pullup("q")
+        net.add_enh("m", "q2", "gnd")
+        net.add_pullup("q2")
+        report = infer_flow(net)
+        assert flow_of(net, "sw0").resolved
+        assert net.device("sw1").flows_out_of("m")
+        assert report.unresolved == []
+
+
+class TestCoverage:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: pass_chain(8),
+            lambda: mux2(),
+            lambda: barrel_shifter(4),
+            lambda: shift_register(3),
+            lambda: mips_like_datapath(4, 2)[0],
+        ],
+        ids=["chain", "mux", "barrel", "shiftreg", "datapath"],
+    )
+    def test_full_auto_coverage_on_generated_designs(self, make):
+        net = make()
+        report = infer_flow(net)
+        assert report.coverage == pytest.approx(1.0), report.summary()
+
+    def test_report_accounting_consistent(self):
+        net = barrel_shifter(4)
+        report = infer_flow(net)
+        assert report.pass_candidates == report.auto_resolved + len(
+            report.hinted
+        ) + len(report.unresolved)
+
+    def test_report_summary_mentions_counts(self):
+        report = infer_flow(pass_chain(4))
+        text = report.summary()
+        assert "pass devices" in text
+        assert "auto-resolved" in text
+
+    def test_unresolvable_island_becomes_bidir(self):
+        net = Netlist("t")
+        net.set_input("en")
+        # Two internal nodes joined by a pass device, neither driven: the
+        # rules cannot orient it.
+        net.add_enh("en", "u", "v", name="mystery")
+        report = infer_flow(net)
+        assert flow_of(net, "mystery") is FlowDirection.BIDIR
+        assert "mystery" in report.unresolved
+
+    def test_reset_reruns_inference(self):
+        net = pass_chain(3)
+        infer_flow(net)
+        net.device("sw1").flow = FlowDirection.BIDIR  # corrupt one
+        report = infer_flow(net, reset=True)
+        assert net.device("sw1").flows_out_of("p0")
+        assert report.hinted == []
+
+    def test_existing_assignments_count_as_hints(self):
+        net = pass_chain(3)
+        net.set_flow_hint("sw1", FlowDirection.D_TO_S)
+        report = infer_flow(net)
+        assert "sw1" in report.hinted
+
+
+class TestHints:
+    def test_hint_applies_by_glob(self):
+        net = barrel_shifter(4)
+        hints = HintSet().add("bsh.m0_*", FlowDirection.BIDIR)
+        touched = hints.apply(net)
+        assert touched == 4
+        assert flow_of(net, "bsh.m0_1") is FlowDirection.BIDIR
+
+    def test_hint_survives_inference(self):
+        net = pass_chain(3)
+        HintSet().add("sw1", "d->s").apply(net)
+        report = infer_flow(net)
+        assert "sw1" in report.hinted
+        assert flow_of(net, "sw1") is FlowDirection.D_TO_S
+
+    def test_stale_hint_raises(self):
+        net = pass_chain(3)
+        with pytest.raises(FlowError):
+            HintSet().add("no_such_device*", "bidir").apply(net)
+
+    def test_unknown_hint_direction_rejected(self):
+        with pytest.raises((FlowError, ValueError)):
+            Hint("x", FlowDirection.UNKNOWN)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(FlowError):
+            Hint("", FlowDirection.BIDIR)
+
+    def test_later_hints_win(self):
+        net = pass_chain(3)
+        hints = HintSet().add("sw*", "s->d").add("sw1", "d->s")
+        hints.apply(net)
+        assert flow_of(net, "sw1") is FlowDirection.D_TO_S
+        assert flow_of(net, "sw0") is FlowDirection.S_TO_D

@@ -1,0 +1,85 @@
+"""Tests for incremental re-analysis (arc caching + invalidation)."""
+
+import random
+
+import pytest
+
+from repro import TimingAnalyzer
+from repro.circuits import mips_like_datapath, ripple_adder
+
+
+class TestCacheCorrectness:
+    def test_second_analyze_uses_cache_and_matches(self):
+        net = ripple_adder(6)
+        tv = TimingAnalyzer(net)
+        first = tv.analyze().max_delay
+        assert tv.calculator._arc_cache  # populated
+        second = tv.analyze().max_delay
+        assert second == first
+
+    def test_incremental_equals_fresh_after_edit(self):
+        net, _ = mips_like_datapath(8, 4)
+        tv = TimingAnalyzer(net)
+        base = tv.analyze()
+        path_devices = [
+            d
+            for s in base.paths[0].steps
+            for d in s.devices
+            if d in net.devices
+        ]
+        target = path_devices[len(path_devices) // 2]
+        net.device(target).w *= 0.25
+        tv.notify_changed([target])
+        incremental = tv.analyze().min_cycle
+        fresh = TimingAnalyzer(net).analyze().min_cycle
+        assert incremental == pytest.approx(fresh, rel=1e-12)
+        assert incremental > base.min_cycle  # a weaker device slows it
+
+    def test_many_random_edits_stay_exact(self):
+        rng = random.Random(5)
+        net = ripple_adder(5)
+        tv = TimingAnalyzer(net)
+        tv.analyze()
+        from repro import DeviceKind
+
+        names = sorted(
+            n for n, d in net.devices.items() if d.kind is DeviceKind.ENH
+        )
+        for _round in range(6):
+            target = rng.choice(names)
+            # Widen enhancement devices only: widening a pull-down improves
+            # the ratio, while touching loads can create genuine ratio
+            # violations that ERC (correctly) rejects.
+            net.device(target).w *= rng.choice([1.25, 1.5, 2.0])
+            tv.notify_changed([target])
+            incremental = tv.analyze().max_delay
+            fresh = TimingAnalyzer(net).analyze().max_delay
+            assert incremental == pytest.approx(fresh, rel=1e-12)
+
+    def test_unrelated_stage_cache_survives(self):
+        net = ripple_adder(6)
+        tv = TimingAnalyzer(net)
+        tv.analyze()
+        populated = len(tv.calculator._arc_cache)
+        # Edit one device: only its stage's entries drop.
+        target = next(iter(net.devices))
+        tv.notify_changed([target])
+        remaining = len(tv.calculator._arc_cache)
+        assert 0 < remaining < populated + 1
+        assert remaining >= populated - 4
+
+
+class TestStalenessContract:
+    def test_without_notify_results_are_stale_by_design(self):
+        # The documented contract: edits without notify_changed reuse the
+        # cache.  This test pins the behaviour so it never becomes an
+        # accidental half-invalidation.
+        net = ripple_adder(4)
+        tv = TimingAnalyzer(net)
+        base = tv.analyze().max_delay
+        some_device = next(iter(net.devices.values()))
+        some_device.w *= 0.25
+        stale = tv.analyze().max_delay
+        assert stale == base
+        tv.notify_changed([some_device.name])
+        assert tv.analyze().max_delay != base

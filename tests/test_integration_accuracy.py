@@ -1,0 +1,136 @@
+"""Integration: static TV estimates vs SPICE-lite transient truth.
+
+These are the paper's headline claims in miniature (R-T1/R-T2): across the
+stage archetypes, the static analyzer's delay should land within tens of
+percent of the nonlinear simulation and never *under*-estimate by much
+(pessimism is acceptable; optimism is a timing-analyzer bug).
+"""
+
+import pytest
+
+from repro import TimingAnalyzer
+from repro.bench import compare_delay
+from repro.circuits import (
+    inverter_chain,
+    nand,
+    nor,
+    pass_chain,
+    superbuffer,
+    xor2,
+)
+from repro.sim import TransientOptions
+
+FAST = TransientOptions(dt=0.1e-9, settle=30e-9)
+
+#: Acceptable signed-error band, percent.  Static worst-casing may be
+#: pessimistic (positive) by up to +100%; optimism beyond -35% would mean
+#: the analyzer can green-light a failing chip.
+LOW, HIGH = -35.0, 100.0
+
+
+def assert_in_band(row):
+    assert LOW < row.error_pct < HIGH, (
+        f"{row.label} ({row.transition}): tv={row.tv_delay * 1e9:.3f}ns "
+        f"sim={row.sim_delay * 1e9:.3f}ns err={row.error_pct:+.1f}%"
+    )
+
+
+class TestStageAccuracy:
+    def test_inverter_fall(self):
+        # A realistic wire+fanout load: unloaded minimum gates have
+        # sub-nanosecond delays dominated by the stimulus ramp.
+        row = compare_delay(
+            inverter_chain(1, load=50e-15), "a", "n0",
+            direction="rise", sim_options=FAST,
+        )
+        assert row.transition == "fall"
+        assert_in_band(row)
+
+    def test_inverter_rise(self):
+        row = compare_delay(
+            inverter_chain(1, load=50e-15), "a", "n0",
+            direction="fall", sim_options=FAST,
+        )
+        assert row.transition == "rise"
+        assert_in_band(row)
+
+    def test_chain_of_four(self):
+        row = compare_delay(
+            inverter_chain(4), "a", "n3", direction="rise", sim_options=FAST
+        )
+        assert_in_band(row)
+
+    def test_nand_fall(self):
+        row = compare_delay(
+            nand(2), "a0", "out",
+            direction="rise", input_state={"a1": 1}, sim_options=FAST,
+        )
+        assert_in_band(row)
+
+    def test_nor_fall(self):
+        row = compare_delay(
+            nor(2), "a0", "out",
+            direction="rise", input_state={"a1": 0}, sim_options=FAST,
+        )
+        assert_in_band(row)
+
+    def test_xor(self):
+        row = compare_delay(
+            xor2(), "a", "out",
+            direction="rise", input_state={"b": 0}, sim_options=FAST,
+        )
+        assert_in_band(row)
+
+    def test_pass_chain_rise(self):
+        row = compare_delay(
+            pass_chain(4), "d", "p3",
+            direction="rise", input_state={"sel": 1}, sim_options=FAST,
+        )
+        assert_in_band(row)
+
+    def test_superbuffer(self):
+        net = superbuffer()
+        net.add_cap("out", 150e-15)
+        row = compare_delay(
+            net, "a", "out", direction="rise", sim_options=FAST
+        )
+        assert_in_band(row)
+
+
+class TestOrderingPreserved:
+    def test_longer_chain_slower_in_both_engines(self):
+        rows = [
+            compare_delay(
+                inverter_chain(n), "a", f"n{n-1}",
+                direction="rise", sim_options=FAST,
+            )
+            for n in (2, 4, 6)
+        ]
+        tv = [r.tv_delay for r in rows]
+        sim = [r.sim_delay for r in rows]
+        assert tv == sorted(tv)
+        assert sim == sorted(sim)
+
+    def test_pass_chain_quadratic_in_both_engines(self):
+        rows = {
+            n: compare_delay(
+                pass_chain(n), "d", f"p{n-1}",
+                direction="rise", input_state={"sel": 1}, sim_options=FAST,
+            )
+            for n in (2, 6)
+        }
+        # The static figure includes a constant slope term from the input
+        # ramp, which compresses the ratio slightly; both engines must
+        # still show clearly superlinear growth.
+        assert rows[6].tv_delay / rows[2].tv_delay > 2.5
+        assert rows[6].sim_delay / rows[2].sim_delay > 3.0
+
+
+class TestNeverFatallyOptimistic:
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_chain_estimates_not_optimistic(self, n):
+        row = compare_delay(
+            inverter_chain(n), "a", f"n{n-1}",
+            direction="rise", sim_options=FAST,
+        )
+        assert row.tv_delay > 0.65 * row.sim_delay

@@ -1,0 +1,242 @@
+"""Tests for the Netlist container (repro.netlist.netlist)."""
+
+import pytest
+
+from repro import DeviceKind, FlowDirection, Netlist, NetlistError
+from repro.circuits import add_inverter
+
+
+class TestConstruction:
+    def test_rails_exist_from_start(self):
+        net = Netlist("t")
+        assert "vdd" in net and "gnd" in net
+        assert net.is_rail("vdd") and net.is_rail("gnd")
+
+    def test_custom_rail_names(self):
+        net = Netlist("t", vdd="VDD!", gnd="GND!")
+        assert net.is_rail("VDD!") and net.is_rail("GND!")
+        assert not net.is_rail("vdd")
+
+    def test_identical_rails_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("t", vdd="x", gnd="x")
+
+    def test_add_node_accumulates_cap(self):
+        net = Netlist("t")
+        net.add_node("n", 1e-15)
+        net.add_node("n", 2e-15)
+        assert net.node("n").cap == pytest.approx(3e-15)
+
+    def test_missing_node_lookup_raises(self):
+        with pytest.raises(NetlistError):
+            Netlist("t").node("nope")
+
+    def test_fresh_node_names_unique(self):
+        net = Netlist("t")
+        names = {net.fresh_node("x").name for _ in range(50)}
+        assert len(names) == 50
+
+
+class TestDevices:
+    def test_add_enh_autocreates_nodes(self):
+        net = Netlist("t")
+        t = net.add_enh("g", "a", "b")
+        assert t.kind is DeviceKind.ENH
+        assert all(n in net for n in ("g", "a", "b"))
+
+    def test_default_geometry_is_minimum(self):
+        net = Netlist("t")
+        t = net.add_enh("g", "a", "b")
+        assert t.w == pytest.approx(net.tech.min_width())
+        assert t.l == pytest.approx(net.tech.min_length())
+
+    def test_duplicate_device_name_rejected(self):
+        net = Netlist("t")
+        net.add_enh("g", "a", "b", name="m")
+        with pytest.raises(NetlistError):
+            net.add_enh("g", "a", "c", name="m")
+
+    def test_auto_names_are_sequential_and_unique(self):
+        net = Netlist("t")
+        t1 = net.add_enh("g", "a", "b")
+        t2 = net.add_enh("g", "b", "c")
+        assert t1.name != t2.name
+
+    def test_pullup_shape(self):
+        net = Netlist("t")
+        t = net.add_pullup("out")
+        assert t.kind is DeviceKind.DEP
+        assert t.is_load
+        assert t.drain == "vdd"
+        assert net.has_pullup("out")
+
+    def test_channel_and_gate_indices(self):
+        net = Netlist("t")
+        net.add_enh("g", "a", "b", name="m1")
+        assert [d.name for d in net.channel_devices("a")] == ["m1"]
+        assert [d.name for d in net.channel_devices("b")] == ["m1"]
+        assert [d.name for d in net.gate_loads("g")] == ["m1"]
+        assert net.channel_devices("g") == []
+
+    def test_len_counts_devices(self):
+        net = Netlist("t")
+        net.add_enh("g", "a", "b")
+        net.add_pullup("a")
+        assert len(net) == 2
+
+    def test_pass_devices_excludes_rail_connected(self):
+        net = Netlist("t")
+        net.add_enh("g", "a", "gnd", name="pd")
+        net.add_enh("g", "a", "b", name="sw")
+        net.add_pullup("a", name="pu")
+        assert [d.name for d in net.pass_devices()] == ["sw"]
+
+
+class TestBoundary:
+    def test_io_declarations(self):
+        net = Netlist("t")
+        net.set_input("a")
+        net.set_output("y")
+        net.set_clock("phi1", "phi1")
+        assert net.inputs == {"a"}
+        assert net.outputs == {"y"}
+        assert net.clocks == {"phi1": "phi1"}
+        assert net.is_boundary("a") and net.is_boundary("phi1")
+        assert not net.is_boundary("y")
+
+    def test_rail_cannot_be_io(self):
+        net = Netlist("t")
+        with pytest.raises(NetlistError):
+            net.set_input("vdd")
+        with pytest.raises(NetlistError):
+            net.set_output("gnd")
+        with pytest.raises(NetlistError):
+            net.set_clock("vdd", "phi1")
+
+    def test_clock_phase_conflict_rejected(self):
+        net = Netlist("t")
+        net.set_clock("c", "phi1")
+        with pytest.raises(NetlistError):
+            net.set_clock("c", "phi2")
+        net.set_clock("c", "phi1")  # same phase is idempotent
+
+
+class TestExclusiveGroups:
+    def test_group_membership(self):
+        net = Netlist("t")
+        idx = net.add_exclusive_group("s0", "s1", "s2")
+        assert net.exclusive_group_of("s0") == idx
+        assert net.exclusive_group_of("s2") == idx
+        assert net.exclusive_group_of("other") is None
+
+    def test_double_membership_rejected(self):
+        net = Netlist("t")
+        net.add_exclusive_group("s0", "s1")
+        with pytest.raises(NetlistError):
+            net.add_exclusive_group("s1", "s2")
+
+    def test_singleton_group_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("t").add_exclusive_group("only")
+
+
+class TestCapacitance:
+    def test_node_capacitance_includes_floor(self):
+        net = Netlist("t")
+        net.add_node("n")
+        net.add_enh("g", "n", "gnd")  # so it has a channel connection
+        assert net.node_capacitance("n") >= net.tech.c_node_floor
+
+    def test_gate_load_adds_capacitance(self):
+        net = Netlist("t")
+        net.add_enh("x", "a", "b")
+        base = net.node_capacitance("a")
+        net.add_enh("a", "p", "q")  # "a" now gates a device
+        assert net.node_capacitance("a") > base
+
+    def test_explicit_wire_cap_counts(self):
+        net = Netlist("t")
+        net.add_node("n", 0.0)
+        before = net.node_capacitance("n")
+        net.add_cap("n", 5e-15)
+        assert net.node_capacitance("n") == pytest.approx(before + 5e-15)
+
+    def test_negative_cap_rejected(self):
+        net = Netlist("t")
+        net.add_node("n")
+        with pytest.raises(NetlistError):
+            net.add_cap("n", -1e-15)
+
+
+class TestEmbed:
+    def _sub(self) -> Netlist:
+        sub = Netlist("sub")
+        sub.set_input("a")
+        add_inverter(sub, "a", "y", tag="i")
+        sub.set_output("y")
+        return sub
+
+    def test_embed_prefixes_names(self):
+        top = Netlist("top")
+        translation = self._sub()
+        top.set_input("x")
+        tr = top.embed(self._sub(), "u1", {"a": "x"})
+        assert tr["a"] == "x"
+        assert tr["y"] == "u1.y"
+        assert "u1.y" in top
+        assert "u1.i.pd" in top.devices
+
+    def test_embed_maps_rails(self):
+        top = Netlist("top")
+        tr = top.embed(self._sub(), "u1")
+        assert tr["vdd"] == "vdd" and tr["gnd"] == "gnd"
+        # The embedded pull-up must land on the top rail.
+        assert any(
+            d.drain == "vdd" for d in top.devices.values() if d.is_load
+        )
+
+    def test_embed_does_not_import_io_by_default(self):
+        top = Netlist("top")
+        top.embed(self._sub(), "u1")
+        assert top.inputs == frozenset()
+        assert top.outputs == frozenset()
+
+    def test_embed_import_io(self):
+        top = Netlist("top")
+        top.embed(self._sub(), "u1", import_io=True)
+        assert top.inputs == {"u1.a"}
+        assert top.outputs == {"u1.y"}
+
+    def test_embed_imports_clocks(self):
+        sub = Netlist("sub")
+        sub.set_clock("phi1", "phi1")
+        sub.add_enh("phi1", "a", "b")
+        top = Netlist("top")
+        top.embed(sub, "u1", {"phi1": "phi1"})
+        assert top.clocks == {"phi1": "phi1"}
+
+    def test_embed_requires_prefix(self):
+        with pytest.raises(NetlistError):
+            Netlist("top").embed(self._sub(), "")
+
+    def test_embed_rejects_unknown_port(self):
+        with pytest.raises(NetlistError):
+            Netlist("top").embed(self._sub(), "u1", {"nope": "x"})
+
+    def test_two_instances_coexist(self):
+        top = Netlist("top")
+        top.set_input("x")
+        top.embed(self._sub(), "u1", {"a": "x"})
+        top.embed(self._sub(), "u2", {"a": "u1.y"})
+        assert "u2.y" in top
+        assert len(top.devices) == 4  # two inverters
+
+    def test_stats(self):
+        net = Netlist("t")
+        net.set_input("a")
+        add_inverter(net, "a", "y")
+        stats = net.stats()
+        assert stats["devices"] == 2
+        assert stats["enh"] == 1
+        assert stats["dep"] == 1
+        assert stats["inputs"] == 1

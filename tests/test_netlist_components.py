@@ -1,0 +1,103 @@
+"""Tests for primitive components (repro.netlist.components)."""
+
+import pytest
+
+from repro import DeviceKind, FlowDirection, Node, Transistor, UM
+
+
+class TestNode:
+    def test_basic_construction(self):
+        node = Node("n1", cap=1e-15)
+        assert node.name == "n1"
+        assert node.cap == 1e-15
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Node("")
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Node("n", cap=-1e-15)
+
+
+def _t(**kwargs) -> Transistor:
+    defaults = dict(
+        name="m1",
+        kind=DeviceKind.ENH,
+        gate="g",
+        source="s",
+        drain="d",
+        w=8 * UM,
+        l=4 * UM,
+    )
+    defaults.update(kwargs)
+    return Transistor(**defaults)
+
+
+class TestTransistor:
+    def test_channel_nodes(self):
+        assert _t().channel_nodes == ("s", "d")
+
+    def test_other_channel(self):
+        t = _t()
+        assert t.other_channel("s") == "d"
+        assert t.other_channel("d") == "s"
+
+    def test_other_channel_rejects_non_terminal(self):
+        with pytest.raises(ValueError):
+            _t().other_channel("g")
+
+    def test_source_equals_drain_rejected(self):
+        with pytest.raises(ValueError):
+            _t(source="x", drain="x")
+
+    def test_nonpositive_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            _t(w=0.0)
+
+    def test_kind_coerced_from_string(self):
+        assert _t(kind="dep").kind is DeviceKind.DEP
+
+    def test_is_load_requires_tied_gate(self):
+        load = _t(kind=DeviceKind.DEP, gate="s")
+        assert load.is_load
+        follower = _t(kind=DeviceKind.DEP, gate="g")
+        assert not follower.is_load
+        enh = _t(gate="s")
+        assert not enh.is_load
+
+    def test_touches_channel(self):
+        t = _t()
+        assert t.touches_channel("s")
+        assert t.touches_channel("d")
+        assert not t.touches_channel("g")
+
+
+class TestFlowDirection:
+    def test_unknown_is_unresolved(self):
+        assert not FlowDirection.UNKNOWN.resolved
+        assert FlowDirection.BIDIR.resolved
+        assert FlowDirection.S_TO_D.resolved
+
+    def test_reversed(self):
+        assert FlowDirection.S_TO_D.reversed() is FlowDirection.D_TO_S
+        assert FlowDirection.D_TO_S.reversed() is FlowDirection.S_TO_D
+        assert FlowDirection.BIDIR.reversed() is FlowDirection.BIDIR
+        assert FlowDirection.UNKNOWN.reversed() is FlowDirection.UNKNOWN
+
+    def test_flows_out_of_directional(self):
+        t = _t(flow=FlowDirection.S_TO_D)
+        assert t.flows_out_of("s")
+        assert not t.flows_out_of("d")
+        assert t.flows_into("d")
+        assert not t.flows_into("s")
+
+    def test_flows_bidir_both_ways(self):
+        t = _t(flow=FlowDirection.BIDIR)
+        assert t.flows_out_of("s") and t.flows_out_of("d")
+        assert t.flows_into("s") and t.flows_into("d")
+
+    def test_flows_unknown_neither(self):
+        t = _t()
+        assert not t.flows_out_of("s")
+        assert not t.flows_into("d")

@@ -1,0 +1,119 @@
+"""Tests for the performance-improvement advisor (repro.opt)."""
+
+import pytest
+
+from repro import TimingAnalyzer
+from repro.circuits import inverter_chain, pass_chain, ripple_adder
+from repro.errors import ReproError
+from repro.netlist import validate
+from repro.opt import apply_suggestions, optimize, suggest_resizing
+
+
+class TestSuggestions:
+    def test_suggestions_target_path_devices(self):
+        net = inverter_chain(4, load=200e-15)
+        result = TimingAnalyzer(net).analyze()
+        suggestions = suggest_resizing(net, result)
+        assert suggestions
+        path_devices = set()
+        for step in result.critical_path.steps:
+            for d in step.devices:
+                if d.startswith("load@"):
+                    node = d[len("load@"):]
+                    path_devices.update(
+                        x.name for x in net.channel_devices(node)
+                    )
+                else:
+                    path_devices.add(d)
+        for s in suggestions:
+            assert s.device in path_devices
+
+    def test_new_width_is_wider(self):
+        net = inverter_chain(3)
+        result = TimingAnalyzer(net).analyze()
+        for s in suggest_resizing(net, result, factor=2.0):
+            assert s.new_w > net.device(s.device).w
+
+    def test_load_brings_pulldown_partners(self):
+        net = inverter_chain(2, load=300e-15)
+        result = TimingAnalyzer(net).analyze()
+        suggestions = suggest_resizing(net, result, limit=10)
+        load_suggestions = [s for s in suggestions if s.partners]
+        assert load_suggestions, "a 300fF load makes the pull-up dominate"
+
+    def test_invalid_factor_rejected(self):
+        net = inverter_chain(2)
+        result = TimingAnalyzer(net).analyze()
+        with pytest.raises(ReproError):
+            suggest_resizing(net, result, factor=1.0)
+
+    def test_width_cap_respected(self):
+        net = inverter_chain(2)
+        result = TimingAnalyzer(net).analyze()
+        w_cap = 2.0 * net.tech.min_width()
+        suggestions = suggest_resizing(
+            net, result, factor=1.5, max_w_multiple=2.0
+        )
+        for s in suggestions:
+            assert s.new_w <= w_cap * 1.0001
+
+
+class TestApply:
+    def test_apply_mutates_widths(self):
+        net = inverter_chain(3)
+        result = TimingAnalyzer(net).analyze()
+        suggestions = suggest_resizing(net, result, factor=2.0)
+        before = {s.device: net.device(s.device).w for s in suggestions}
+        touched = apply_suggestions(net, suggestions, 2.0)
+        assert touched >= len(suggestions)
+        for s in suggestions:
+            assert net.device(s.device).w == pytest.approx(2 * before[s.device])
+
+    def test_ratio_stays_legal_after_apply(self):
+        net = inverter_chain(3, load=200e-15)
+        result = TimingAnalyzer(net).analyze()
+        apply_suggestions(net, suggest_resizing(net, result, limit=10))
+        validate(net)  # ERC must still pass
+
+
+class TestOptimizeLoop:
+    def test_loaded_chain_improves(self):
+        net = inverter_chain(4, load=500e-15)
+        before = TimingAnalyzer(net).analyze().max_delay
+        history = optimize(net, iterations=5)
+        after = TimingAnalyzer(net).analyze().max_delay
+        assert history
+        assert after < before
+        assert after < 0.8 * before  # a weak driver on 500fF gains a lot
+
+    def test_history_is_monotone_improving(self):
+        net = inverter_chain(4, load=500e-15)
+        history = optimize(net, iterations=5)
+        for step in history[:-1]:  # last step may be the no-improvement stop
+            assert step.delay_after <= step.delay_before
+
+    def test_target_stops_early(self):
+        net = inverter_chain(4, load=500e-15)
+        generous = TimingAnalyzer(net).analyze().max_delay * 2
+        history = optimize(net, target=generous, iterations=5)
+        assert history == []
+
+    def test_pass_chain_resizing_helps(self):
+        net = pass_chain(8)
+        before = TimingAnalyzer(net).analyze().max_delay
+        optimize(net, iterations=4)
+        after = TimingAnalyzer(net).analyze().max_delay
+        assert after < before
+
+    def test_functionality_preserved(self):
+        from repro.circuits import bus
+        from repro.sim import SwitchSim
+
+        net = ripple_adder(4)
+        optimize(net, iterations=2, limit=6)
+        sim = SwitchSim(net)
+        sim.set_word(bus("a", 4), 6)
+        sim.set_word(bus("b", 4), 7)
+        sim.set_input("cin", 1)
+        sim.settle()
+        assert sim.word(bus("sum", 4)) == 14

@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import NMOS4, DeviceKind, Netlist
+from repro.circuits import bus, inverter_chain, pass_chain, random_logic, ripple_adder
+from repro.delay import RCTree, elmore_delay, lumped_delay, pr_moments
+from repro.flow import infer_flow
+from repro.netlist import sim_dumps, sim_loads
+from repro.sim import SwitchSim, mos_current
+from repro.stages import decompose
+
+# ----------------------------------------------------------------------
+# RC tree invariants.
+# ----------------------------------------------------------------------
+rc_values = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+cap_values = st.floats(min_value=1e-16, max_value=1e-12, allow_nan=False)
+
+
+@st.composite
+def rc_trees(draw):
+    """Random RC trees of 2-12 nodes (child attaches to a random earlier)."""
+    n = draw(st.integers(min_value=1, max_value=11))
+    tree = RCTree("root")
+    names = ["root"]
+    for i in range(n):
+        parent = names[draw(st.integers(0, len(names) - 1))]
+        name = f"n{i}"
+        tree.add_child(parent, name, draw(rc_values), draw(cap_values))
+        names.append(name)
+    return tree
+
+
+@given(rc_trees())
+def test_elmore_nonnegative_and_bounded_by_lumped(tree):
+    for node in tree.nodes:
+        if node == tree.root:
+            continue
+        e = elmore_delay(tree, node)
+        assert e >= 0.0
+        assert e <= lumped_delay(tree, node) * (1 + 1e-9)
+
+
+@given(rc_trees())
+def test_pr_moment_ordering_everywhere(tree):
+    for node in tree.nodes:
+        if node == tree.root:
+            continue
+        t_r, t_dp, t_p = pr_moments(tree, node)
+        assert t_r <= t_dp * (1 + 1e-9)
+        assert t_dp <= t_p * (1 + 1e-9)
+
+
+@given(rc_trees(), cap_values)
+def test_elmore_monotone_under_added_cap(tree, extra):
+    nodes = [n for n in tree.nodes if n != tree.root]
+    target = nodes[-1]
+    before = elmore_delay(tree, target)
+    tree.add_cap(nodes[0], extra)
+    assert elmore_delay(tree, target) >= before
+
+
+@given(rc_trees())
+def test_shared_resistance_symmetric_and_bounded(tree):
+    nodes = tree.nodes
+    for a in nodes:
+        for b in nodes:
+            s = tree.shared_resistance(a, b)
+            assert s == tree.shared_resistance(b, a)
+            assert s <= min(tree.r_root(a), tree.r_root(b)) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Device model invariants.
+# ----------------------------------------------------------------------
+volt = st.floats(min_value=-1.0, max_value=6.0, allow_nan=False)
+
+
+@given(volt, volt, volt)
+def test_device_antisymmetry(vg, vs, vd):
+    w, l = 8e-6, 4e-6
+    fwd = mos_current(NMOS4, DeviceKind.ENH, vg, vs, vd, w, l)[0]
+    rev = mos_current(NMOS4, DeviceKind.ENH, vg, vd, vs, w, l)[0]
+    assert math.isclose(fwd, -rev, rel_tol=1e-9, abs_tol=1e-15)
+
+
+@given(volt, volt, volt)
+def test_current_sign_follows_vds(vg, vs, vd):
+    i = mos_current(NMOS4, DeviceKind.ENH, vg, vs, vd, 8e-6, 4e-6)[0]
+    if vd > vs:
+        assert i >= 0.0
+    elif vd < vs:
+        assert i <= 0.0
+    else:
+        assert i == 0.0
+
+
+@given(st.floats(min_value=NMOS4.vt_enh + 0.05, max_value=6.0), volt, volt)
+def test_more_gate_drive_more_current(vg, vs, vd):
+    w, l = 8e-6, 4e-6
+    base = mos_current(NMOS4, DeviceKind.ENH, vg, vs, vd, w, l)[0]
+    more = mos_current(NMOS4, DeviceKind.ENH, vg + 0.5, vs, vd, w, l)[0]
+    assert abs(more) >= abs(base) - 1e-15
+
+
+# ----------------------------------------------------------------------
+# Netlist / .sim round-trip.
+# ----------------------------------------------------------------------
+@st.composite
+def small_netlists(draw):
+    net = Netlist("prop")
+    n_inputs = draw(st.integers(1, 4))
+    inputs = [f"in{i}" for i in range(n_inputs)]
+    net.set_input(*inputs)
+    signals = list(inputs)
+    n_dev = draw(st.integers(1, 12))
+    for i in range(n_dev):
+        gate = signals[draw(st.integers(0, len(signals) - 1))]
+        out = f"w{i}"
+        kind = draw(st.sampled_from(["inv", "pass"]))
+        if kind == "inv":
+            net.add_pullup(out)
+            net.add_enh(gate, out, "gnd")
+        else:
+            src = signals[draw(st.integers(0, len(signals) - 1))]
+            if src != out:
+                net.add_enh(gate, src, out)
+                net.add_node(out)
+            else:  # pragma: no cover - name collision impossible
+                continue
+        if draw(st.booleans()):
+            net.add_cap(out, draw(st.floats(1e-16, 1e-13)))
+        signals.append(out)
+    return net
+
+
+@given(small_netlists())
+@settings(max_examples=40)
+def test_sim_roundtrip_preserves_structure(net):
+    restored = sim_loads(sim_dumps(net))
+    assert set(restored.nodes) == set(net.nodes)
+    assert len(restored.devices) == len(net.devices)
+    assert restored.inputs == net.inputs
+    sig = lambda n: sorted(
+        (d.kind.value, d.gate, d.source, d.drain) for d in n.devices.values()
+    )
+    assert sig(restored) == sig(net)
+    for name, node in net.nodes.items():
+        assert math.isclose(
+            restored.node(name).cap, node.cap, rel_tol=1e-6, abs_tol=1e-20
+        )
+
+
+@given(small_netlists())
+@settings(max_examples=40)
+def test_decomposition_partitions_any_netlist(net):
+    graph = decompose(net)
+    seen = set()
+    devices = []
+    for stage in graph:
+        assert not (stage.nodes & seen)
+        seen |= stage.nodes
+        devices.extend(stage.device_names)
+    assert sorted(devices) == sorted(net.devices)
+    for node in net.nodes:
+        if not net.is_boundary(node) and net.channel_devices(node):
+            assert node in seen
+
+
+@given(small_netlists())
+@settings(max_examples=40)
+def test_flow_inference_total_and_consistent(net):
+    report = infer_flow(net)
+    # Every device ends resolved; the accounting adds up.
+    assert all(d.flow.resolved for d in net.devices.values())
+    assert report.auto_resolved + len(report.hinted) + len(
+        report.unresolved
+    ) == report.pass_candidates
+
+
+# ----------------------------------------------------------------------
+# Functional: ripple adder against Python integers.
+# ----------------------------------------------------------------------
+@given(
+    st.integers(0, 255),
+    st.integers(0, 255),
+    st.integers(0, 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_ripple_adder_matches_python(a, b, cin):
+    width = 8
+    net = ripple_adder(width)
+    sim = SwitchSim(net)
+    sim.set_word(bus("a", width), a)
+    sim.set_word(bus("b", width), b)
+    sim.set_input("cin", cin)
+    sim.settle()
+    total = a + b + cin
+    assert sim.word(bus("sum", width)) == total & 0xFF
+    assert sim.value("cout") == total >> 8
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_random_logic_generator_deterministic(seed):
+    n1 = random_logic(120, seed=seed)
+    n2 = random_logic(120, seed=seed)
+    assert sim_dumps(n1) == sim_dumps(n2)
+
+
+@given(st.integers(1, 10))
+@settings(max_examples=10, deadline=None)
+def test_pass_chain_transmits_any_length(n):
+    net = pass_chain(n)
+    sim = SwitchSim(net)
+    sim.step({"d": 1, "sel": 1})
+    assert sim.value(f"p{n-1}") == 1
+    sim.step({"d": 0})
+    assert sim.value(f"p{n-1}") == 0
+
+
+# ----------------------------------------------------------------------
+# Static analysis invariants.
+# ----------------------------------------------------------------------
+@given(st.integers(1, 8))
+@settings(max_examples=8, deadline=None)
+def test_arrivals_monotone_along_chain(n):
+    from repro import TimingAnalyzer
+
+    result = TimingAnalyzer(inverter_chain(n)).analyze()
+    times = [result.arrival_of(f"n{i}") for i in range(n)]
+    assert all(t is not None for t in times)
+    assert times == sorted(times)

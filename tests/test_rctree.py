@@ -1,0 +1,165 @@
+"""Tests for the RC tree and first-moment metrics (repro.delay)."""
+
+import pytest
+
+from repro.delay import RCTree, elmore_delay, lumped_delay, pr_bounds, pr_moments
+from repro.errors import ReproError
+
+K = 1e3
+F = 1e-15
+
+
+def chain(n: int, r: float = 10 * K, c: float = 10 * F) -> RCTree:
+    tree = RCTree("root")
+    prev = "root"
+    for i in range(n):
+        name = f"n{i}"
+        tree.add_child(prev, name, r, c)
+        prev = name
+    return tree
+
+
+class TestConstruction:
+    def test_incremental_build(self):
+        tree = chain(3)
+        assert len(tree) == 4
+        assert tree.r_root("n2") == pytest.approx(30 * K)
+
+    def test_duplicate_node_rejected(self):
+        tree = chain(1)
+        with pytest.raises(ReproError):
+            tree.add_child("root", "n0", 1.0, 0.0)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ReproError):
+            RCTree("root").add_child("nope", "x", 1.0, 0.0)
+
+    def test_negative_values_rejected(self):
+        tree = RCTree("root")
+        with pytest.raises(ReproError):
+            tree.add_child("root", "x", -1.0, 0.0)
+
+    def test_add_cap(self):
+        tree = chain(1)
+        tree.add_cap("n0", 5 * F)
+        assert tree.cap("n0") == pytest.approx(15 * F)
+
+    def test_total_cap(self):
+        assert chain(4).total_cap() == pytest.approx(40 * F)
+
+
+class TestFromGraph:
+    def test_spanning_tree_drops_parallel_edges(self):
+        edges = [("root", "a", 1 * K), ("root", "a", 2 * K), ("a", "b", 3 * K)]
+        tree = RCTree.from_graph("root", edges, {"a": F, "b": F})
+        assert tree.r_root("b") == pytest.approx(4 * K)
+
+    def test_unreachable_nodes_excluded(self):
+        edges = [("root", "a", 1 * K), ("x", "y", 1 * K)]
+        tree = RCTree.from_graph("root", edges, {})
+        assert "y" not in tree
+
+    def test_cycle_becomes_tree(self):
+        edges = [("root", "a", 1 * K), ("a", "b", 1 * K), ("b", "root", 1 * K)]
+        tree = RCTree.from_graph("root", edges, {})
+        assert len(tree) == 3  # no duplicate, no error
+
+
+class TestPaths:
+    def test_path_to_root(self):
+        tree = chain(3)
+        assert tree.path_to_root("n2") == ["n2", "n1", "n0", "root"]
+
+    def test_shared_resistance_on_chain(self):
+        tree = chain(3)
+        assert tree.shared_resistance("n0", "n2") == pytest.approx(10 * K)
+        assert tree.shared_resistance("n2", "n2") == pytest.approx(30 * K)
+
+    def test_shared_resistance_across_branches(self):
+        tree = RCTree("root")
+        tree.add_child("root", "trunk", 5 * K, 0.0)
+        tree.add_child("trunk", "left", 1 * K, F)
+        tree.add_child("trunk", "right", 2 * K, F)
+        assert tree.shared_resistance("left", "right") == pytest.approx(5 * K)
+
+
+class TestElmore:
+    def test_single_rc(self):
+        tree = chain(1)
+        assert elmore_delay(tree, "n0") == pytest.approx(10 * K * 10 * F)
+
+    def test_chain_formula(self):
+        # sum_i C * (i * R) for i = 1..n
+        tree = chain(4)
+        expected = sum((i + 1) * 10 * K * 10 * F for i in range(4))
+        assert elmore_delay(tree, "n3") == pytest.approx(expected)
+
+    def test_quadratic_growth(self):
+        d4 = elmore_delay(chain(4), "n3")
+        d8 = elmore_delay(chain(8), "n7")
+        # n(n+1)/2 scaling: 36/10 = 3.6x
+        assert d8 / d4 == pytest.approx(36 / 10)
+
+    def test_side_branch_loads_path(self):
+        tree = chain(2)
+        base = elmore_delay(tree, "n1")
+        tree.add_child("n0", "branch", 1 * K, 20 * F)
+        loaded = elmore_delay(tree, "n1")
+        # Branch cap counts with the shared resistance up to n0.
+        assert loaded == pytest.approx(base + 10 * K * 20 * F)
+
+    def test_downstream_cap_does_not_slow_upstream_more_than_shared(self):
+        tree = chain(3)
+        d_mid_before = elmore_delay(tree, "n0")
+        tree.add_cap("n2", 100 * F)
+        d_mid_after = elmore_delay(tree, "n0")
+        assert d_mid_after == pytest.approx(d_mid_before + 10 * K * 100 * F)
+
+    def test_lumped_upper_bounds_elmore(self):
+        tree = chain(6)
+        assert lumped_delay(tree, "n5") >= elmore_delay(tree, "n5")
+
+    def test_elmore_monotone_in_added_cap(self):
+        tree = chain(3)
+        before = elmore_delay(tree, "n2")
+        tree.add_cap("n1", 5 * F)
+        assert elmore_delay(tree, "n2") > before
+
+
+class TestPenfieldRubinstein:
+    def test_moment_ordering(self):
+        tree = chain(5)
+        t_r, t_dp, t_p = pr_moments(tree, "n4")
+        assert t_r <= t_dp <= t_p
+
+    def test_measurement_node_matters(self):
+        tree = chain(5)
+        _, t_dp_mid, _ = pr_moments(tree, "n1")
+        _, t_dp_end, _ = pr_moments(tree, "n4")
+        assert t_dp_end > t_dp_mid
+
+    def test_elmore_agrees_with_tdp(self):
+        tree = chain(4)
+        _, t_dp, _ = pr_moments(tree, "n3")
+        assert t_dp == pytest.approx(elmore_delay(tree, "n3"))
+
+    def test_bounds_bracket(self):
+        bounds = pr_bounds(chain(5), "n4", 0.5)
+        assert bounds.lower <= bounds.upper
+        assert bounds.t_r <= bounds.elmore <= bounds.t_p
+
+    def test_higher_fraction_takes_longer(self):
+        tree = chain(3)
+        b50 = pr_bounds(tree, "n2", 0.5)
+        b90 = pr_bounds(tree, "n2", 0.9)
+        assert b90.upper > b50.upper
+        assert b90.lower > b50.lower
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            pr_bounds(chain(2), "n1", 1.0)
+
+    def test_single_node_chain_bounds_tight(self):
+        # For a single RC the tree is a single pole: T_R = T_DP = T_P.
+        bounds = pr_bounds(chain(1), "n0", 0.5)
+        assert bounds.t_r == pytest.approx(bounds.t_p)

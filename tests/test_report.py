@@ -1,0 +1,72 @@
+"""Tests for report helpers (repro.core.report)."""
+
+import pytest
+
+from repro import TimingAnalyzer
+from repro.circuits import inverter_chain, ripple_adder
+from repro.core import (
+    design_fingerprint,
+    format_ns,
+    format_table,
+    slack_histogram,
+)
+from repro.stages import decompose
+
+
+class TestFormatNs:
+    def test_basic(self):
+        assert format_ns(1.5e-9) == "1.500 ns"
+
+    def test_digits(self):
+        assert format_ns(1.23456e-9, digits=1) == "1.2 ns"
+
+
+class TestFingerprint:
+    def test_mentions_counts(self):
+        net = inverter_chain(3)
+        text = design_fingerprint(net, decompose(net))
+        assert "6 devices" in text
+        assert "3 stages" in text
+        assert "restoring: 3" in text
+
+
+class TestSlackHistogram:
+    def test_bins_cover_all_internal_arrivals(self):
+        result = TimingAnalyzer(ripple_adder(4)).analyze()
+        bins = slack_histogram(result.arrivals, bins=8)
+        assert len(bins) == 8
+        total = sum(count for _lo, _hi, count in bins)
+        internal_nodes = {
+            a.node for a in result.arrivals.items() if a.pred is not None
+        }
+        assert total == len(internal_nodes)
+
+    def test_bin_edges_monotone(self):
+        result = TimingAnalyzer(ripple_adder(3)).analyze()
+        bins = slack_histogram(result.arrivals, bins=5)
+        for lo, hi, _count in bins:
+            assert hi > lo
+
+    def test_empty_arrivals(self):
+        from repro.core.arrival import ArrivalMap
+
+        assert slack_histogram(ArrivalMap()) == []
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["x", "1"], ["longer", "22"]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert lines[2].startswith("-")
+        assert len(lines) == 5
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["h"], [["wider-than-header"]])
+        header_line, sep, row = text.splitlines()
+        assert len(sep) >= len("wider-than-header")

@@ -1,0 +1,153 @@
+"""Tests for the event-driven timing simulator (repro.sim.rsim)."""
+
+import pytest
+
+from repro import Netlist, SimulationError, TimingAnalyzer
+from repro.circuits import (
+    add_inverter,
+    bus,
+    full_adder,
+    inverter_chain,
+    mux2,
+    pass_chain,
+    ripple_adder,
+)
+from repro.sim import RSim, X
+
+
+class TestFunctional:
+    def test_inverter_chain_values(self):
+        net = inverter_chain(3)
+        rsim = RSim(net)
+        rsim.run_vector({"a": 1})
+        assert rsim.value("n0") == 0
+        assert rsim.value("n1") == 1
+        assert rsim.value("n2") == 0
+
+    def test_full_adder_all_vectors(self):
+        net = full_adder()
+        rsim = RSim(net)
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    rsim.run_vector({"a": a, "b": b, "cin": cin})
+                    total = a + b + cin
+                    assert rsim.value("sum") == total & 1
+                    assert rsim.value("cout") == total >> 1
+
+    def test_ripple_adder_word(self):
+        width = 4
+        net = ripple_adder(width)
+        rsim = RSim(net)
+        rsim.drive_word(bus("a", width), 9)
+        rsim.drive_word(bus("b", width), 5)
+        rsim.drive("cin", 0)
+        rsim.settle()
+        assert rsim.word(bus("sum", width)) == 14
+
+    def test_mux(self):
+        rsim = RSim(mux2())
+        rsim.run_vector({"a": 1, "b": 0, "sel": 1})
+        assert rsim.value("out") == 1
+        rsim.run_vector({"sel": 0})
+        assert rsim.value("out") == 0
+
+
+class TestTiming:
+    def test_time_advances_with_events(self):
+        net = inverter_chain(4)
+        rsim = RSim(net)
+        rsim.run_vector({"a": 0})
+        start = rsim.now
+        rsim.drive("a", 1)
+        settle = rsim.settle()
+        assert settle > start
+
+    def test_longer_chain_settles_later(self):
+        def settle_time(n):
+            rsim = RSim(inverter_chain(n))
+            rsim.run_vector({"a": 0})
+            since = rsim.now
+            rsim.drive("a", 1)
+            rsim.settle()
+            return rsim.settle_time_of(f"n{n-1}", since) - since
+
+        assert settle_time(6) > settle_time(2)
+
+    def test_pass_chain_slower_than_single_switch(self):
+        def transfer_time(n):
+            rsim = RSim(pass_chain(n))
+            rsim.run_vector({"sel": 1, "d": 0})
+            since = rsim.now
+            rsim.drive("d", 1)
+            rsim.settle()
+            return rsim.settle_time_of(f"p{n-1}", since) - since
+
+        assert transfer_time(8) > 2 * transfer_time(2)
+
+    def test_history_records_transitions(self):
+        rsim = RSim(inverter_chain(1))
+        rsim.run_vector({"a": 0})
+        since = rsim.now
+        rsim.drive("a", 1)
+        rsim.settle()
+        changes = [(t, v) for t, v in rsim.history("n0") if t > since]
+        assert changes and changes[-1][1] == 0
+
+    def test_rsim_never_exceeds_static_worst_case(self):
+        # The central cross-engine invariant: a concrete vector's settle
+        # time is bounded by the analyzer's worst-case arrival.
+        net = ripple_adder(4)
+        result = TimingAnalyzer(net).analyze()
+        rsim = RSim(net)
+        rsim.run_vector(
+            {**{f"a{i}": 0 for i in range(4)},
+             **{f"b{i}": 1 for i in range(4)}, "cin": 0}
+        )
+        since = rsim.now
+        rsim.drive("a0", 1)  # launch the carry ripple
+        rsim.settle()
+        for i in range(4):
+            node = f"sum{i}"
+            settle = rsim.settle_time_of(node, since)
+            if settle is None:
+                continue
+            tv = result.arrival_of(node)
+            assert settle - since <= tv * 1.001, node
+
+    def test_scheduling_in_the_past_rejected(self):
+        rsim = RSim(inverter_chain(1))
+        rsim.run_vector({"a": 1})
+        with pytest.raises(SimulationError):
+            rsim.drive("a", 0, at=rsim.now - 1e-9)
+
+    def test_unknown_input_rejected(self):
+        rsim = RSim(inverter_chain(1))
+        with pytest.raises(SimulationError):
+            rsim.drive("n0", 1)
+
+    def test_settle_with_limit_pauses(self):
+        rsim = RSim(inverter_chain(8))
+        rsim.run_vector({"a": 0})
+        rsim.drive("a", 1)
+        rsim.settle(limit=rsim.now + 0.5e-9)
+        # Not everything switched yet; the queue still holds events.
+        assert rsim._queue
+        rsim.settle()
+        assert not rsim._queue
+        assert rsim.value("n7") in (0, 1)
+
+
+class TestOscillation:
+    def test_ring_oscillator_detected(self):
+        net = Netlist("ring")
+        net.set_input("kick")
+        add_inverter(net, "r2", "r0", tag="i0")
+        add_inverter(net, "r0", "r1", tag="i1")
+        add_inverter(net, "r1", "r2", tag="i2")
+        net.add_enh("kick", "r2", "gnd", name="force")
+        rsim = RSim(net)
+        rsim.run_vector({"kick": 1})
+        rsim.drive("kick", 0)
+        with pytest.raises(SimulationError):
+            rsim.settle()

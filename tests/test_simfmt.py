@@ -1,0 +1,149 @@
+"""Tests for the .sim codec (repro.netlist.simfmt)."""
+
+import pytest
+
+from repro import DeviceKind, Netlist, SimFormatError
+from repro.circuits import inverter_chain, mux2
+from repro.netlist import sim_dumps, sim_loads
+
+
+class TestRoundTrip:
+    def _assert_equivalent(self, a: Netlist, b: Netlist) -> None:
+        assert set(a.nodes) == set(b.nodes)
+        assert set(a.devices) <= set(
+            b.devices
+        ) or len(a.devices) == len(b.devices)
+        assert a.inputs == b.inputs
+        assert a.outputs == b.outputs
+        assert a.clocks == b.clocks
+        for name, dev in a.devices.items():
+            # Devices are renamed on load (auto names), so compare the
+            # multiset of (kind, gate, source, drain, w, l).
+            pass
+        sig_a = sorted(
+            (d.kind.value, d.gate, d.source, d.drain, round(d.w, 12), round(d.l, 12))
+            for d in a.devices.values()
+        )
+        sig_b = sorted(
+            (d.kind.value, d.gate, d.source, d.drain, round(d.w, 12), round(d.l, 12))
+            for d in b.devices.values()
+        )
+        assert sig_a == sig_b
+
+    def test_inverter_chain_roundtrip(self):
+        original = inverter_chain(4)
+        restored = sim_loads(sim_dumps(original))
+        self._assert_equivalent(original, restored)
+
+    def test_mux_roundtrip(self):
+        original = mux2()
+        restored = sim_loads(sim_dumps(original))
+        self._assert_equivalent(original, restored)
+
+    def test_clocked_roundtrip(self):
+        net = Netlist("clk")
+        net.set_clock("phi1", "phi1")
+        net.set_clock("phi2", "phi2")
+        net.set_input("d")
+        net.add_enh("phi1", "d", "s")
+        restored = sim_loads(sim_dumps(net))
+        assert restored.clocks == {"phi1": "phi1", "phi2": "phi2"}
+
+    def test_wire_cap_roundtrip(self):
+        net = Netlist("cap")
+        net.set_input("a")
+        net.add_enh("a", "n", "gnd")
+        net.add_cap("n", 12.5e-15)
+        restored = sim_loads(sim_dumps(net))
+        assert restored.node("n").cap == pytest.approx(12.5e-15)
+
+    def test_netlist_name_preserved(self):
+        net = Netlist("mydesign")
+        net.add_enh("g", "a", "b")
+        assert sim_loads(sim_dumps(net)).name == "mydesign"
+
+    def test_rail_names_preserved(self):
+        net = Netlist("t", vdd="VDD", gnd="VSS")
+        net.add_enh("g", "a", "VSS")
+        restored = sim_loads(sim_dumps(net))
+        assert restored.vdd == "VDD" and restored.gnd == "VSS"
+
+
+class TestParsing:
+    def test_minimal_transistor_record(self):
+        net = sim_loads("e g s d\n")
+        assert len(net.devices) == 1
+        dev = next(iter(net.devices.values()))
+        assert dev.kind is DeviceKind.ENH
+        assert dev.w == pytest.approx(net.tech.min_width())
+
+    def test_geometry_in_centimicrons(self):
+        net = sim_loads("e g s d 0 0 800 400\n")
+        dev = next(iter(net.devices.values()))
+        assert dev.w == pytest.approx(8e-6)
+        assert dev.l == pytest.approx(4e-6)
+
+    def test_depletion_record(self):
+        net = sim_loads("d out out vdd\n")
+        dev = next(iter(net.devices.values()))
+        assert dev.kind is DeviceKind.DEP
+
+    def test_capacitance_in_femtofarads(self):
+        net = sim_loads("e g s d\nc s 42\n")
+        assert net.node("s").cap == pytest.approx(42e-15)
+
+    def test_coupling_cap_split(self):
+        net = sim_loads("e g s d\nC s d 10\n")
+        assert net.node("s").cap == pytest.approx(5e-15)
+        assert net.node("d").cap == pytest.approx(5e-15)
+
+    def test_aliases_canonicalized(self):
+        net = sim_loads("= n1 n2\ne g n1 d\n")
+        dev = next(iter(net.devices.values()))
+        assert dev.source == "n2"
+
+    def test_comments_and_blank_lines_skipped(self):
+        net = sim_loads("| a comment\n\ne g s d\n| another\n")
+        assert len(net.devices) == 1
+
+    def test_resistance_records_ignored(self):
+        net = sim_loads("e g s d\nR s 100\n")
+        assert len(net.devices) == 1
+
+    def test_io_extension_records(self):
+        net = sim_loads("|I a\n|O y\n|K phi1 phi1\ne a y gnd\n")
+        assert net.inputs == {"a"}
+        assert net.outputs == {"y"}
+        assert net.clocks == {"phi1": "phi1"}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "z g s d\n",  # unknown record
+            "e g s\n",  # too few fields
+            "c n\n",  # missing value
+            "c n notanumber\n",
+            "C a b\n",
+            "= onlyone\n",
+            "|K phi1\n",  # missing phase
+            "|I\n",
+        ],
+    )
+    def test_malformed_records_raise(self, text):
+        with pytest.raises(SimFormatError):
+            sim_loads(text)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(SimFormatError) as exc_info:
+            sim_loads("e g s d\nz x y\n")
+        assert "line 2" in str(exc_info.value)
+
+    def test_alias_cycle_detected(self):
+        with pytest.raises(SimFormatError):
+            sim_loads("= a b\n= b a\ne g a d\n")
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(SimFormatError):
+            sim_loads("c n -5\n")

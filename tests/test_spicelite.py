@@ -1,0 +1,137 @@
+"""Tests for the SPICE-lite transient simulator (repro.sim.spicelite)."""
+
+import pytest
+
+from repro import Netlist, NMOS4, SimulationError
+from repro.circuits import add_inverter, inverter, inverter_chain, pass_chain
+from repro.sim import (
+    SpiceLite,
+    TransientOptions,
+    constant,
+    measure_step_delay,
+    step,
+)
+
+FAST = TransientOptions(dt=0.2e-9, settle=20e-9)
+
+
+class TestDcLevels:
+    def test_inverter_output_low_when_input_high(self):
+        net = inverter()
+        sim = SpiceLite(net, options=FAST)
+        wave = sim.transient({"a": constant(5.0)}, 5e-9)
+        assert wave.final_value("out") < 1.0
+
+    def test_inverter_output_high_when_input_low(self):
+        net = inverter()
+        sim = SpiceLite(net, options=FAST)
+        wave = sim.transient({"a": constant(0.0)}, 5e-9)
+        assert wave.final_value("out") > 4.0
+
+    def test_output_low_is_ratioed_not_zero(self):
+        # A depletion-load inverter's low level is small but nonzero.
+        net = inverter()
+        sim = SpiceLite(net, options=FAST)
+        wave = sim.transient({"a": constant(5.0)}, 5e-9)
+        v_low = wave.final_value("out")
+        assert 0.0 < v_low < 1.0
+
+    def test_pass_high_degrades_by_threshold(self):
+        net = pass_chain(1)
+        sim = SpiceLite(net, options=FAST)
+        wave = sim.transient(
+            {"d": constant(5.0), "sel": constant(5.0)}, 40e-9
+        )
+        v = wave.final_value("p0")
+        # Pass transistor high: roughly vdd - vt.
+        assert 3.0 < v < 4.6
+
+
+class TestTransient:
+    def test_inverter_switches(self):
+        net = inverter()
+        sim = SpiceLite(net, options=FAST)
+        wave = sim.transient({"a": step(5e-9, 0.0, 5.0)}, 30e-9)
+        assert wave.value_at("out", 2e-9) > 4.0
+        assert wave.final_value("out") < 1.0
+
+    def test_chain_alternates(self):
+        net = inverter_chain(3)
+        sim = SpiceLite(net, options=FAST)
+        wave = sim.transient({"a": constant(5.0)}, 30e-9)
+        assert wave.final_value("n0") < 1.0
+        assert wave.final_value("n1") > 4.0
+        assert wave.final_value("n2") < 1.0
+
+    def test_waveform_is_causal(self):
+        net = inverter_chain(2)
+        sim = SpiceLite(net, options=FAST)
+        wave = sim.transient({"a": step(5e-9, 0.0, 5.0)}, 40e-9)
+        t0 = wave.crossing_after("n0", 2.5, "fall", 5e-9)
+        t1 = wave.crossing_after("n1", 2.5, "rise", 5e-9)
+        assert t0 is not None and t1 is not None and t1 > t0
+
+    def test_record_subset(self):
+        net = inverter_chain(2)
+        sim = SpiceLite(net, options=FAST)
+        wave = sim.transient({"a": constant(0.0)}, 2e-9, record=["n1"])
+        assert wave.nodes == ["n1"]
+
+    def test_unknown_stimulus_rejected(self):
+        net = inverter()
+        sim = SpiceLite(net, options=FAST)
+        with pytest.raises(SimulationError):
+            sim.transient({"nope": constant(0.0)}, 1e-9)
+
+    def test_floating_gate_rejected(self):
+        net = Netlist("bad")
+        net.set_input("a")
+        net.add_enh("ghost", "a", "gnd")
+        with pytest.raises(SimulationError):
+            SpiceLite(net)
+
+    def test_node_count_excludes_boundary(self):
+        net = inverter_chain(3)
+        assert SpiceLite(net).node_count == 3
+
+
+class TestMeasurement:
+    def test_delay_positive_and_reasonable(self):
+        net = inverter()
+        m = measure_step_delay(net, "a", "out", direction="rise", options=FAST)
+        assert m.output_direction == "fall"
+        assert 0.05e-9 < m.delay < 20e-9
+
+    def test_rise_slower_than_fall(self):
+        # Ratioed nMOS: with a real load, the weak depletion pull-up is
+        # clearly slower than the pull-down.
+        net = inverter()
+        net.add_cap("out", 50e-15)
+        fall = measure_step_delay(net, "a", "out", direction="rise", options=FAST)
+        rise = measure_step_delay(net, "a", "out", direction="fall", options=FAST)
+        assert rise.delay > fall.delay
+
+    def test_input_state_controls_side_inputs(self):
+        from repro.circuits import nand
+
+        net = nand(2)
+        # With a1 low the output never falls on a0 rise.
+        with pytest.raises(SimulationError):
+            measure_step_delay(
+                net, "a0", "out", direction="rise",
+                input_state={"a1": 0}, options=FAST,
+            )
+        m = measure_step_delay(
+            net, "a0", "out", direction="rise",
+            input_state={"a1": 1}, options=FAST,
+        )
+        assert m.output_direction == "fall"
+
+    def test_longer_chain_longer_delay(self):
+        short = measure_step_delay(
+            inverter_chain(2), "a", "n1", direction="rise", options=FAST
+        )
+        long = measure_step_delay(
+            inverter_chain(4), "a", "n3", direction="rise", options=FAST
+        )
+        assert long.delay > short.delay

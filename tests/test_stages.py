@@ -1,0 +1,181 @@
+"""Tests for stage decomposition (repro.stages.decompose / stage)."""
+
+import pytest
+
+from repro import Netlist
+from repro.circuits import (
+    full_adder,
+    inverter_chain,
+    mips_like_datapath,
+    mux2,
+    pass_chain,
+)
+from repro.errors import StageError
+from repro.stages import Stage, StageGraph, decompose
+
+
+class TestInverterChain:
+    def test_one_stage_per_inverter(self):
+        graph = decompose(inverter_chain(5))
+        assert len(graph) == 5
+
+    def test_each_stage_has_two_devices(self):
+        graph = decompose(inverter_chain(3))
+        for stage in graph:
+            assert len(stage.device_names) == 2
+
+    def test_stage_outputs_chain(self):
+        net = inverter_chain(3)
+        graph = decompose(net)
+        outputs = {o for stage in graph for o in stage.outputs}
+        assert outputs == {"n0", "n1", "n2"}
+
+    def test_successors_follow_the_chain(self):
+        net = inverter_chain(3)
+        graph = decompose(net)
+        first = graph.stage_of("n0")
+        succs = graph.successors(first)
+        assert len(succs) == 1
+        assert "n1" in succs[0].nodes
+
+
+class TestPassNetworks:
+    def test_pass_chain_is_one_stage_plus_sense(self):
+        net = pass_chain(6)
+        graph = decompose(net)
+        chain_stage = graph.stage_of("p0")
+        assert chain_stage is graph.stage_of("p5")
+        assert len(chain_stage.nodes) == 6
+
+    def test_boundary_includes_driving_input(self):
+        net = pass_chain(3)
+        graph = decompose(net)
+        stage = graph.stage_of("p0")
+        assert "d" in stage.boundary
+
+    def test_gate_inputs_include_select(self):
+        net = pass_chain(3)
+        graph = decompose(net)
+        stage = graph.stage_of("p0")
+        assert "sel" in stage.gate_inputs
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize(
+        "net",
+        [inverter_chain(4), mux2(), full_adder(), pass_chain(5)],
+        ids=["inv", "mux", "fa", "pass"],
+    )
+    def test_nodes_partitioned(self, net):
+        graph = decompose(net)
+        seen: set[str] = set()
+        for stage in graph:
+            assert not (stage.nodes & seen), "stages must not share nodes"
+            seen |= stage.nodes
+        # Every channel-connected internal node is in exactly one stage.
+        for name in net.nodes:
+            if net.is_boundary(name) or not net.channel_devices(name):
+                continue
+            assert name in seen
+
+    @pytest.mark.parametrize(
+        "net",
+        [inverter_chain(4), mux2(), full_adder(), pass_chain(5)],
+        ids=["inv", "mux", "fa", "pass"],
+    )
+    def test_every_device_in_exactly_one_stage(self, net):
+        graph = decompose(net)
+        all_devices = [d for s in graph for d in s.device_names]
+        assert sorted(all_devices) == sorted(net.devices)
+
+    def test_boundary_nodes_never_stage_members(self):
+        net = mux2()
+        graph = decompose(net)
+        for stage in graph:
+            for node in stage.nodes:
+                assert not net.is_boundary(node)
+
+    def test_decomposition_is_deterministic(self):
+        net1, _ = mips_like_datapath(4, 2)
+        net2, _ = mips_like_datapath(4, 2)
+        g1 = [s.nodes for s in decompose(net1)]
+        g2 = [s.nodes for s in decompose(net2)]
+        assert g1 == g2
+
+
+class TestDegenerate:
+    def test_input_to_input_pass_is_degenerate_stage(self):
+        net = Netlist("t")
+        net.set_input("a", "b", "en")
+        net.add_enh("en", "a", "b", name="bridge")
+        graph = decompose(net)
+        degenerate = [s for s in graph if not s.nodes]
+        assert len(degenerate) == 1
+        assert degenerate[0].device_names == ("bridge",)
+
+    def test_gate_only_node_in_no_stage(self):
+        net = Netlist("t")
+        net.set_input("a")
+        net.add_enh("a", "y", "gnd")
+        net.add_pullup("y")
+        net.add_enh("y", "z", "gnd")  # y gates; z is a member
+        net.add_pullup("z")
+        graph = decompose(net)
+        assert graph.stage_of("a") is None
+
+
+class TestStageGraphApi:
+    def test_stage_of_boundary_is_none(self):
+        net = inverter_chain(2)
+        graph = decompose(net)
+        assert graph.stage_of("a") is None
+        assert graph.stage_of("vdd") is None
+
+    def test_indexing_and_iteration(self):
+        graph = decompose(inverter_chain(3))
+        assert graph[0].index == 0
+        assert [s.index for s in graph] == [0, 1, 2]
+
+    def test_stages_gated_by(self):
+        net = inverter_chain(3)
+        graph = decompose(net)
+        gated = graph.stages_gated_by("n0")
+        assert len(gated) == 1
+        assert "n1" in gated[0].nodes
+
+    def test_summary_counts(self):
+        graph = decompose(inverter_chain(3))
+        summary = graph.summary()
+        assert summary["stages"] == 3
+        assert summary["devices"] == 6
+
+    def test_duplicate_node_assignment_rejected(self):
+        net = inverter_chain(1)
+        stage = decompose(net)[0]
+        clone = Stage(
+            index=1,
+            nodes=stage.nodes,
+            device_names=stage.device_names,
+            gate_inputs=stage.gate_inputs,
+            boundary=stage.boundary,
+            outputs=stage.outputs,
+        )
+        with pytest.raises(StageError):
+            StageGraph(net, [stage, clone])
+
+    def test_external_gate_inputs_excludes_internal(self):
+        # Cross-coupled pair: each node gates the other inverter inside the
+        # same stage... but rails cut them into two stages, so here use a
+        # bootstrap-like same-stage gate: pass device gated by a stage node.
+        net = Netlist("t")
+        net.set_input("a")
+        net.add_pullup("x")
+        net.add_enh("a", "x", "gnd")
+        net.add_enh("x", "x2", "x3")  # gated by internal-ish node x
+        net.add_enh("a", "x2", "gnd")
+        net.add_pullup("x2")
+        graph = decompose(net)
+        stage = graph.stage_of("x2")
+        assert stage is graph.stage_of("x3")
+        # x is in another stage, so it is an external gate input here.
+        assert "x" in stage.external_gate_inputs

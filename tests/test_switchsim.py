@@ -1,0 +1,161 @@
+"""Tests for the switch-level functional simulator (repro.sim.switchsim)."""
+
+import pytest
+
+from repro import Netlist, SimulationError
+from repro.circuits import (
+    decoder,
+    full_adder,
+    inverter,
+    mux2,
+    nand,
+    nor,
+    pass_chain,
+    xor2,
+)
+from repro.sim import SwitchSim, X
+
+
+def run(net, assignments):
+    sim = SwitchSim(net)
+    sim.step(assignments)
+    return sim
+
+
+class TestGates:
+    def test_inverter_truth_table(self):
+        net = inverter()
+        assert run(net, {"a": 0}).value("out") == 1
+        assert run(net, {"a": 1}).value("out") == 0
+
+    def test_inverter_x_propagates(self):
+        net = inverter()
+        assert run(net, {"a": X}).value("out") is X
+
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_nand2(self, a, b, expected):
+        assert run(nand(2), {"a0": a, "a1": b}).value("out") == expected
+
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)])
+    def test_nor2(self, a, b, expected):
+        assert run(nor(2), {"a0": a, "a1": b}).value("out") == expected
+
+    def test_nand_partial_x_resolves_when_determined(self):
+        # NAND with one input 0 is 1 regardless of the X.
+        sim = run(nand(2), {"a0": 0, "a1": X})
+        assert sim.value("out") == 1
+
+    def test_nand_x_when_undetermined(self):
+        sim = run(nand(2), {"a0": 1, "a1": X})
+        assert sim.value("out") is X
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_xor(self, a, b):
+        assert run(xor2(), {"a": a, "b": b}).value("out") == (a ^ b)
+
+
+class TestPassLogic:
+    def test_pass_chain_transmits(self):
+        net = pass_chain(5)
+        sim = run(net, {"d": 1, "sel": 1})
+        assert sim.value("p4") == 1
+        sim.step({"d": 0})
+        assert sim.value("p4") == 0
+
+    def test_open_chain_retains_charge(self):
+        net = pass_chain(3)
+        sim = run(net, {"d": 1, "sel": 1})
+        assert sim.value("p2") == 1
+        sim.step({"sel": 0})
+        assert sim.value("p2") == 1  # stored
+        sim.step({"d": 0})
+        assert sim.value("p2") == 1  # still isolated
+
+    def test_x_select_disturbs_stored_value(self):
+        net = pass_chain(2)
+        sim = run(net, {"d": 1, "sel": 1})
+        sim.step({"sel": 0, "d": 0})
+        assert sim.value("p1") == 1
+        sim.step({"sel": X})
+        assert sim.value("p1") is X
+
+    @pytest.mark.parametrize("sel,a,b,expected", [(1, 1, 0, 1), (1, 0, 1, 0), (0, 1, 0, 0), (0, 0, 1, 1)])
+    def test_mux(self, sel, a, b, expected):
+        sim = run(mux2(), {"sel": sel, "a": a, "b": b})
+        assert sim.value("out") == expected
+        assert sim.value("outb") == 1 - expected
+
+
+class TestComposite:
+    @pytest.mark.parametrize("a,b,cin", [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)])
+    def test_full_adder_exhaustive(self, a, b, cin):
+        sim = run(full_adder(), {"a": a, "b": b, "cin": cin})
+        total = a + b + cin
+        assert sim.value("sum") == total & 1
+        assert sim.value("cout") == total >> 1
+
+    def test_decoder_one_hot(self):
+        net = decoder(3)
+        for k in range(8):
+            sim = SwitchSim(net)
+            sim.set_word([f"a{i}" for i in range(3)], k)
+            sim.settle()
+            lines = [sim.value(f"line{j}") for j in range(8)]
+            assert lines == [1 if j == k else 0 for j in range(8)]
+
+
+class TestWordHelpers:
+    def test_word_round_trip(self):
+        net = decoder(2)
+        sim = SwitchSim(net)
+        sim.set_word(["a0", "a1"], 2)
+        assert sim.values(["a0", "a1"]) == [0, 1]
+        assert sim.word(["a0", "a1"]) == 2
+
+    def test_word_none_on_x(self):
+        net = decoder(2)
+        sim = SwitchSim(net)
+        assert sim.word(["a0", "a1"]) is None
+
+    def test_set_input_validation(self):
+        sim = SwitchSim(inverter())
+        with pytest.raises(SimulationError):
+            sim.set_input("out", 1)
+        with pytest.raises(SimulationError):
+            sim.set_input("a", 7)
+
+    def test_unknown_node_value(self):
+        with pytest.raises(SimulationError):
+            SwitchSim(inverter()).value("ghost")
+
+
+class TestFeedbackAndOscillation:
+    def test_cross_coupled_pair_holds_state(self):
+        net = Netlist("sr")
+        net.set_input("set_n")  # drive s low through a pass to flip
+        from repro.circuits import add_inverter, add_pass
+
+        add_inverter(net, "s", "ns", tag="i1")
+        add_inverter(net, "ns", "s", tag="i2")
+        add_pass(net, "set_n", "gnd2", "s", name="force")
+        net.add_node("gnd2")
+        net.add_enh("vdd", "gnd2", "gnd", name="tie")  # gnd2 is a hard low
+        sim = SwitchSim(net)
+        sim.step({"set_n": 1})  # force s low
+        assert sim.value("s") == 0 and sim.value("ns") == 1
+        sim.step({"set_n": 0})  # release: state must hold
+        assert sim.value("s") == 0 and sim.value("ns") == 1
+
+    def test_ring_oscillator_detected(self):
+        net = Netlist("ring")
+        from repro.circuits import add_inverter
+
+        net.set_input("kick")
+        add_inverter(net, "r2", "r0", tag="i0")
+        add_inverter(net, "r0", "r1", tag="i1")
+        add_inverter(net, "r1", "r2", tag="i2")
+        net.add_enh("kick", "r2", "gnd", name="force")
+        sim = SwitchSim(net)
+        sim.step({"kick": 1})  # held: settles with r2 forced low
+        with pytest.raises(SimulationError):
+            sim.step({"kick": 0})  # released: oscillates

@@ -1,0 +1,158 @@
+"""Tests for the technology model (repro.tech)."""
+
+import pytest
+
+from repro import NMOS4, Technology, UM
+
+
+class TestDefaults:
+    def test_default_is_4um_process(self):
+        assert NMOS4.lam == pytest.approx(2.0 * UM)
+        assert NMOS4.vdd == 5.0
+
+    def test_thresholds_have_nmos_signs(self):
+        assert NMOS4.vt_enh > 0
+        assert NMOS4.vt_dep < 0
+
+    def test_min_device_geometry(self):
+        assert NMOS4.min_width() == pytest.approx(4 * NMOS4.lam)
+        assert NMOS4.min_length() == pytest.approx(2 * NMOS4.lam)
+
+
+class TestEffectiveResistance:
+    def test_square_device_resistance(self):
+        r = NMOS4.r_eff("enh", w=10 * UM, l=10 * UM)
+        assert r == pytest.approx(NMOS4.r_sq_enh_pulldown)
+
+    def test_wider_device_is_stronger(self):
+        narrow = NMOS4.r_eff("enh", w=8 * UM, l=4 * UM)
+        wide = NMOS4.r_eff("enh", w=16 * UM, l=4 * UM)
+        assert wide == pytest.approx(narrow / 2)
+
+    def test_pass_mode_is_weaker(self):
+        normal = NMOS4.r_eff("enh", w=8 * UM, l=4 * UM)
+        passing = NMOS4.r_eff("enh", w=8 * UM, l=4 * UM, pass_mode=True)
+        assert passing > normal
+
+    def test_depletion_uses_its_own_sheet_value(self):
+        r = NMOS4.r_eff("dep", w=5 * UM, l=10 * UM)
+        assert r == pytest.approx(2 * NMOS4.r_sq_dep_pullup)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NMOS4.r_eff("pmos", w=1 * UM, l=1 * UM)
+
+    def test_nonpositive_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            NMOS4.r_eff("enh", w=0.0, l=1 * UM)
+
+
+class TestCapacitance:
+    def test_gate_cap_scales_with_area(self):
+        c1 = NMOS4.c_gate(8 * UM, 4 * UM)
+        c2 = NMOS4.c_gate(16 * UM, 4 * UM)
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_min_gate_cap_is_tens_of_femtofarads(self):
+        c = NMOS4.c_gate(NMOS4.min_width(), NMOS4.min_length())
+        assert 1e-15 < c < 100e-15
+
+    def test_diffusion_cap_positive(self):
+        assert NMOS4.c_diff(8 * UM) > 0
+
+
+class TestScaling:
+    def test_scaled_shrinks_lambda(self):
+        half = NMOS4.scaled(0.5)
+        assert half.lam == pytest.approx(NMOS4.lam * 0.5)
+
+    def test_scaled_shrinks_min_device_caps(self):
+        half = NMOS4.scaled(0.5)
+        c_full = NMOS4.c_gate(NMOS4.min_width(), NMOS4.min_length())
+        c_half = half.c_gate(half.min_width(), half.min_length())
+        assert c_half == pytest.approx(c_full / 4)
+
+    def test_scaled_keeps_sheet_resistance(self):
+        half = NMOS4.scaled(0.5)
+        assert half.r_sq_enh_pulldown == NMOS4.r_sq_enh_pulldown
+
+    def test_scaled_names_derived(self):
+        assert "x0.5" in NMOS4.scaled(0.5).name
+        assert NMOS4.scaled(0.5, name="custom").name == "custom"
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            NMOS4.scaled(0.0)
+
+    def test_technology_is_frozen(self):
+        with pytest.raises(AttributeError):
+            NMOS4.vdd = 3.3  # type: ignore[misc]
+
+
+class TestBeta:
+    def test_beta_scales_with_aspect(self):
+        b1 = NMOS4.beta(8 * UM, 4 * UM)
+        b2 = NMOS4.beta(16 * UM, 4 * UM)
+        assert b2 == pytest.approx(2 * b1)
+
+
+class TestSerialization:
+    def test_round_trip_dict(self):
+        data = NMOS4.to_dict()
+        clone = Technology.from_dict(data)
+        assert clone == NMOS4
+
+    def test_from_dict_partial(self):
+        custom = Technology.from_dict({"name": "fast", "vdd": 3.0})
+        assert custom.vdd == 3.0
+        assert custom.vt_enh == NMOS4.vt_enh  # defaults fill in
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            Technology.from_dict({"not_a_parameter": 1.0})
+
+    def test_from_json_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "proc.json"
+        path.write_text(json.dumps({"name": "filed", "vdd": 4.5}))
+        tech = Technology.from_json(path)
+        assert tech.name == "filed" and tech.vdd == 4.5
+
+    def test_from_json_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            Technology.from_json(path)
+
+
+class TestCorners:
+    def test_three_corners(self):
+        corners = Technology.corners()
+        assert set(corners) == {"slow", "typ", "fast"}
+        assert corners["typ"] == NMOS4
+
+    def test_slow_is_weaker_and_fatter(self):
+        slow = NMOS4.corner("slow")
+        assert slow.r_sq_enh_pulldown > NMOS4.r_sq_enh_pulldown
+        assert slow.c_gate_area > NMOS4.c_gate_area
+        assert slow.kprime < NMOS4.kprime
+
+    def test_fast_is_stronger_and_leaner(self):
+        fast = NMOS4.corner("fast")
+        assert fast.r_sq_enh_pulldown < NMOS4.r_sq_enh_pulldown
+        assert fast.c_gate_area < NMOS4.c_gate_area
+
+    def test_unknown_corner_rejected(self):
+        with pytest.raises(ValueError):
+            NMOS4.corner("nominal")
+
+    def test_corner_ordering_on_a_circuit(self):
+        from repro import TimingAnalyzer
+        from repro.circuits import inverter_chain
+
+        delays = {}
+        for which, tech in Technology.corners().items():
+            net = inverter_chain(4, tech=tech)
+            delays[which] = TimingAnalyzer(net).analyze().max_delay
+        assert delays["fast"] < delays["typ"] < delays["slow"]

@@ -1,0 +1,122 @@
+"""Tests for electrical rules checks (repro.netlist.validate)."""
+
+import pytest
+
+from repro import ElectricalRuleError, Netlist, UM
+from repro.circuits import full_adder, inverter_chain, mux2
+from repro.netlist import check, validate
+
+
+def codes(violations):
+    return {v.code for v in violations}
+
+
+class TestCleanCircuits:
+    @pytest.mark.parametrize(
+        "net", [inverter_chain(3), mux2(), full_adder()], ids=["inv", "mux", "fa"]
+    )
+    def test_generated_circuits_pass(self, net):
+        errors = [v for v in check(net) if v.severity == "error"]
+        assert errors == []
+
+    def test_validate_returns_warnings(self, inverter_net):
+        assert validate(inverter_net) == []
+
+
+class TestFloatingGate:
+    def test_detected(self):
+        net = Netlist("t")
+        net.set_input("a")
+        net.add_enh("ghost", "a", "gnd")  # 'ghost' gates but is undriven
+        assert "floating-gate" in codes(check(net))
+
+    def test_validate_raises(self):
+        net = Netlist("t")
+        net.set_input("a")
+        net.add_enh("ghost", "a", "gnd")
+        with pytest.raises(ElectricalRuleError):
+            validate(net)
+
+    def test_driven_gate_ok(self, inverter_net):
+        assert "floating-gate" not in codes(check(inverter_net))
+
+
+class TestRailShort:
+    def test_depletion_across_rails_flagged(self):
+        net = Netlist("t")
+        net.add_transistor("dep", "x", "vdd", "gnd")
+        net.set_input("x")
+        assert "rail-short" in codes(check(net))
+
+    def test_enhancement_across_rails_not_short(self):
+        # An enh device vdd-gnd gated by a signal is a (strange but legal)
+        # switch, not a static short.
+        net = Netlist("t")
+        net.set_input("x")
+        net.add_enh("x", "vdd", "gnd")
+        assert "rail-short" not in codes(check(net))
+
+
+class TestNoDcPath:
+    def test_isolated_pass_island_flagged(self):
+        net = Netlist("t")
+        net.set_input("en")
+        # y gates something but its channel net never reaches a rail/input.
+        net.add_enh("en", "island", "y")
+        net.add_enh("y", "q", "gnd")
+        net.set_input("q")  # keep q itself legal
+        assert "no-dc-path" in codes(check(net))
+
+    def test_pass_from_input_ok(self):
+        net = Netlist("t")
+        net.set_input("d", "en")
+        net.add_enh("en", "d", "y")
+        net.add_enh("y", "q", "gnd")
+        net.set_output("q")
+        net.add_pullup("q")
+        assert "no-dc-path" not in codes(check(net))
+
+
+class TestRatio:
+    def test_strong_pullup_flagged(self):
+        net = Netlist("t")
+        net.set_input("a")
+        # Pull-up as strong as the pull-down: ratio 1 < 3.
+        net.add_pullup("out", w=8 * UM, l=4 * UM)
+        net.add_enh("a", "out", "gnd", w=8 * UM, l=4 * UM)
+        assert "ratio" in codes(check(net))
+
+    def test_standard_inverter_ok(self, inverter_net):
+        assert "ratio" not in codes(check(inverter_net))
+
+
+class TestOutputs:
+    def test_dangling_output_flagged(self):
+        net = Netlist("t")
+        net.set_output("y")
+        assert "dangling-output" in codes(check(net))
+
+
+class TestWarnings:
+    def test_gated_rail_warning(self):
+        net = Netlist("t")
+        net.set_input("a")
+        net.add_enh("vdd", "a", "y", name="odd")
+        net.add_enh("y", "q", "gnd")
+        net.add_pullup("q")
+        found = [v for v in check(net) if v.code == "gated-rail"]
+        assert found and found[0].severity == "warning"
+        assert "always on" in found[0].message
+
+    def test_undriven_node_warning(self):
+        net = Netlist("t")
+        net.add_node("orphan")
+        found = [v for v in check(net) if v.code == "undriven-node"]
+        assert found and found[0].subject == "orphan"
+
+    def test_violation_str_format(self):
+        net = Netlist("t")
+        net.add_node("orphan")
+        v = [x for x in check(net) if x.code == "undriven-node"][0]
+        text = str(v)
+        assert "undriven-node" in text and "orphan" in text

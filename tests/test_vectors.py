@@ -1,0 +1,126 @@
+"""Tests for the test-vector deck runner (repro.sim.vectors)."""
+
+import pytest
+
+from repro import SimulationError
+from repro.circuits import full_adder, ripple_adder, shift_register
+from repro.cli import main
+from repro.netlist import sim_dumps
+from repro.sim import X, parse_deck, run_deck
+
+
+class TestParsing:
+    def test_basic_commands(self):
+        deck = parse_deck(
+            "| header comment\n"
+            "set a=1 b=0\n"
+            "settle\n"
+            "expect y=x\n"
+            "cycle 3\n"
+        )
+        assert [c.op for c in deck] == ["set", "settle", "expect", "cycle"]
+        assert deck[0].assignments == (("a", 1), ("b", 0))
+        assert deck[2].assignments == (("y", X),)
+        assert deck[3].count == 3
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "set\n",
+            "set a\n",
+            "set a=2\n",
+            "cycle zero\n",
+            "cycle 0\n",
+            "teleport a=1\n",
+            "expect\n",
+        ],
+    )
+    def test_malformed_lines_rejected(self, text):
+        with pytest.raises(SimulationError):
+            parse_deck(text)
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(SimulationError) as exc_info:
+            parse_deck("set a=1\nbogus\n")
+        assert "line 2" in str(exc_info.value)
+
+
+class TestRunning:
+    def test_full_adder_deck_passes(self):
+        deck = parse_deck(
+            "set a=1 b=1 cin=1\n"
+            "expect sum=1 cout=1\n"
+            "set cin=0\n"
+            "expect sum=0 cout=1\n"
+        )
+        result = run_deck(full_adder(), deck)
+        assert result.ok
+        assert result.expectations == 4
+        assert "PASS" in result.summary()
+
+    def test_failure_reported_with_line(self):
+        deck = parse_deck("set a=1 b=0 cin=0\nexpect sum=0\n")
+        result = run_deck(full_adder(), deck)
+        assert not result.ok
+        failure = result.failures[0]
+        assert failure.line == 2
+        assert failure.node == "sum"
+        assert "FAIL" in result.summary()
+
+    def test_clocked_deck(self):
+        deck = parse_deck(
+            "set d=1\n"
+            "cycle\n"
+            "expect q0=1\n"
+            "set d=0\n"
+            "cycle\n"
+            "expect q0=0 q1=1\n"
+        )
+        result = run_deck(shift_register(3), deck)
+        assert result.ok, result.summary()
+
+    def test_cycle_on_combinational_rejected(self):
+        deck = parse_deck("cycle\n")
+        with pytest.raises(SimulationError):
+            run_deck(full_adder(), deck)
+
+    def test_x_expectation(self):
+        # Uninitialized adder inputs: outputs are unknown.
+        deck = parse_deck("expect sum=x\n")
+        result = run_deck(full_adder(), deck)
+        assert result.ok
+
+
+class TestCliSimulate:
+    def test_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        netfile = tmp_path / "fa.sim"
+        netfile.write_text(sim_dumps(full_adder()))
+        good = tmp_path / "good.vec"
+        good.write_text("set a=1 b=0 cin=0\nexpect sum=1 cout=0\n")
+        bad = tmp_path / "bad.vec"
+        bad.write_text("set a=1 b=0 cin=0\nexpect sum=0\n")
+        assert main(["simulate", str(netfile), str(good)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main(["simulate", str(netfile), str(bad)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_adder_regression_deck(self, tmp_path):
+        netfile = tmp_path / "add.sim"
+        netfile.write_text(sim_dumps(ripple_adder(4)))
+        deck = tmp_path / "regress.vec"
+        lines = []
+        for a, b, cin in [(3, 5, 0), (15, 15, 1), (9, 6, 1)]:
+            total = a + b + cin
+            sets = " ".join(
+                [f"a{i}={(a >> i) & 1}" for i in range(4)]
+                + [f"b{i}={(b >> i) & 1}" for i in range(4)]
+                + [f"cin={cin}"]
+            )
+            expects = " ".join(
+                [f"sum{i}={(total >> i) & 1}" for i in range(4)]
+                + [f"cout={total >> 4}"]
+            )
+            lines.append(f"set {sets}")
+            lines.append(f"expect {expects}")
+        deck.write_text("\n".join(lines) + "\n")
+        assert main(["simulate", str(netfile), str(deck)]) == 0

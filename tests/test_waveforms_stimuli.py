@@ -1,0 +1,135 @@
+"""Tests for waveform measurement and stimulus builders (repro.sim)."""
+
+import numpy as np
+import pytest
+
+from repro import SimulationError, TwoPhaseClock
+from repro.sim import (
+    Waveform,
+    constant,
+    piecewise,
+    pulse,
+    step,
+    two_phase_waveforms,
+)
+
+
+def ramp_wave() -> Waveform:
+    """out ramps 0 -> 5 V over 10 ns while inp steps at t = 0."""
+    wave = Waveform(["inp", "out"])
+    for i in range(101):
+        t = i * 0.1e-9
+        v_out = min(5.0, 5.0 * t / 10e-9)
+        v_in = 0.0 if t == 0 else 5.0
+        wave.append(t if i else 1e-15, np.array([v_in, v_out]))
+    return wave
+
+
+class TestWaveform:
+    def test_trace_and_value_at(self):
+        wave = ramp_wave()
+        assert wave.value_at("out", 5e-9) == pytest.approx(2.5, rel=0.05)
+
+    def test_value_clamps_outside_range(self):
+        wave = ramp_wave()
+        assert wave.value_at("out", -1.0) == pytest.approx(0.0)
+        assert wave.value_at("out", 1.0) == pytest.approx(5.0)
+
+    def test_crossings_rise(self):
+        wave = ramp_wave()
+        xs = wave.crossings("out", 2.5, "rise")
+        assert len(xs) == 1
+        assert xs[0] == pytest.approx(5e-9, rel=0.05)
+
+    def test_crossing_direction_filter(self):
+        wave = ramp_wave()
+        assert wave.crossings("out", 2.5, "fall") == []
+
+    def test_crossing_after(self):
+        wave = ramp_wave()
+        assert wave.crossing_after("out", 2.5, "rise", 6e-9) is None
+
+    def test_delay_between_nodes(self):
+        wave = ramp_wave()
+        d = wave.delay("inp", "out", 2.5, to_direction="rise")
+        assert d == pytest.approx(5e-9, rel=0.1)
+
+    def test_transition_time(self):
+        wave = ramp_wave()
+        tt = wave.transition_time("out", 0.5, 4.5, "rise")
+        assert tt == pytest.approx(8e-9, rel=0.05)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(SimulationError):
+            ramp_wave().trace("nope")
+
+    def test_nonmonotonic_time_rejected(self):
+        wave = Waveform(["a"])
+        wave.append(1e-9, np.array([0.0]))
+        with pytest.raises(SimulationError):
+            wave.append(0.5e-9, np.array([0.0]))
+
+    def test_missing_transition_raises(self):
+        wave = ramp_wave()
+        with pytest.raises(SimulationError):
+            wave.transition_time("out", 0.5, 4.5, "fall")
+
+
+class TestStimuli:
+    def test_constant(self):
+        assert constant(3.0)(99.0) == 3.0
+
+    def test_step_shape(self):
+        s = step(10e-9, 0.0, 5.0, ramp=2e-9)
+        assert s(0.0) == 0.0
+        assert s(11e-9) == pytest.approx(2.5)
+        assert s(20e-9) == 5.0
+
+    def test_step_requires_positive_ramp(self):
+        with pytest.raises(SimulationError):
+            step(0.0, 0.0, 5.0, ramp=0.0)
+
+    def test_pulse_returns_low(self):
+        p = pulse(10e-9, 20e-9, 0.0, 5.0, ramp=1e-9)
+        assert p(0.0) == 0.0
+        assert p(20e-9) == 5.0
+        assert p(50e-9) == 0.0
+
+    def test_piecewise_interpolates(self):
+        w = piecewise([(0.0, 0.0), (10e-9, 5.0)])
+        assert w(5e-9) == pytest.approx(2.5)
+        assert w(-1.0) == 0.0
+        assert w(1.0) == 5.0
+
+    def test_piecewise_requires_increasing_times(self):
+        with pytest.raises(SimulationError):
+            piecewise([(1e-9, 0.0), (1e-9, 5.0)])
+
+
+class TestTwoPhaseWaveforms:
+    def test_nonoverlap_guaranteed(self):
+        clock = TwoPhaseClock(nonoverlap=3e-9)
+        waves = two_phase_waveforms(clock, 20e-9, 20e-9, 5.0, cycles=2)
+        phi1, phi2 = waves["phi1"], waves["phi2"]
+        for i in range(2000):
+            t = i * 50e-12
+            assert not (phi1(t) > 2.5 and phi2(t) > 2.5), f"overlap at {t}"
+
+    def test_both_phases_actually_pulse(self):
+        clock = TwoPhaseClock()
+        waves = two_phase_waveforms(clock, 15e-9, 15e-9, 5.0, cycles=1)
+        ts = [i * 0.1e-9 for i in range(400)]
+        assert any(waves["phi1"](t) > 4.0 for t in ts)
+        assert any(waves["phi2"](t) > 4.0 for t in ts)
+
+    def test_phase_order(self):
+        clock = TwoPhaseClock()
+        waves = two_phase_waveforms(clock, 10e-9, 10e-9, 5.0, cycles=1)
+        # phi1 pulses before phi2.
+        first_phi1 = next(
+            i * 0.1e-9 for i in range(1000) if waves["phi1"](i * 0.1e-9) > 2.5
+        )
+        first_phi2 = next(
+            i * 0.1e-9 for i in range(1000) if waves["phi2"](i * 0.1e-9) > 2.5
+        )
+        assert first_phi1 < first_phi2
