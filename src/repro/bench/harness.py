@@ -32,14 +32,34 @@ def save_result(name: str, text: str) -> None:
     """Print a bench's table/series and save it under benchmarks/results/.
 
     pytest captures stdout, so every bench also persists its output where
-    EXPERIMENTS.md can reference it.
+    EXPERIMENTS.md can reference it.  The destination defaults to
+    ``benchmarks/results/`` in the repository checkout and is created if
+    missing; set ``REPRO_RESULTS_DIR`` to redirect it (an installed package
+    has no checkout to write into).  A read-only destination downgrades to
+    a warning -- a bench run should never die on the save.
     """
+    import os
     import pathlib
+    import sys
 
     print(text)
-    results_dir = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
-    results_dir.mkdir(parents=True, exist_ok=True)
-    (results_dir / f"{name}.txt").write_text(text + "\n")
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    if override:
+        results_dir = pathlib.Path(override)
+    else:
+        results_dir = (
+            pathlib.Path(__file__).resolve().parents[3]
+            / "benchmarks"
+            / "results"
+        )
+    try:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+    except OSError as exc:
+        print(
+            f"warning: could not save {name!r} under {results_dir}: {exc}",
+            file=sys.stderr,
+        )
 
 
 def percent_error(estimate: float, reference: float) -> float:

@@ -1,0 +1,363 @@
+"""Performance-regression harness for the analysis pipeline.
+
+Times the three phases a user pays for -- analyzer setup (ERC + flow +
+decomposition), timing-arc extraction, and arrival propagation -- plus the
+end-to-end :meth:`~repro.core.TimingAnalyzer.analyze` call, on the synthetic
+scaling circuits of experiment R-T3 (``random_logic``, seed 7).  It emits a
+machine-readable ``BENCH_perf.json`` with devices/second per phase, the
+parallel-extraction speedup over serial, and the end-to-end speedup over the
+checked-in pre-optimization baseline, then gates on two regressions:
+
+* no phase may be slower than ``benchmarks/results/perf_baseline.json``
+  by more than the tolerance factor (``REPRO_PERF_TOLERANCE``, default
+  1.75 -- generous because CI machines are noisy);
+* end-to-end analysis of the largest circuit must stay at least
+  ``REPRO_PERF_MIN_SPEEDUP`` (default 1.5) times faster than the recorded
+  pre-optimization serial baseline.
+
+It also proves the parallel path is *safe* to keep enabled: every circuit
+generator in :mod:`repro.circuits` is analyzed serially and with the worker
+pool, and the two text reports must be byte-identical.
+
+Run as::
+
+    PYTHONPATH=src python -m repro.bench.perf            # full gate
+    PYTHONPATH=src python -m repro.bench.perf --smoke    # CI smoke: quick,
+                                                         # no assertions
+
+Exit status 0 means no regression; 1 means a gate failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from ..circuits import (
+    ProductTerm,
+    Transition,
+    barrel_shifter,
+    carry_select_adder,
+    decoder,
+    fsm,
+    full_adder,
+    half_latch,
+    inverter,
+    inverter_chain,
+    manchester_adder,
+    mips_like_datapath,
+    mux2,
+    nand,
+    nor,
+    pass_chain,
+    pla,
+    random_logic,
+    register_bit,
+    register_file,
+    ripple_adder,
+    sequencer,
+    shift_register,
+    superbuffer,
+    toy_cpu,
+    xor2,
+)
+from ..core import TimingAnalyzer
+from ..core.arrival import propagate
+from ..core.graph import TimingGraph
+from ..delay import FALL, RISE
+
+__all__ = ["run", "main", "parity_circuits"]
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "results" / "perf_baseline.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+FULL_SIZES = (200, 1000, 5000)
+SMOKE_SIZES = (200,)
+SEED = 7
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        sys.exit(f"error: {name}={raw!r} is not a number")
+
+
+def _best_of(repeat: int, fn) -> float:
+    best = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _bench_size(size: int, repeat: int, workers: int) -> dict:
+    """Time each phase on one ``random_logic`` instance, best of ``repeat``."""
+    net = random_logic(size, seed=SEED)
+    devices = len(net.devices)
+
+    # End-to-end first: it is the gating number, and measuring it before
+    # any pool has forked keeps it clear of allocator/page-cache noise
+    # from the other phases.  A couple of extra repetitions tighten the
+    # best-of estimate on busy machines.
+    end_to_end_s = _best_of(
+        repeat + 2, lambda: TimingAnalyzer(net).analyze()
+    )
+
+    setup_s = _best_of(repeat, lambda: TimingAnalyzer(net))
+
+    tv = TimingAnalyzer(net)
+
+    def extract_serial() -> None:
+        tv.calculator._arc_cache.clear()
+        tv.calculator.all_arcs(parallel=False)
+
+    extract_s = _best_of(repeat, extract_serial)
+
+    tv.calculator._arc_cache.clear()
+    arcs = tv.calculator.all_arcs(parallel=False)
+    sources = {}
+    for name in set(net.inputs) | set(net.clocks):
+        sources[(name, RISE)] = 0.0
+        sources[(name, FALL)] = 0.0
+
+    def run_propagate() -> None:
+        graph = TimingGraph.build(arcs)
+        propagate(graph, sources, tv.calculator.slope)
+
+    propagate_s = _best_of(repeat, run_propagate)
+
+    def extract_parallel() -> None:
+        tv.calculator._arc_cache.clear()
+        tv.calculator.all_arcs(parallel=True, workers=workers)
+
+    parallel_extract_s = _best_of(repeat, extract_parallel)
+
+    return {
+        "devices": devices,
+        "setup_s": setup_s,
+        "extract_s": extract_s,
+        "parallel_extract_s": parallel_extract_s,
+        "extract_speedup_parallel_vs_serial": extract_s / parallel_extract_s,
+        "propagate_s": propagate_s,
+        "end_to_end_s": end_to_end_s,
+        "setup_devices_per_s": devices / setup_s,
+        "extract_devices_per_s": devices / extract_s,
+        "propagate_devices_per_s": devices / propagate_s,
+        "end_to_end_devices_per_s": devices / end_to_end_s,
+    }
+
+
+def parity_circuits() -> list[tuple[str, object]]:
+    """Factories for small instances of every :mod:`repro.circuits` generator.
+
+    Each entry is ``(name, factory)``; the factory builds a *fresh* netlist
+    each call.  Flow inference annotates the netlist in place, so reusing
+    one instance across analyzers would make the second flow report
+    trivially empty -- fresh builds keep the serial and parallel runs
+    honestly independent.  Composite generators returning
+    ``(netlist, ports)`` are unwrapped.
+    """
+    transitions = [
+        Transition(state=0, inputs={0: 1}, next_state=1, outputs=(0,)),
+        Transition(state=1, inputs={0: 1}, next_state=0, outputs=(1,)),
+        Transition(state=1, inputs={0: 0}, next_state=1, outputs=(1,)),
+    ]
+    terms = [ProductTerm({0: 1, 1: 1}, (0,)), ProductTerm({2: 0}, (1,))]
+    factories = [
+        ("inverter", inverter),
+        ("inverter_chain", lambda: inverter_chain(5)),
+        ("nand", lambda: nand(3)),
+        ("nor", lambda: nor(3)),
+        ("pass_chain", lambda: pass_chain(4)),
+        ("mux2", mux2),
+        ("superbuffer", superbuffer),
+        ("xor2", xor2),
+        ("full_adder", full_adder),
+        ("decoder", lambda: decoder(3)),
+        ("half_latch", half_latch),
+        ("register_bit", register_bit),
+        ("shift_register", lambda: shift_register(4)),
+        ("ripple_adder", lambda: ripple_adder(4)),
+        ("manchester_adder", lambda: manchester_adder(4)),
+        ("carry_select_adder", lambda: carry_select_adder(8)),
+        ("barrel_shifter", lambda: barrel_shifter(4)),
+        ("pla", lambda: pla(3, 2, terms)),
+        ("register_file", lambda: register_file(2, 2)),
+        ("fsm", lambda: fsm(2, 1, 2, transitions)),
+        ("sequencer", lambda: sequencer(4)),
+        ("toy_cpu", lambda: toy_cpu(4, 2)),
+        ("mips_like_datapath", lambda: mips_like_datapath(4, 2, n_shifts=2)),
+        ("random_logic", lambda: random_logic(300, seed=SEED)),
+    ]
+
+    def unwrap(factory):
+        def build():
+            obj = factory()
+            return obj[0] if isinstance(obj, tuple) else obj
+
+        return build
+
+    return [(name, unwrap(factory)) for name, factory in factories]
+
+
+def _normalized_report(result) -> str:
+    # Wall-clock is the one legitimately nondeterministic report field.
+    result.analysis_seconds = 0.0
+    return result.report()
+
+
+def check_parity(workers: int = 2) -> list[dict]:
+    """Serial vs pooled extraction must yield byte-identical reports."""
+    rows = []
+    for name, build in parity_circuits():
+        serial_tv = TimingAnalyzer(build(), workers=1)
+        serial_tv.calculator.all_arcs(parallel=False)
+        serial = _normalized_report(serial_tv.analyze())
+
+        pooled_tv = TimingAnalyzer(build(), workers=workers)
+        pooled_tv.calculator.all_arcs(parallel=True, workers=workers)
+        pooled = _normalized_report(pooled_tv.analyze())
+
+        rows.append({"circuit": name, "identical": serial == pooled})
+    return rows
+
+
+def run(
+    *,
+    smoke: bool = False,
+    repeat: int = 3,
+    workers: int = 2,
+    output: pathlib.Path = OUTPUT_PATH,
+) -> tuple[dict, list[str]]:
+    """Execute the harness; returns ``(payload, failures)``.
+
+    ``failures`` is empty when every gate passes (always empty in smoke
+    mode, which measures but does not assert).
+    """
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    repeat = 1 if smoke else repeat
+    tolerance = _env_float("REPRO_PERF_TOLERANCE", 1.75)
+    min_speedup = _env_float("REPRO_PERF_MIN_SPEEDUP", 1.5)
+
+    results: dict[str, dict] = {}
+    for size in sizes:
+        print(f"benchmarking random_logic({size}, seed={SEED}) ...")
+        results[str(size + 1)] = _bench_size(size, repeat, workers)
+
+    baseline = {}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+
+    failures: list[str] = []
+    phases = ("setup_s", "extract_s", "propagate_s", "end_to_end_s")
+    for key, row in results.items():
+        base_row = baseline.get(key)
+        if base_row is None:
+            continue
+        row["baseline"] = {p: base_row[p] for p in phases}
+        row["end_to_end_speedup_vs_baseline"] = (
+            base_row["end_to_end_s"] / row["end_to_end_s"]
+        )
+        if smoke:
+            continue
+        for phase in phases:
+            limit = base_row[phase] * tolerance
+            if row[phase] > limit:
+                failures.append(
+                    f"{key} devices: {phase} {row[phase]:.4f}s exceeds "
+                    f"baseline {base_row[phase]:.4f}s x{tolerance:g} "
+                    f"tolerance"
+                )
+
+    largest = str(max(sizes) + 1)
+    speedup = results[largest].get("end_to_end_speedup_vs_baseline")
+    if not smoke and speedup is not None and speedup < min_speedup:
+        failures.append(
+            f"end-to-end speedup on {largest}-device circuit is "
+            f"{speedup:.2f}x, below the required {min_speedup:g}x"
+        )
+
+    parity = check_parity(workers)
+    mismatched = [row["circuit"] for row in parity if not row["identical"]]
+    if mismatched:
+        failures.append(
+            "parallel extraction diverged from serial on: "
+            + ", ".join(mismatched)
+        )
+
+    payload = {
+        "bench": "perf",
+        "mode": "smoke" if smoke else "full",
+        "seed": SEED,
+        "repeat": repeat,
+        "workers": workers,
+        "tolerance": tolerance,
+        "min_end_to_end_speedup": min_speedup,
+        "results": results,
+        "parity": {
+            "circuits": len(parity),
+            "all_identical": not mismatched,
+            "rows": parity,
+        },
+        "regressions": failures,
+        "pass": not failures,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    return payload, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smallest circuit only, single repetition, no regression gate",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="pool width for parallel runs"
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=OUTPUT_PATH,
+        help="output path for the machine-readable results",
+    )
+    args = parser.parse_args(argv)
+    payload, failures = run(
+        smoke=args.smoke,
+        repeat=args.repeat,
+        workers=args.workers,
+        output=args.json,
+    )
+    for key, row in payload["results"].items():
+        speedup = row.get("end_to_end_speedup_vs_baseline")
+        note = f"  ({speedup:.2f}x vs baseline)" if speedup else ""
+        print(
+            f"{key:>6} devices: extract {row['extract_devices_per_s']:.0f}/s"
+            f"  e2e {row['end_to_end_devices_per_s']:.0f}/s{note}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

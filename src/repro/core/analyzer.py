@@ -135,6 +135,13 @@ class TimingAnalyzer:
         Two-phase schema.  If None and the netlist declares clocks with
         phases ``phi1``/``phi2``, a default schema is assumed; clocks with
         other labels are treated as ordinary inputs.
+    workers:
+        Arc-extraction fan-out width.  With ``workers > 1`` every
+        ``all_arcs`` sweep (combinational and per-phase) extracts stages
+        on a ``concurrent.futures`` pool, falling back to serial for
+        small netlists; results are bit-identical to serial extraction.
+    executor:
+        Pool flavour: ``"process"`` (fork), ``"thread"``, or ``"auto"``.
     """
 
     def __init__(
@@ -146,6 +153,8 @@ class TimingAnalyzer:
         clock: TwoPhaseClock | None = None,
         max_paths: int = 4096,
         run_erc: bool = True,
+        workers: int = 1,
+        executor: str = "auto",
     ):
         self.netlist = netlist
         self.erc_warnings: list[Violation] = (
@@ -159,7 +168,10 @@ class TimingAnalyzer:
             model=model,
             slope=slope,
             max_paths=max_paths,
+            workers=workers,
+            executor=executor,
         )
+        self.workers = self.calculator.workers
         self.clock = clock or self._default_clock()
 
     def _default_clock(self) -> TwoPhaseClock | None:

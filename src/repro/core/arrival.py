@@ -117,34 +117,54 @@ def propagate(
             Arrival(node=node, transition=transition, time=time, slew=source_slew)
         )
 
+    # The sweep is the analysis inner loop (every arc, both transitions),
+    # so the map and the slope coefficients are accessed directly.  The
+    # coefficient fast path applies only to a plain SlopeModel -- a
+    # subclass with overridden methods keeps its behaviour.
+    amap = arrivals._map
+    arcs_from = graph.arcs_from
+    plain_slope = type(slope) is SlopeModel
     for node in graph.order:
+        arcs = arcs_from.get(node)  # node == arc.trigger
+        if not arcs:
+            continue
         for transition in (RISE, FALL):
-            incoming = arrivals.get(node, transition)
+            incoming = amap.get((node, transition))
             if incoming is None:
                 continue
-            for arc in graph.arcs_from.get(node, ()):  # node == arc.trigger
-                out_transition = (
-                    _invert(transition) if arc.inverting else transition
-                )
-                timing = arc.timing(out_transition)
+            in_time = incoming.time
+            in_slew = incoming.slew
+            for arc in arcs:
+                if arc.inverting:
+                    out_transition = FALL if transition == RISE else RISE
+                    tracking = False
+                else:
+                    out_transition = transition
+                    tracking = arc.via == "channel"
+                timing = arc.rise if out_transition == RISE else arc.fall
                 if timing is None:
                     continue
-                tracking = arc.via == "channel" and not arc.inverting
-                time = incoming.time + slope.delay(
-                    timing.delay, incoming.slew, tracking=tracking
-                )
-                existing = arrivals.get(arc.output, out_transition)
+                if plain_slope:
+                    alpha = slope.alpha_tracking if tracking else slope.alpha
+                    time = in_time + (timing.delay + alpha * in_slew)
+                else:
+                    time = in_time + slope.delay(
+                        timing.delay, in_slew, tracking=tracking
+                    )
+                existing = amap.get((arc.output, out_transition))
                 if existing is not None and existing.time >= time:
                     continue
-                arrivals.set(
-                    Arrival(
-                        node=arc.output,
-                        transition=out_transition,
-                        time=time,
-                        slew=slope.output_slew(timing.tau, incoming.slew),
-                        pred=(node, transition),
-                        arc=arc,
-                    )
+                if plain_slope:
+                    out_slew = slope.gamma * timing.tau + slope.beta * in_slew
+                else:
+                    out_slew = slope.output_slew(timing.tau, in_slew)
+                amap[(arc.output, out_transition)] = Arrival(
+                    node=arc.output,
+                    transition=out_transition,
+                    time=time,
+                    slew=out_slew,
+                    pred=(node, transition),
+                    arc=arc,
                 )
     return arrivals
 

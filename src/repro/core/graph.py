@@ -7,13 +7,17 @@ analysis needs a DAG; real nMOS netlists contain structural feedback
 strongly connected components and removes a minimal-by-construction set of
 feedback edges, which are recorded on the graph for reporting -- TV likewise
 reported the feedback paths it cut rather than silently mis-analyzing them.
+
+The graph is a plain insertion-ordered adjacency dict with a Kahn
+topological sort: building it is on the analyze() hot path (experiment
+R-T3 / the ``repro/bench/perf.py`` harness), so it avoids general-purpose
+graph-library overhead.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-
-import networkx as nx
 
 from ..delay import StageArc
 from ..errors import TimingError
@@ -43,7 +47,8 @@ class TimingGraph:
     @classmethod
     def build(cls, arcs: list[StageArc]) -> "TimingGraph":
         """Assemble a DAG from timing arcs, cutting feedback edges."""
-        digraph = nx.DiGraph()
+        # Insertion-ordered adjacency; inner dicts act as ordered edge sets.
+        successors: dict[str, dict[str, None]] = {}
         arc_table: dict[tuple[str, str], list[StageArc]] = {}
         for arc in arcs:
             if arc.trigger == arc.output:
@@ -52,24 +57,24 @@ class TimingGraph:
                 # pass and would break topological ordering.
                 continue
             key = (arc.trigger, arc.output)
-            arc_table.setdefault(key, []).append(arc)
-            digraph.add_edge(arc.trigger, arc.output)
+            existing = arc_table.get(key)
+            if existing is None:
+                arc_table[key] = [arc]
+                successors.setdefault(arc.trigger, {})[arc.output] = None
+            else:
+                existing.append(arc)
+        nodes: dict[str, None] = {}
         for arc in arcs:
-            digraph.add_node(arc.trigger)
-            digraph.add_node(arc.output)
+            nodes[arc.trigger] = None
+            nodes[arc.output] = None
 
         cut_arcs: list[StageArc] = []
-        if not nx.is_directed_acyclic_graph(digraph):
-            for edge in _feedback_edges(digraph):
-                cut_arcs.extend(arc_table.pop(edge, []))
-                digraph.remove_edge(*edge)
-            if not nx.is_directed_acyclic_graph(digraph):  # pragma: no cover
-                raise TimingError(
-                    "internal error: feedback cutting left a cycle"
-                )
+        for edge in _feedback_edges(nodes, successors):
+            cut_arcs.extend(arc_table.pop(edge, []))
+            successors[edge[0]].pop(edge[1], None)
 
         graph = cls(cut_arcs=cut_arcs)
-        graph.order = list(nx.topological_sort(digraph))
+        graph.order = _topological_order(nodes, successors)
         for (trigger, _output), arc_list in arc_table.items():
             graph.arcs_from.setdefault(trigger, []).extend(arc_list)
         return graph
@@ -83,7 +88,9 @@ class TimingGraph:
         return sum(len(v) for v in self.arcs_from.values())
 
 
-def _feedback_edges(digraph: nx.DiGraph) -> list[tuple[str, str]]:
+def _feedback_edges(
+    nodes: dict[str, None], successors: dict[str, dict[str, None]]
+) -> list[tuple[str, str]]:
     """Edges whose removal acyclifies the graph (DFS back edges).
 
     A depth-first search from every root classifies back edges; removing
@@ -96,26 +103,50 @@ def _feedback_edges(digraph: nx.DiGraph) -> list[tuple[str, str]]:
     on_stack: set[str] = set()
 
     def visit(start: str) -> None:
-        stack: list[tuple[str, iter]] = [(start, iter(digraph.successors(start)))]
+        stack: list[tuple[str, iter]] = [
+            (start, iter(successors.get(start, ())))
+        ]
         visited.add(start)
         on_stack.add(start)
         while stack:
-            node, successors = stack[-1]
+            node, succ_iter = stack[-1]
             advanced = False
-            for succ in successors:
+            for succ in succ_iter:
                 if succ in on_stack:
                     back_edges.append((node, succ))
                 elif succ not in visited:
                     visited.add(succ)
                     on_stack.add(succ)
-                    stack.append((succ, iter(digraph.successors(succ))))
+                    stack.append((succ, iter(successors.get(succ, ()))))
                     advanced = True
                     break
             if not advanced:
                 stack.pop()
                 on_stack.discard(node)
 
-    for node in sorted(digraph.nodes):
+    for node in sorted(nodes):
         if node not in visited:
             visit(node)
     return back_edges
+
+
+def _topological_order(
+    nodes: dict[str, None], successors: dict[str, dict[str, None]]
+) -> list[str]:
+    """Kahn's algorithm over the insertion-ordered adjacency."""
+    indegree = dict.fromkeys(nodes, 0)
+    for succ_set in successors.values():
+        for succ in succ_set:
+            indegree[succ] += 1
+    ready = deque(name for name in nodes if indegree[name] == 0)
+    order: list[str] = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for succ in successors.get(node, ()):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(nodes):  # pragma: no cover - cutting guarantees DAG
+        raise TimingError("internal error: feedback cutting left a cycle")
+    return order

@@ -19,8 +19,10 @@ from .rctree import RCTree
 from .slope import NO_SLOPE, SlopeModel
 from .stage_delay import (
     DELAY_MODELS,
+    PARALLEL_MIN_DEVICES,
     ArcTiming,
     StageArc,
+    StageContext,
     StageDelayCalculator,
 )
 
@@ -37,7 +39,9 @@ __all__ = [
     "RISE",
     "FALL",
     "DELAY_MODELS",
+    "PARALLEL_MIN_DEVICES",
     "ArcTiming",
     "StageArc",
+    "StageContext",
     "StageDelayCalculator",
 ]

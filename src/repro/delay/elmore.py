@@ -22,12 +22,19 @@ __all__ = ["elmore_delay", "lumped_delay"]
 
 
 def elmore_delay(tree: RCTree, at: str) -> float:
-    """First-moment (Elmore) time constant at node ``at``, seconds."""
+    """First-moment (Elmore) time constant at node ``at``, seconds.
+
+    The shared resistances are computed for all nodes at once
+    (:meth:`RCTree.shared_to`), making the evaluation O(n) instead of
+    O(n * depth); the summation order matches the definition above
+    term-for-term.
+    """
+    shared = tree.shared_to(at)
     total = 0.0
     for name, cap, _r_root in tree.items():
         if cap == 0.0:
             continue
-        total += tree.shared_resistance(name, at) * cap
+        total += shared[name] * cap
     return total
 
 

@@ -47,13 +47,14 @@ class PRBounds:
 def pr_moments(tree: RCTree, at: str) -> tuple[float, float, float]:
     """Return ``(T_R(at), T_DP(at), T_P)`` for the tree."""
     r_ee = tree.r_root(at)
+    shared = tree.shared_to(at)
     t_p = 0.0
     t_dp = 0.0
     t_r = 0.0
     for name, cap, r_kk in tree.items():
         if cap == 0.0:
             continue
-        r_ke = tree.shared_resistance(name, at)
+        r_ke = shared[name]
         t_p += r_kk * cap
         t_dp += r_ke * cap
         if r_ee > 0.0:

@@ -15,6 +15,7 @@ pessimism consistent with TV's value-independent worst-casing.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from ..errors import ReproError
@@ -71,9 +72,9 @@ class RCTree:
 
         tree = cls(root)
         tree._nodes[root].cap = caps.get(root, 0.0)
-        frontier = [root]
+        frontier = deque([root])
         while frontier:
-            current = frontier.pop(0)
+            current = frontier.popleft()
             for neighbor, r in adjacency.get(current, ()):
                 if neighbor in tree._nodes:
                     continue
@@ -122,6 +123,32 @@ class RCTree:
     def r_root(self, name: str) -> float:
         """Total resistance from the root to ``name``."""
         return self._nodes[name].r_root
+
+    def r_up(self, name: str) -> float:
+        """Resistance of the edge from ``name`` toward its parent."""
+        return self._nodes[name].r_up
+
+    def parent(self, name: str) -> str | None:
+        """Parent node name (None for the root)."""
+        return self._nodes[name].parent
+
+    def shared_to(self, at: str) -> dict[str, float]:
+        """``R_(k,at)`` (shared root-path resistance) for *every* node ``k``.
+
+        Nodes on the root-to-``at`` path share their full ``r_root``; any
+        other node shares exactly what its parent shares.  One sweep over
+        the insertion order (parents always precede children) computes all
+        values in O(n), replacing the per-capacitor common-prefix walk of
+        :meth:`shared_resistance` in the delay-metric inner loops.
+        """
+        on_path = set(self.path_to_root(at))
+        shared: dict[str, float] = {}
+        for name, node in self._nodes.items():
+            if name in on_path:
+                shared[name] = node.r_root
+            else:
+                shared[name] = shared[node.parent]
+        return shared
 
     def total_cap(self) -> float:
         """Sum of all capacitance in the tree."""

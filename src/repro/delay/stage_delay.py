@@ -25,15 +25,34 @@ The RC tree metric is selected by ``model``: ``"elmore"`` (default),
 ``"lumped"``, ``"pr-min"``, or ``"pr-max"`` (ablation experiment R-T6).
 Path enumeration is exact up to ``max_paths`` simple paths per arc; if the
 cap is hit the arc is marked ``truncated`` (never silently).
+
+Throughput
+----------
+Extraction is organized around a per-stage :class:`StageContext` that
+computes the conduction/pass edge lists and their adjacency maps **once**
+per ``(stage, active_clocks, open_gates)`` and shares them across all six
+arc-family extractors; adjacency entries pre-resolve the per-device
+lookups (gate, one-hot group, flow legality, boundary-ness) so the
+path-search inner loops run on plain tuples.  Because stages are
+channel-connected components they are independent, and
+:meth:`StageDelayCalculator.all_arcs` can fan extraction out over a
+``concurrent.futures`` pool (``parallel=True`` / ``workers=N``) with a
+deterministic stage-index merge order and a serial fallback for small
+netlists.  See ``repro/bench/perf.py`` for the regression harness that
+gates these paths.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import math
-from dataclasses import dataclass, field, replace
+import multiprocessing
+import os
+from collections import deque
+from dataclasses import dataclass, replace
 
 from ..errors import StageError
-from ..netlist import DeviceKind, Netlist, Transistor
+from ..netlist import DeviceKind, FlowDirection, Netlist, Transistor
 from ..stages import Stage, StageGraph
 from ..tech import Technology
 from .effective_res import FALL, RISE, device_resistance
@@ -42,12 +61,24 @@ from .penfield import pr_bounds
 from .rctree import RCTree
 from .slope import SlopeModel
 
-__all__ = ["ArcTiming", "StageArc", "StageDelayCalculator", "DELAY_MODELS"]
+__all__ = [
+    "ArcTiming",
+    "StageArc",
+    "StageContext",
+    "StageDelayCalculator",
+    "DELAY_MODELS",
+    "PARALLEL_MIN_DEVICES",
+]
 
 DELAY_MODELS = ("elmore", "lumped", "pr-min", "pr-max")
 
 #: Crossing fraction for the 50% delay definition used throughout.
 _CROSSING = 0.5
+
+#: Below this device count, ``all_arcs`` ignores ``workers`` and extracts
+#: serially: pool startup would dominate the work (the "serial fallback
+#: for small netlists").  An explicit ``parallel=True`` overrides it.
+PARALLEL_MIN_DEVICES = 1024
 
 
 @dataclass(frozen=True)
@@ -90,6 +121,111 @@ class StageArc:
         return self.rise if transition == RISE else self.fall
 
 
+class StageContext:
+    """Shared per-stage extraction state.
+
+    Holds everything the six arc-family extractors need about one
+    ``(stage, active_clocks, open_gates)`` combination, computed lazily and
+    exactly once: resolved member devices, conduction/pass edge lists per
+    transition, their adjacency maps (with per-hop device facts
+    pre-resolved), the pulled-up node table, and the device-name-to-gate
+    map.  Before this existed, every extractor rebuilt its own edge lists
+    and every path search rebuilt its own adjacency dict -- roughly 8 edge
+    builds and 10+ adjacency builds per stage per extraction.
+    """
+
+    __slots__ = (
+        "calc",
+        "stage",
+        "devices",
+        "active_clocks",
+        "open_gates",
+        "gate_of",
+        "_pass",
+        "_cond",
+        "_adj",
+        "_pulled",
+        "_pulled_set",
+    )
+
+    def __init__(
+        self,
+        calc: "StageDelayCalculator",
+        stage: Stage,
+        active_clocks: frozenset[str] | None,
+        open_gates: frozenset[str],
+    ):
+        self.calc = calc
+        self.stage = stage
+        self.devices = calc.graph.devices_of(stage)
+        self.active_clocks = active_clocks
+        self.open_gates = open_gates
+        self.gate_of = {dev.name: dev.gate for dev in self.devices}
+        self._pass: dict[str, list] = {}
+        self._cond: dict[str, list] = {}
+        self._adj: dict[tuple[str, str], dict] = {}
+        self._pulled: dict[str, float] | None = None
+        self._pulled_set = False
+
+    def clock_open(self, dev: Transistor) -> bool:
+        """True if the device is cut in this context (see calculator)."""
+        return self.calc._clock_open(dev, self.active_clocks, self.open_gates)
+
+    def pass_edges(self, transition: str) -> list:
+        """Pass-network edges for a transition (computed once)."""
+        edges = self._pass.get(transition)
+        if edges is None:
+            edges = self.calc._pass_edges(
+                self.stage,
+                self.devices,
+                transition,
+                self.active_clocks,
+                self.open_gates,
+            )
+            self._pass[transition] = edges
+        return edges
+
+    def conduction_edges(self, transition: str) -> list:
+        """Discharge-path edges for a transition (computed once)."""
+        edges = self._cond.get(transition)
+        if edges is None:
+            edges = self.calc._conduction_edges(
+                self.stage,
+                self.devices,
+                transition,
+                self.active_clocks,
+                self.open_gates,
+            )
+            self._cond[transition] = edges
+        return edges
+
+    def pass_adjacency(self, transition: str) -> dict:
+        """Adjacency map of the pass edges (computed once)."""
+        key = ("pass", transition)
+        adj = self._adj.get(key)
+        if adj is None:
+            adj = self.calc._build_adjacency(self.pass_edges(transition))
+            self._adj[key] = adj
+        return adj
+
+    def conduction_adjacency(self, transition: str) -> dict:
+        """Adjacency map of the conduction edges (computed once)."""
+        key = ("cond", transition)
+        adj = self._adj.get(key)
+        if adj is None:
+            adj = self.calc._build_adjacency(self.conduction_edges(transition))
+            self._adj[key] = adj
+        return adj
+
+    @property
+    def pulled_up(self) -> dict[str, float]:
+        """Stage nodes with depletion pull-ups (computed once)."""
+        if not self._pulled_set:
+            self._pulled = self.calc._pulled_up_nodes(self.stage, self.devices)
+            self._pulled_set = True
+        return self._pulled
+
+
 class StageDelayCalculator:
     """Extracts timing arcs from stages of one netlist.
 
@@ -105,6 +241,11 @@ class StageDelayCalculator:
         timing policy lives in one object).
     max_paths:
         Cap on simple-path enumeration per arc.
+    workers:
+        Default fan-out width of :meth:`all_arcs` (1 = serial).
+    executor:
+        ``"process"``, ``"thread"``, or ``"auto"`` (fork-based processes
+        where the platform has them, threads otherwise).
     """
 
     def __init__(
@@ -116,10 +257,16 @@ class StageDelayCalculator:
         slope: SlopeModel | None = None,
         max_paths: int = 4096,
         tech: Technology | None = None,
+        workers: int = 1,
+        executor: str = "auto",
     ):
         if model not in DELAY_MODELS:
             raise StageError(
                 f"unknown delay model {model!r}; choose from {DELAY_MODELS}"
+            )
+        if executor not in ("auto", "process", "thread"):
+            raise StageError(
+                f"unknown executor {executor!r}; choose auto/process/thread"
             )
         self.netlist = netlist
         self.graph = graph
@@ -127,9 +274,14 @@ class StageDelayCalculator:
         self.slope = slope if slope is not None else SlopeModel()
         self.max_paths = max_paths
         self.tech = tech or netlist.tech
+        self.workers = max(1, int(workers))
+        self.executor = executor
         self._cap_cache: dict[str, float] = {}
-        self._open_gates: frozenset[str] = frozenset()
         self._arc_cache: dict[tuple, list[StageArc]] = {}
+        # name -> (gate, group, source, out_of_source, out_of_drain,
+        #          source_is_boundary, drain_is_boundary); see
+        # _device_fact_map.
+        self._device_facts: dict[str, tuple] | None = None
 
     # ------------------------------------------------------------------
     # Public API.
@@ -158,22 +310,17 @@ class StageDelayCalculator:
         cached = self._arc_cache.get(cache_key)
         if cached is not None:
             return cached
-        devices = self.graph.devices_of(stage)
-        previous = self._open_gates
-        self._open_gates = open_gates
-        try:
-            raw: list[StageArc] = []
-            raw.extend(self._gate_arcs(stage, devices, active_clocks))
-            raw.extend(self._clocked_switch_arcs(stage, devices, active_clocks))
-            raw.extend(self._precharge_arcs(stage, devices, active_clocks))
-            raw.extend(self._follower_arcs(stage, devices, active_clocks))
-            raw.extend(self._channel_arcs(stage, devices, active_clocks))
-            raw.extend(self._select_arcs(stage, devices, active_clocks))
-            merged = _merge_arcs(raw)
-            self._arc_cache[cache_key] = merged
-            return merged
-        finally:
-            self._open_gates = previous
+        ctx = StageContext(self, stage, active_clocks, open_gates)
+        raw: list[StageArc] = []
+        raw.extend(self._gate_arcs(ctx))
+        raw.extend(self._clocked_switch_arcs(ctx))
+        raw.extend(self._precharge_arcs(ctx))
+        raw.extend(self._follower_arcs(ctx))
+        raw.extend(self._channel_arcs(ctx))
+        raw.extend(self._select_arcs(ctx))
+        merged = _merge_arcs(raw)
+        self._arc_cache[cache_key] = merged
+        return merged
 
     def invalidate_devices(self, device_names) -> None:
         """Drop cached results touched by edited devices (e.g. resizing).
@@ -190,6 +337,7 @@ class StageDelayCalculator:
             nodes.update((dev.gate, dev.source, dev.drain))
         for node in nodes:
             self._cap_cache.pop(node, None)
+        self._device_facts = None
         stale = set()
         for node in nodes:
             stage = self.graph.stage_of(node)
@@ -206,39 +354,145 @@ class StageDelayCalculator:
         self,
         active_clocks: frozenset[str] | None = None,
         open_gates: frozenset[str] = frozenset(),
+        *,
+        parallel: bool | None = None,
+        workers: int | None = None,
     ) -> list[StageArc]:
-        """Timing arcs of every stage in the graph."""
+        """Timing arcs of every stage in the graph.
+
+        ``parallel``/``workers`` control the fan-out: ``parallel=None``
+        (default) uses the pool only when the calculator was built with
+        ``workers > 1`` *and* the netlist is large enough
+        (:data:`PARALLEL_MIN_DEVICES`); ``parallel=True`` forces the pool
+        (bumping ``workers`` to at least 2); ``parallel=False`` forces the
+        serial path.  Stages are channel-connected components, hence
+        independent, and results are merged in stage-index order -- the arc
+        list is identical to the serial one.
+        """
+        resolved = self.workers if workers is None else max(1, int(workers))
+        if parallel is None:
+            use_pool = (
+                resolved > 1
+                and len(self.netlist.devices) >= PARALLEL_MIN_DEVICES
+            )
+        else:
+            use_pool = bool(parallel)
+            if use_pool and resolved < 2:
+                resolved = max(2, os.cpu_count() or 2)
+        if use_pool:
+            self._extract_parallel(active_clocks, open_gates, resolved)
         result: list[StageArc] = []
         for stage in self.graph:
             result.extend(self.arcs(stage, active_clocks, open_gates))
         return result
 
+    # ------------------------------------------------------------------
+    # Parallel fan-out.
+    # ------------------------------------------------------------------
+    def _executor_kind(self) -> str:
+        if self.executor != "auto":
+            return self.executor
+        if "fork" in multiprocessing.get_all_start_methods():
+            return "process"
+        return "thread"
+
+    def _extract_parallel(
+        self,
+        active_clocks: frozenset[str] | None,
+        open_gates: frozenset[str],
+        workers: int,
+    ) -> None:
+        """Populate the arc cache for uncached stages using a worker pool.
+
+        Only fills ``self._arc_cache``; the caller still walks the stages
+        in order, so the merged arc list is deterministic and identical to
+        serial extraction.  Any pool failure (fork unavailable, pickling,
+        broken pool) falls back to the serial path simply by leaving the
+        cache unfilled.
+        """
+        missing = [
+            stage.index
+            for stage in self.graph
+            if (stage.index, active_clocks, open_gates) not in self._arc_cache
+        ]
+        if len(missing) < 2:
+            return
+        kind = self._executor_kind()
+        try:
+            if kind == "process":
+                self._extract_with_processes(
+                    missing, active_clocks, open_gates, workers
+                )
+            else:
+                self._extract_with_threads(
+                    missing, active_clocks, open_gates, workers
+                )
+        except Exception:
+            # Serial fallback: arcs() computes whatever the pool did not.
+            return
+
+    def _extract_with_processes(
+        self, missing, active_clocks, open_gates, workers
+    ) -> None:
+        # Fork-based workers inherit this calculator by memory copy: no
+        # netlist pickling, and the child's str-hash seed (hence every
+        # set-iteration order) matches the parent's, which keeps the
+        # extracted arc lists bit-identical to serial extraction.
+        mp_ctx = multiprocessing.get_context("fork")
+        n_chunks = max(1, min(len(missing), workers * 4))
+        step = (len(missing) + n_chunks - 1) // n_chunks
+        chunks = [
+            missing[i : i + step] for i in range(0, len(missing), step)
+        ]
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            mp_context=mp_ctx,
+            initializer=_pool_init,
+            initargs=(self, active_clocks, open_gates),
+        ) as pool:
+            for extracted in pool.map(_pool_extract, chunks):
+                for index, arcs in extracted:
+                    self._arc_cache[(index, active_clocks, open_gates)] = arcs
+
+    def _extract_with_threads(
+        self, missing, active_clocks, open_gates, workers
+    ) -> None:
+        # arcs() writes the cache itself; distinct stages mean distinct
+        # keys, so concurrent writes never collide.
+        def one(index: int) -> None:
+            self.arcs(self.graph[index], active_clocks, open_gates)
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(workers, len(missing))
+        ) as pool:
+            list(pool.map(one, missing))
+
     def _clock_open(
-        self, dev: Transistor, active_clocks: frozenset[str] | None
+        self,
+        dev: Transistor,
+        active_clocks: frozenset[str] | None,
+        open_gates: frozenset[str] = frozenset(),
     ) -> bool:
         """True if the device is cut: inactive clock or constant-low gate."""
-        if dev.gate in self._open_gates and dev.kind is DeviceKind.ENH:
+        if dev.gate in open_gates and dev.kind is DeviceKind.ENH:
             return True
         return (
             active_clocks is not None
-            and dev.gate in self.netlist.clocks
             and dev.gate not in active_clocks
+            and self.netlist.is_clock(dev.gate)
         )
 
     # ------------------------------------------------------------------
     # Arc families.
     # ------------------------------------------------------------------
-    def _gate_arcs(
-        self,
-        stage: Stage,
-        devices: list[Transistor],
-        active_clocks: frozenset[str] | None,
-    ):
+    def _gate_arcs(self, ctx: StageContext):
         """Ordinary logic arcs: a gate input switches, an output moves."""
-        gnd = self.netlist.gnd
-        pulled_up = self._pulled_up_nodes(stage, devices)
-        fall_edges = self._conduction_edges(stage, devices, FALL, active_clocks)
-        rise_pass_edges = self._pass_edges(stage, devices, RISE, active_clocks)
+        stage = ctx.stage
+        pulled_up = ctx.pulled_up
+        fall_edges = ctx.conduction_edges(FALL)
+        fall_adjacency = ctx.conduction_adjacency(FALL)
+        rise_pass_edges = ctx.pass_edges(RISE)
+        rise_adjacency = ctx.pass_adjacency(RISE)
 
         # Triggers: external gate inputs, plus *stage outputs* gating member
         # devices -- pass networks can merge a gate's input and output into
@@ -247,20 +501,22 @@ class StageDelayCalculator:
         # internal gates (tied load gates, anonymous feedback) stay out.
         triggers = {
             dev.gate: None
-            for dev in devices
+            for dev in ctx.devices
             if dev.kind is DeviceKind.ENH
             and (dev.gate not in stage.nodes or dev.gate in stage.outputs)
             and not self._is_precharge(dev)
-            and not self._clock_open(dev, active_clocks)
+            and not ctx.clock_open(dev)
         }
         arcs = []
         for output in stage.outputs:
             # One enumeration serves every trigger: the DFS records, for
             # each gate appearing on a discharge path, the worst path that
             # includes a device it gates.
-            fall_by_gate = self._worst_fall_by_gate(output, fall_edges)
+            fall_by_gate = self._worst_fall_by_gate(
+                ctx, output, fall_edges, fall_adjacency
+            )
             rise = self._rise_via_pullup(
-                stage, devices, output, pulled_up, rise_pass_edges
+                ctx, output, pulled_up, rise_pass_edges, rise_adjacency
             )
             for trigger in triggers:
                 fall = fall_by_gate.get(trigger)
@@ -288,8 +544,10 @@ class StageDelayCalculator:
 
     def _worst_fall_by_gate(
         self,
+        ctx: StageContext,
         output: str,
         fall_edges: list[tuple[str, str, float, str]],
+        adjacency: dict,
     ) -> dict[str, ArcTiming]:
         """Worst discharge path per triggering gate, in one enumeration.
 
@@ -299,16 +557,16 @@ class StageDelayCalculator:
         running :meth:`_worst_path` with ``must_include`` per trigger, at a
         fraction of the cost on wide stages.
         """
-        found = self._enumerate_paths(output, {self.netlist.gnd}, fall_edges)
+        found = self._enumerate_paths(
+            output, {self.netlist.gnd}, fall_edges, adjacency=adjacency
+        )
         if found is None:
             return {}
         paths, truncated = found
+        gate_of = ctx.gate_of
         best: dict[str, tuple[float, list]] = {}
         for path_edges, r_sum in paths:
-            gates = {
-                self.netlist.device(name).gate
-                for _a, _b, _r, name in path_edges
-            }
+            gates = {gate_of[name] for _a, _b, _r, name in path_edges}
             for gate in gates:
                 if gate not in best or r_sum > best[gate][0]:
                     best[gate] = (r_sum, path_edges)
@@ -322,8 +580,11 @@ class StageDelayCalculator:
                     (b, a, r, name)
                     for (a, b, r, name) in reversed(path_edges)
                 ]
-                timing = self._timing_from_spine(spine, output, fall_edges)
-                timing = replace(timing, truncated=timing.truncated or truncated)
+                timing = self._timing_from_spine(
+                    spine, output, fall_edges, adjacency=adjacency
+                )
+                if truncated and not timing.truncated:
+                    timing = replace(timing, truncated=True)
                 timing_cache[key] = timing
             result[gate] = timing
         return result
@@ -335,20 +596,18 @@ class StageDelayCalculator:
         edges: list[tuple[str, str, float, str]],
         *,
         respect_flow: bool = False,
+        adjacency: dict | None = None,
     ) -> tuple[list[tuple[list, float]], bool] | None:
         """All flow-consistent simple paths from ``start`` to a target.
 
         Returns ``([(edge_list, total_r), ...], truncated)`` or None.
         Shares traversal rules with :meth:`_worst_path`.
         """
-        adjacency: dict[str, list[tuple[str, float, str]]] = {}
-        for a, b, r, name in edges:
-            adjacency.setdefault(a, []).append((b, r, name))
-            adjacency.setdefault(b, []).append((a, r, name))
+        if adjacency is None:
+            adjacency = self._build_adjacency(edges)
         if start not in adjacency:
             return None
 
-        netlist = self.netlist
         paths: list[tuple[list, float]] = []
         truncated = False
         path: list[tuple[str, str, float, str]] = []
@@ -363,19 +622,22 @@ class StageDelayCalculator:
             if node in targets:
                 paths.append((list(path), r_sum))
                 return
-            for neighbor, r, name in adjacency.get(node, ()):
+            for (
+                neighbor,
+                r,
+                name,
+                gate,
+                group,
+                in_ok,
+                _out_ok,
+                neighbor_boundary,
+            ) in adjacency.get(node, ()):
                 if neighbor in visited:
                     continue
-                if not (
-                    neighbor in targets or not netlist.is_boundary(neighbor)
-                ):
+                if neighbor_boundary and neighbor not in targets:
                     continue
-                if respect_flow and not self._conducts_toward(
-                    name, neighbor, node
-                ):
+                if respect_flow and not in_ok:
                     continue
-                gate = netlist.device(name).gate
-                group = netlist.exclusive_group_of(gate)
                 if group is not None:
                     used = groups_used.get(group)
                     if used is not None and used != gate:
@@ -398,28 +660,26 @@ class StageDelayCalculator:
             return None
         return paths, truncated
 
-    def _clocked_switch_arcs(
-        self,
-        stage: Stage,
-        devices: list[Transistor],
-        active_clocks: frozenset[str] | None,
-    ):
+    def _clocked_switch_arcs(self, ctx: StageContext):
         """Clock-gated pass switches: clock rise lets data through.
 
         The arc trigger is the clock; the output follows the data side, so
         both transitions exist and the arc is non-inverting.
         """
+        stage = ctx.stage
         arcs = []
-        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
-        pass_fall = self._pass_edges(stage, devices, FALL, active_clocks)
-        for dev in devices:
+        pass_rise = ctx.pass_edges(RISE)
+        pass_fall = ctx.pass_edges(FALL)
+        rise_adjacency = ctx.pass_adjacency(RISE)
+        fall_adjacency = ctx.pass_adjacency(FALL)
+        for dev in ctx.devices:
             if dev.kind is not DeviceKind.ENH:
                 continue
-            if dev.gate not in self.netlist.clocks:
+            if not self.netlist.is_clock(dev.gate):
                 continue
             if self._is_precharge(dev):
                 continue
-            if self._clock_open(dev, active_clocks):
+            if ctx.clock_open(dev):
                 continue
             source_side = self._driving_terminal(dev)
             if source_side is None:
@@ -431,16 +691,14 @@ class StageDelayCalculator:
                     targets={source_side},
                     edges=pass_rise,
                     must_include={dev.name},
-                    transition=RISE,
-                    root_override=source_side,
+                    adjacency=rise_adjacency,
                 )
                 fall = self._worst_tree_delay(
                     start=output,
                     targets={source_side},
                     edges=pass_fall,
                     must_include={dev.name},
-                    transition=FALL,
-                    root_override=source_side,
+                    adjacency=fall_adjacency,
                 )
                 if rise is None and fall is None:
                     continue
@@ -457,12 +715,7 @@ class StageDelayCalculator:
                 )
         return arcs
 
-    def _precharge_arcs(
-        self,
-        stage: Stage,
-        devices: list[Transistor],
-        active_clocks: frozenset[str] | None,
-    ):
+    def _precharge_arcs(self, ctx: StageContext):
         """Clock-gated precharge devices: clock rise charges the node.
 
         Precharge devices sharing one clock conduct *simultaneously*, so a
@@ -471,28 +724,34 @@ class StageDelayCalculator:
         precharger, along paths that do not run through other same-clock
         precharged nodes (their own devices shunt any longer path).
         """
+        stage = ctx.stage
         arcs = []
-        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
-        for dev in devices:
+        pass_rise = ctx.pass_edges(RISE)
+        for dev in ctx.devices:
             if not self._is_precharge(dev):
                 continue
-            if self._clock_open(dev, active_clocks):
+            if ctx.clock_open(dev):
                 continue
             node = (
                 dev.source if dev.drain == self.netlist.vdd else dev.drain
             )
             siblings = {
                 (d.source if d.drain == self.netlist.vdd else d.drain)
-                for d in devices
+                for d in ctx.devices
                 if self._is_precharge(d)
                 and d.gate == dev.gate
                 and d.name != dev.name
             }
-            filtered_edges = [
-                e
-                for e in pass_rise
-                if e[0] not in siblings and e[1] not in siblings
-            ]
+            if siblings:
+                filtered_edges = [
+                    e
+                    for e in pass_rise
+                    if e[0] not in siblings and e[1] not in siblings
+                ]
+                filtered_adjacency = None
+            else:
+                filtered_edges = pass_rise
+                filtered_adjacency = ctx.pass_adjacency(RISE)
             r_pre = device_resistance(self.tech, dev, "precharge", RISE)
             outputs = stage.outputs | ({node} & stage.nodes)
             for output in outputs:
@@ -506,6 +765,7 @@ class StageDelayCalculator:
                         targets={node},
                         edges=filtered_edges,
                         must_include=set(),
+                        adjacency=filtered_adjacency,
                     )
                     if tail is None:
                         continue
@@ -518,7 +778,8 @@ class StageDelayCalculator:
                 timing = self._timing_from_spine(
                     spine,
                     output,
-                    self._conduction_edges(stage, devices, RISE, active_clocks),
+                    ctx.conduction_edges(RISE),
+                    adjacency=ctx.conduction_adjacency(RISE),
                 )
                 arcs.append(
                     StageArc(
@@ -533,21 +794,18 @@ class StageDelayCalculator:
                 )
         return arcs
 
-    def _follower_arcs(
-        self,
-        stage: Stage,
-        devices: list[Transistor],
-        active_clocks: frozenset[str] | None,
-    ):
+    def _follower_arcs(self, ctx: StageContext):
         """Gated depletion followers (superbuffer output stages).
 
         A depletion device with its channel to vdd and its gate driven by a
         signal (not tied) charges its source when the gate rises: a
         non-inverting rise-only arc from the gate.
         """
+        stage = ctx.stage
         arcs = []
-        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
-        for dev in devices:
+        pass_rise = ctx.pass_edges(RISE)
+        rise_adjacency = ctx.pass_adjacency(RISE)
+        for dev in ctx.devices:
             if dev.kind is not DeviceKind.DEP or dev.is_load:
                 continue
             if self.netlist.vdd not in dev.channel_nodes:
@@ -563,6 +821,7 @@ class StageDelayCalculator:
                         targets={node},
                         edges=pass_rise,
                         must_include=set(),
+                        adjacency=rise_adjacency,
                     )
                     if tail is None:
                         continue
@@ -572,7 +831,9 @@ class StageDelayCalculator:
                         (b, a, r, name)
                         for (a, b, r, name) in reversed(path_edges)
                     )
-                timing = self._timing_from_spine(spine, output, pass_rise)
+                timing = self._timing_from_spine(
+                    spine, output, pass_rise, adjacency=rise_adjacency
+                )
                 arcs.append(
                     StageArc(
                         stage_index=stage.index,
@@ -586,12 +847,7 @@ class StageDelayCalculator:
                 )
         return arcs
 
-    def _select_arcs(
-        self,
-        stage: Stage,
-        devices: list[Transistor],
-        active_clocks: frozenset[str] | None,
-    ):
+    def _select_arcs(self, ctx: StageContext):
         """Pass-select arcs: a switch's *gate* re-routes the output.
 
         When a mux/shifter select rises, the output is newly connected to
@@ -603,21 +859,28 @@ class StageDelayCalculator:
         a disconnect and launches nothing; charging it too is a small,
         stated pessimism of the arc model).
         """
+        stage = ctx.stage
+        vdd = self.netlist.vdd
+        gnd = self.netlist.gnd
         pass_devices = [
             d
-            for d in devices
+            for d in ctx.devices
             if d.kind is DeviceKind.ENH
-            and not self.netlist.is_rail(d.source)
-            and not self.netlist.is_rail(d.drain)
-            and d.gate not in self.netlist.clocks
-            and not self._clock_open(d, active_clocks)
+            and d.source != vdd
+            and d.source != gnd
+            and d.drain != vdd
+            and d.drain != gnd
+            and not self.netlist.is_clock(d.gate)
+            and not ctx.clock_open(d)
             and (d.gate not in stage.nodes or d.gate in stage.outputs)
         ]
         if not pass_devices:
             return []
-        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
-        pass_fall = self._pass_edges(stage, devices, FALL, active_clocks)
-        pulled_up = self._pulled_up_nodes(stage, devices)
+        pass_rise = ctx.pass_edges(RISE)
+        pass_fall = ctx.pass_edges(FALL)
+        rise_adjacency = ctx.pass_adjacency(RISE)
+        fall_adjacency = ctx.pass_adjacency(FALL)
+        pulled_up = ctx.pulled_up
         targets = set(pulled_up)
         for boundary in stage.boundary:
             if not self.netlist.is_rail(boundary):
@@ -638,14 +901,14 @@ class StageDelayCalculator:
                     targets=targets,
                     edges=pass_rise,
                     must_include=gated,
-                    transition=RISE,
+                    adjacency=rise_adjacency,
                 )
                 fall = self._worst_tree_delay(
                     start=output,
                     targets=targets,
                     edges=pass_fall,
                     must_include=gated,
-                    transition=FALL,
+                    adjacency=fall_adjacency,
                 )
                 if rise is None and fall is None:
                     continue
@@ -662,16 +925,14 @@ class StageDelayCalculator:
                 )
         return arcs
 
-    def _channel_arcs(
-        self,
-        stage: Stage,
-        devices: list[Transistor],
-        active_clocks: frozenset[str] | None,
-    ):
+    def _channel_arcs(self, ctx: StageContext):
         """Signal injected at an externally driven boundary channel node."""
+        stage = ctx.stage
         arcs = []
-        pass_rise = self._pass_edges(stage, devices, RISE, active_clocks)
-        pass_fall = self._pass_edges(stage, devices, FALL, active_clocks)
+        pass_rise = ctx.pass_edges(RISE)
+        pass_fall = ctx.pass_edges(FALL)
+        rise_adjacency = ctx.pass_adjacency(RISE)
+        fall_adjacency = ctx.pass_adjacency(FALL)
         for boundary in stage.boundary:
             if self.netlist.is_rail(boundary):
                 continue
@@ -689,16 +950,14 @@ class StageDelayCalculator:
                     targets={boundary},
                     edges=pass_rise,
                     must_include=set(),
-                    transition=RISE,
-                    root_override=boundary,
+                    adjacency=rise_adjacency,
                 )
                 fall = self._worst_tree_delay(
                     start=output,
                     targets={boundary},
                     edges=pass_fall,
                     must_include=set(),
-                    transition=FALL,
-                    root_override=boundary,
+                    adjacency=fall_adjacency,
                 )
                 if rise is None and fall is None:
                     continue
@@ -719,10 +978,11 @@ class StageDelayCalculator:
     # Conduction-edge construction.
     # ------------------------------------------------------------------
     def _is_precharge(self, dev: Transistor) -> bool:
+        vdd = self.netlist.vdd
         return (
             dev.kind is DeviceKind.ENH
-            and dev.gate in self.netlist.clocks
-            and self.netlist.vdd in dev.channel_nodes
+            and (dev.source == vdd or dev.drain == vdd)
+            and self.netlist.is_clock(dev.gate)
         )
 
     def _pulled_up_nodes(
@@ -757,21 +1017,26 @@ class StageDelayCalculator:
         devices: list[Transistor],
         transition: str,
         active_clocks: frozenset[str] | None,
+        open_gates: frozenset[str] = frozenset(),
     ) -> list[tuple[str, str, float, str]]:
         """Resistive edges usable on a discharge path (pulldowns + passes)."""
         edges = []
+        vdd = self.netlist.vdd
+        gnd = self.netlist.gnd
         for dev in devices:
             if dev.kind is not DeviceKind.ENH:
                 continue
-            if self.netlist.vdd in dev.channel_nodes:
+            source = dev.source
+            drain = dev.drain
+            if source == vdd or drain == vdd:
                 continue  # precharge / vdd switches never discharge
-            if self._clock_open(dev, active_clocks):
+            if self._clock_open(dev, active_clocks, open_gates):
                 continue
-            if self.netlist.gnd in dev.channel_nodes:
+            if source == gnd or drain == gnd:
                 r = device_resistance(self.tech, dev, "pulldown", transition)
             else:
                 r = device_resistance(self.tech, dev, "pass", transition)
-            edges.append((dev.source, dev.drain, r, dev.name))
+            edges.append((source, drain, r, dev.name))
         return edges
 
     def _pass_edges(
@@ -780,23 +1045,95 @@ class StageDelayCalculator:
         devices: list[Transistor],
         transition: str,
         active_clocks: frozenset[str] | None,
+        open_gates: frozenset[str] = frozenset(),
     ) -> list[tuple[str, str, float, str]]:
         """Resistive edges of the pass network only (no rail terminals)."""
         edges = []
+        vdd = self.netlist.vdd
+        gnd = self.netlist.gnd
         for dev in devices:
             if dev.kind is not DeviceKind.ENH:
                 continue
-            if self.netlist.is_rail(dev.source) or self.netlist.is_rail(dev.drain):
+            source = dev.source
+            drain = dev.drain
+            if source == vdd or source == gnd or drain == vdd or drain == gnd:
                 continue
-            if self._clock_open(dev, active_clocks):
+            if self._clock_open(dev, active_clocks, open_gates):
                 continue
             r = device_resistance(self.tech, dev, "pass", transition)
-            edges.append((dev.source, dev.drain, r, dev.name))
+            edges.append((source, drain, r, dev.name))
         return edges
 
     # ------------------------------------------------------------------
     # Path search and RC evaluation.
     # ------------------------------------------------------------------
+    def _device_fact_map(self) -> dict[str, tuple]:
+        """Per-device facts needed by adjacency construction, cached.
+
+        Maps each device name to ``(gate, group, source, out_of_source,
+        out_of_drain, source_is_boundary, drain_is_boundary)``.  Built once
+        per calculator (and rebuilt after :meth:`invalidate_devices`), so
+        the flow/one-hot/boundary lookups run once per device instead of
+        once per (stage, transition, edge).
+        """
+        facts = self._device_facts
+        if facts is None:
+            netlist = self.netlist
+            boundary = {netlist.vdd, netlist.gnd}
+            boundary.update(netlist.inputs)
+            boundary.update(netlist.clocks)
+            exclusive_group_of = netlist.exclusive_group_of
+            facts = {}
+            for name, dev in netlist.devices.items():
+                unknown = dev.flow is FlowDirection.UNKNOWN
+                facts[name] = (
+                    dev.gate,
+                    exclusive_group_of(dev.gate),
+                    dev.source,
+                    unknown or dev.flows_out_of(dev.source),
+                    unknown or dev.flows_out_of(dev.drain),
+                    dev.source in boundary,
+                    dev.drain in boundary,
+                )
+            self._device_facts = facts
+        return facts
+
+    def _build_adjacency(
+        self, edges: list[tuple[str, str, float, str]]
+    ) -> dict[str, list[tuple]]:
+        """Adjacency map with per-hop device facts pre-resolved.
+
+        Each directed hop ``node -> neighbor`` is an 8-tuple
+        ``(neighbor, r, name, gate, group, in_ok, out_ok, neighbor_is_boundary)``
+        where ``in_ok`` means the device can carry signal ``neighbor ->
+        node`` (the backward path searches) and ``out_ok`` means it can
+        carry ``node -> neighbor`` (the branch BFS).  Resolving the device,
+        its one-hot group, its flow legality, and the boundary test here --
+        once per (stage, transition) -- removes four dict/method lookups
+        per visited edge from every DFS/BFS inner loop.
+
+        Every edge tuple is built as ``(source, drain, r, name)``, so the
+        cached per-device facts apply directly (swapped when the device is
+        walked drain-first).
+        """
+        facts = self._device_fact_map()
+        adjacency: dict[str, list[tuple]] = {}
+        for a, b, r, name in edges:
+            gate, group, source, out_s, out_d, s_bnd, d_bnd = facts[name]
+            if a == source:
+                out_of_a, out_of_b = out_s, out_d
+                a_boundary, b_boundary = s_bnd, d_bnd
+            else:
+                out_of_a, out_of_b = out_d, out_s
+                a_boundary, b_boundary = d_bnd, s_bnd
+            adjacency.setdefault(a, []).append(
+                (b, r, name, gate, group, out_of_b, out_of_a, b_boundary)
+            )
+            adjacency.setdefault(b, []).append(
+                (a, r, name, gate, group, out_of_a, out_of_b, a_boundary)
+            )
+        return adjacency
+
     def _conducts_toward(self, name: str, from_node: str, to_node: str) -> bool:
         """True if device ``name`` can carry signal ``from_node -> to_node``.
 
@@ -804,8 +1141,6 @@ class StageDelayCalculator:
         calculator must stay usable before flow inference has run.
         """
         dev = self.netlist.device(name)
-        from ..netlist import FlowDirection
-
         if dev.flow is FlowDirection.UNKNOWN:
             return True
         return dev.flows_out_of(from_node)
@@ -818,6 +1153,7 @@ class StageDelayCalculator:
         must_include: set[str],
         *,
         respect_flow: bool = True,
+        adjacency: dict | None = None,
     ) -> tuple[list[tuple[str, str, float, str]], bool] | None:
         """Maximum-resistance flow-consistent path from ``start`` to a target.
 
@@ -833,14 +1169,11 @@ class StageDelayCalculator:
         Returns the edge list ordered from ``start`` toward the target and
         a truncation flag, or None if no qualifying path exists.
         """
-        adjacency: dict[str, list[tuple[str, float, str]]] = {}
-        for a, b, r, name in edges:
-            adjacency.setdefault(a, []).append((b, r, name))
-            adjacency.setdefault(b, []).append((a, r, name))
+        if adjacency is None:
+            adjacency = self._build_adjacency(edges)
         if start not in adjacency:
             return None
 
-        netlist = self.netlist
         best: list[tuple[str, str, float, str]] | None = None
         best_r = -1.0
         examined = 0
@@ -860,19 +1193,22 @@ class StageDelayCalculator:
                     best_r = r_sum
                     best = list(path)
                 return
-            for neighbor, r, name in adjacency.get(node, ()):
+            for (
+                neighbor,
+                r,
+                name,
+                gate,
+                group,
+                in_ok,
+                _out_ok,
+                neighbor_boundary,
+            ) in adjacency.get(node, ()):
                 if neighbor in visited:
                     continue
-                if not (
-                    neighbor in targets or not netlist.is_boundary(neighbor)
-                ):
+                if neighbor_boundary and neighbor not in targets:
                     continue
-                if respect_flow and not self._conducts_toward(
-                    name, neighbor, node
-                ):
+                if respect_flow and not in_ok:
                     continue
-                gate = netlist.device(name).gate
-                group = netlist.exclusive_group_of(gate)
                 if group is not None:
                     used = groups_used.get(group)
                     if used is not None and used != gate:
@@ -901,34 +1237,137 @@ class StageDelayCalculator:
         targets: set[str],
         edges: list[tuple[str, str, float, str]],
         must_include: set[str],
-        transition: str,
-        root_override: str | None = None,
+        *,
+        adjacency: dict | None = None,
     ) -> ArcTiming | None:
         """Worst path from ``start`` back to a target, evaluated as a tree.
 
-        The tree root is the reached target (the driving point); the path is
-        the spine, and every other conducting edge hangs capacitive
-        branches.
+        The tree root is the reached target (the driving point, i.e. the
+        first node of the reversed spine); the path is the spine, and every
+        other conducting edge hangs capacitive branches.
         """
-        found = self._worst_path(start, targets, edges, must_include)
+        found = self._worst_path(
+            start, targets, edges, must_include, adjacency=adjacency
+        )
         if found is None:
             return None
         path_edges, truncated = found
         # path_edges run start -> target; the spine must run root -> start.
-        root = root_override or path_edges[-1][1]
         spine = [
             (b, a, r, name) for (a, b, r, name) in reversed(path_edges)
         ]
-        timing = self._timing_from_spine(spine, start, edges)
-        return replace(timing, truncated=timing.truncated or truncated)
+        timing = self._timing_from_spine(
+            spine, start, edges, adjacency=adjacency
+        )
+        if truncated and not timing.truncated:
+            timing = replace(timing, truncated=True)
+        return timing
+
+    def _spine_groups(
+        self, spine: list[tuple[str, str, float, str]]
+    ) -> dict[int, str]:
+        """One-hot groups asserted by the gates of the spine devices."""
+        spine_groups: dict[int, str] = {}
+        devices = self.netlist.devices
+        exclusive_group_of = self.netlist.exclusive_group_of
+        for _p, _c, _r, name in spine:
+            dev = devices.get(name)
+            if dev is not None:
+                group = exclusive_group_of(dev.gate)
+                if group is not None:
+                    spine_groups[group] = dev.gate
+        return spine_groups
 
     def _timing_from_spine(
         self,
         spine: list[tuple[str, str, float, str]],
         output: str,
         branch_edges: list[tuple[str, str, float, str]],
+        *,
+        adjacency: dict | None = None,
     ) -> ArcTiming:
-        """Build the RC tree for a spine and evaluate the configured metric."""
+        """Evaluate the configured delay metric for a spine's RC tree.
+
+        The spine is the resistive path from the driving point (``root``,
+        the first spine node) to ``output``; every other conducting edge
+        hangs a capacitive branch.  Branch traversal follows signal flow
+        outward from the spine, never crosses rails or boundary nodes
+        (incompressible sources), and honours one-hot assertions against
+        the gates used on the spine.
+
+        For the default Elmore model the metric is folded into the tree
+        walk itself (no tree object): every spine node lies on the
+        root-to-``output`` path so it contributes ``r_root * C``, and every
+        branch node shares exactly what its attachment point shares.  The
+        accumulation visits nodes in the same order as the explicit
+        :class:`RCTree` path below, so the two produce bit-identical
+        delays.
+        """
+        if self.model != "elmore":
+            return self._timing_from_spine_tree(
+                spine, output, branch_edges, adjacency=adjacency
+            )
+        root = spine[0][0]
+        node_cap = self._node_cap
+        used_devices = []
+        r_root = 0.0
+        # shared[k] = resistance common to the root->k and root->output
+        # paths; doubles as the visited set.
+        shared: dict[str, float] = {root: 0.0}
+        tau = 0.0
+        for _parent, child, r, name in spine:
+            r_root += r
+            shared[child] = r_root
+            cap = node_cap(child)
+            if cap != 0.0:
+                tau += r_root * cap
+            used_devices.append(name)
+        r_output = r_root
+
+        spine_groups = self._spine_groups(spine)
+        if adjacency is None:
+            adjacency = self._build_adjacency(branch_edges)
+        frontier = deque(child for _p, child, _r, _n in spine)
+        while frontier:
+            current = frontier.popleft()
+            current_shared = shared[current]
+            for (
+                neighbor,
+                _r,
+                _name,
+                gate,
+                group,
+                _in_ok,
+                out_ok,
+                neighbor_boundary,
+            ) in adjacency.get(current, ()):
+                if neighbor in shared or neighbor_boundary:
+                    continue
+                if not out_ok:
+                    continue
+                if group is not None and spine_groups.get(group, gate) != gate:
+                    continue
+                shared[neighbor] = current_shared
+                cap = node_cap(neighbor)
+                if cap != 0.0:
+                    tau += current_shared * cap
+                frontier.append(neighbor)
+
+        k = self._k_factor(root)
+        if root == self.netlist.gnd:
+            # Ratioed fight: see _timing_from_spine_tree.
+            k *= self._ratio_derate(output, r_output)
+        return ArcTiming(delay=k * tau, tau=tau, path=tuple(used_devices))
+
+    def _timing_from_spine_tree(
+        self,
+        spine: list[tuple[str, str, float, str]],
+        output: str,
+        branch_edges: list[tuple[str, str, float, str]],
+        *,
+        adjacency: dict | None = None,
+    ) -> ArcTiming:
+        """General-model path: build the RC tree explicitly, then evaluate."""
         root = spine[0][0]
         tree = RCTree(root)
         used_devices = []
@@ -936,32 +1375,26 @@ class StageDelayCalculator:
             tree.add_child(parent, child, r, self._node_cap(child))
             used_devices.append(name)
 
-        # Attach capacitive branches: BFS from spine nodes over remaining
-        # conducting edges that stay inside the circuit (never through
-        # rails or boundary nodes, which are incompressible sources).
-        # Branch traversal follows signal flow outward from the spine and
-        # honours one-hot assertions against the gates used on the spine.
-        spine_groups: dict[int, str] = {}
-        for _p, _c, _r, name in spine:
-            if name in self.netlist.devices:
-                gate = self.netlist.device(name).gate
-                group = self.netlist.exclusive_group_of(gate)
-                if group is not None:
-                    spine_groups[group] = gate
-        adjacency: dict[str, list[tuple[str, float, str]]] = {}
-        for a, b, r, name in branch_edges:
-            adjacency.setdefault(a, []).append((b, r, name))
-            adjacency.setdefault(b, []).append((a, r, name))
-        frontier = [child for _p, child, _r, _n in spine]
+        spine_groups = self._spine_groups(spine)
+        if adjacency is None:
+            adjacency = self._build_adjacency(branch_edges)
+        frontier = deque(child for _p, child, _r, _n in spine)
         while frontier:
-            current = frontier.pop(0)
-            for neighbor, r, name in adjacency.get(current, ()):
-                if neighbor in tree or self.netlist.is_boundary(neighbor):
+            current = frontier.popleft()
+            for (
+                neighbor,
+                r,
+                name,
+                gate,
+                group,
+                _in_ok,
+                out_ok,
+                neighbor_boundary,
+            ) in adjacency.get(current, ()):
+                if neighbor in tree or neighbor_boundary:
                     continue
-                if not self._conducts_toward(name, current, neighbor):
+                if not out_ok:
                     continue
-                gate = self.netlist.device(name).gate
-                group = self.netlist.exclusive_group_of(gate)
                 if group is not None and spine_groups.get(group, gate) != gate:
                     continue
                 tree.add_child(current, neighbor, r, self._node_cap(neighbor))
@@ -1015,21 +1448,22 @@ class StageDelayCalculator:
         return self.tech.k_rise
 
     def _node_cap(self, name: str) -> float:
-        if self.netlist.is_rail(name):
-            return 0.0
         cached = self._cap_cache.get(name)
         if cached is None:
-            cached = self.netlist.node_capacitance(name, self.tech)
+            if self.netlist.is_rail(name):
+                cached = 0.0  # rails are incompressible sources
+            else:
+                cached = self.netlist.node_capacitance(name, self.tech)
             self._cap_cache[name] = cached
         return cached
 
     def _rise_via_pullup(
         self,
-        stage: Stage,
-        devices: list[Transistor],
+        ctx: StageContext,
         output: str,
         pulled_up: dict[str, float],
         pass_edges: list[tuple[str, str, float, str]],
+        adjacency: dict,
     ) -> ArcTiming | None:
         """Worst rise of ``output``: vdd -> load -> pass path -> output."""
         best: ArcTiming | None = None
@@ -1042,6 +1476,7 @@ class StageDelayCalculator:
                     targets={node},
                     edges=pass_edges,
                     must_include=set(),
+                    adjacency=adjacency,
                 )
                 if tail is None:
                     continue
@@ -1050,7 +1485,9 @@ class StageDelayCalculator:
                 spine.extend(
                     (b, a, r, name) for (a, b, r, name) in reversed(path_edges)
                 )
-            timing = self._timing_from_spine(spine, output, pass_edges)
+            timing = self._timing_from_spine(
+                spine, output, pass_edges, adjacency=adjacency
+            )
             if best is None or timing.delay > best.delay:
                 best = timing
         return best
@@ -1069,6 +1506,29 @@ class StageDelayCalculator:
             ):
                 return terminal
         return dev.source
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing.  With a fork start method, the initializer's
+# calculator argument is inherited by memory copy (never pickled); only
+# the per-chunk stage indices and the extracted StageArc lists cross the
+# process boundary.
+# ----------------------------------------------------------------------
+_POOL_STATE: tuple | None = None
+
+
+def _pool_init(calc, active_clocks, open_gates) -> None:
+    global _POOL_STATE
+    _POOL_STATE = (calc, active_clocks, open_gates)
+
+
+def _pool_extract(indices: list[int]) -> list[tuple[int, list[StageArc]]]:
+    assert _POOL_STATE is not None
+    calc, active_clocks, open_gates = _POOL_STATE
+    return [
+        (index, calc.arcs(calc.graph[index], active_clocks, open_gates))
+        for index in indices
+    ]
 
 
 def _merge_arcs(arcs: list[StageArc]) -> list[StageArc]:

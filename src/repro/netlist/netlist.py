@@ -114,6 +114,14 @@ class Netlist:
         """True if the node is a power rail (vdd or gnd)."""
         return node_name == self.vdd or node_name == self.gnd
 
+    def is_clock(self, node_name: str) -> bool:
+        """True if the node is a declared clock (any phase).
+
+        Unlike the :attr:`clocks` property this does not copy the mapping,
+        so it is safe in per-device inner loops.
+        """
+        return node_name in self._clocks
+
     def is_boundary(self, node_name: str) -> bool:
         """True for rails, primary inputs, and clocks: externally driven."""
         return (
@@ -144,9 +152,24 @@ class Netlist:
         """Devices whose source or drain is ``node_name``."""
         return list(self._channel_index.get(node_name, ()))
 
+    def iter_channel_devices(self, node_name: str):
+        """Like :meth:`channel_devices` but without the defensive copy.
+
+        Returns the internal sequence -- do not mutate.  Intended for hot
+        loops (decomposition, arc extraction) that only read.
+        """
+        return self._channel_index.get(node_name, ())
+
     def gate_loads(self, node_name: str) -> list[Transistor]:
         """Devices whose gate is ``node_name``."""
         return list(self._gate_index.get(node_name, ()))
+
+    def iter_gate_loads(self, node_name: str):
+        """Like :meth:`gate_loads` but without the defensive copy.
+
+        Returns the internal sequence -- do not mutate.
+        """
+        return self._gate_index.get(node_name, ())
 
     def pullups_at(self, node_name: str) -> list[Transistor]:
         """Depletion loads attached to (pulling up) ``node_name``."""

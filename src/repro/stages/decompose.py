@@ -47,10 +47,15 @@ def decompose(netlist: Netlist) -> StageGraph:
     """Decompose a netlist into its stage graph."""
     uf = _UnionFind()
     degenerate: list[Transistor] = []
+    # Boundary membership is checked several times per device; one hoisted
+    # set turns each check into a single hash probe.
+    boundary_nodes = {netlist.vdd, netlist.gnd}
+    boundary_nodes.update(netlist.inputs)
+    boundary_nodes.update(netlist.clocks)
 
     for dev in netlist.devices.values():
-        s_internal = not netlist.is_boundary(dev.source)
-        d_internal = not netlist.is_boundary(dev.drain)
+        s_internal = dev.source not in boundary_nodes
+        d_internal = dev.drain not in boundary_nodes
         if s_internal and d_internal:
             uf.union(dev.source, dev.drain)
         elif s_internal:
@@ -63,9 +68,9 @@ def decompose(netlist: Netlist) -> StageGraph:
     # Gather members per component root.
     component_nodes: dict[str, set[str]] = {}
     for name in netlist.nodes:
-        if netlist.is_boundary(name):
+        if name in boundary_nodes:
             continue
-        if not netlist.channel_devices(name):
+        if not netlist.iter_channel_devices(name):
             continue  # gate-only or floating nodes belong to no stage
         root = uf.find(name)
         component_nodes.setdefault(root, set()).add(name)
@@ -73,7 +78,7 @@ def decompose(netlist: Netlist) -> StageGraph:
     component_devices: dict[str, list[Transistor]] = {r: [] for r in component_nodes}
     for dev in netlist.devices.values():
         for terminal in dev.channel_nodes:
-            if not netlist.is_boundary(terminal):
+            if terminal not in boundary_nodes:
                 component_devices[uf.find(terminal)].append(dev)
                 break  # each device joins exactly one component
 
@@ -84,9 +89,13 @@ def decompose(netlist: Netlist) -> StageGraph:
     for root in ordered_roots:
         nodes = component_nodes[root]
         devices = component_devices[root]
-        stages.append(_build_stage(netlist, len(stages), nodes, devices))
+        stages.append(
+            _build_stage(netlist, len(stages), nodes, devices, boundary_nodes)
+        )
     for dev in degenerate:
-        stages.append(_build_stage(netlist, len(stages), set(), [dev]))
+        stages.append(
+            _build_stage(netlist, len(stages), set(), [dev], boundary_nodes)
+        )
 
     return StageGraph(netlist, stages)
 
@@ -96,29 +105,30 @@ def _build_stage(
     index: int,
     nodes: set[str],
     devices: list[Transistor],
+    boundary_nodes: set[str],
 ) -> Stage:
     gate_inputs: set[str] = set()
     boundary: set[str] = set()
     for dev in devices:
         gate_inputs.add(dev.gate)
         for terminal in dev.channel_nodes:
-            if netlist.is_boundary(terminal):
+            if terminal in boundary_nodes:
                 boundary.add(terminal)
 
     member_names = {d.name for d in devices}
+    declared_outputs = netlist.outputs
     outputs: set[str] = set()
     for node in nodes:
-        if node in netlist.outputs:
+        if node in declared_outputs:
             outputs.add(node)
             continue
         # Externally visible iff the node gates a device of another stage.
         # (Gating a member device -- a depletion load's tied gate, or a
         # feedback/bootstrap structure -- keeps the node internal.)
-        if any(
-            load.name not in member_names
-            for load in netlist.gate_loads(node)
-        ):
-            outputs.add(node)
+        for load in netlist.iter_gate_loads(node):
+            if load.name not in member_names:
+                outputs.add(node)
+                break
 
     devices_sorted = sorted(devices, key=lambda d: d.name)
     return Stage(

@@ -1,0 +1,189 @@
+"""Tests for the parallel arc-extraction engine and its caching contract.
+
+The pool must be a pure performance feature: identical arcs, identical
+reports, identical ``AnalysisResult`` figures, for both executor flavours.
+Cache invalidation must stay surgical -- only the stages a device edit
+touches recompute.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import TimingAnalyzer
+from repro.circuits import (
+    barrel_shifter,
+    manchester_adder,
+    random_logic,
+    register_file,
+    ripple_adder,
+)
+from repro.delay import PARALLEL_MIN_DEVICES
+from repro.errors import StageError
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _arc_key(arc):
+    return (arc.stage_index, arc.trigger, arc.output, arc.via)
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ripple_adder(6),
+            lambda: barrel_shifter(4),
+            lambda: random_logic(400, seed=7),
+        ],
+    )
+    def test_arc_lists_identical_thread_executor(self, make):
+        serial = TimingAnalyzer(make(), workers=1)
+        arcs_serial = serial.calculator.all_arcs(parallel=False)
+
+        pooled = TimingAnalyzer(make(), workers=2, executor="thread")
+        arcs_pooled = pooled.calculator.all_arcs(parallel=True, workers=2)
+
+        assert arcs_serial == arcs_pooled
+
+    @pytest.mark.skipif(not _fork_available(), reason="fork not available")
+    def test_arc_lists_identical_process_executor(self):
+        serial = TimingAnalyzer(random_logic(400, seed=7), workers=1)
+        arcs_serial = serial.calculator.all_arcs(parallel=False)
+
+        pooled = TimingAnalyzer(
+            random_logic(400, seed=7), workers=2, executor="process"
+        )
+        arcs_pooled = pooled.calculator.all_arcs(parallel=True, workers=2)
+
+        assert arcs_serial == arcs_pooled
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_analysis_results_identical(self, executor):
+        if executor == "process" and not _fork_available():
+            pytest.skip("fork not available")
+        serial_result = TimingAnalyzer(random_logic(300, seed=7)).analyze()
+
+        tv = TimingAnalyzer(
+            random_logic(300, seed=7), workers=2, executor=executor
+        )
+        tv.calculator.all_arcs(parallel=True, workers=2)
+        pooled_result = tv.analyze()
+
+        assert pooled_result.max_delay == serial_result.max_delay
+        assert pooled_result.stage_count == serial_result.stage_count
+        assert len(pooled_result.paths) == len(serial_result.paths)
+        for mine, theirs in zip(pooled_result.paths, serial_result.paths):
+            assert mine.steps == theirs.steps
+        serial_result.analysis_seconds = 0.0
+        pooled_result.analysis_seconds = 0.0
+        assert pooled_result.report() == serial_result.report()
+
+    def test_two_phase_circuit_identical_reports(self):
+        serial = TimingAnalyzer(register_file(2, 2)[0]).analyze()
+        pooled_tv = TimingAnalyzer(
+            register_file(2, 2)[0], workers=2, executor="thread"
+        )
+        pooled_tv.calculator.all_arcs(parallel=True, workers=2)
+        pooled = pooled_tv.analyze()
+        serial.analysis_seconds = 0.0
+        pooled.analysis_seconds = 0.0
+        assert pooled.report() == serial.report()
+
+    def test_parallel_fills_the_same_cache_keys(self):
+        tv = TimingAnalyzer(
+            random_logic(300, seed=7), workers=2, executor="thread"
+        )
+        tv.calculator.all_arcs(parallel=True, workers=2)
+        pooled_keys = set(tv.calculator._arc_cache)
+        arcs = tv.calculator.all_arcs(parallel=False)  # pure cache walk
+
+        fresh = TimingAnalyzer(random_logic(300, seed=7))
+        fresh.calculator.all_arcs(parallel=False)
+        assert pooled_keys == set(fresh.calculator._arc_cache)
+        assert arcs == fresh.calculator.all_arcs(parallel=False)
+
+
+class TestWorkerConfiguration:
+    def test_small_netlists_stay_serial_on_auto(self):
+        net = ripple_adder(4)
+        assert len(net.devices) < PARALLEL_MIN_DEVICES
+        tv = TimingAnalyzer(net, workers=4)
+        # parallel=None (auto) must not spin a pool for a tiny circuit;
+        # observable contract: results exist and caching works as serial.
+        arcs = tv.calculator.all_arcs()
+        assert arcs
+        assert tv.calculator._arc_cache
+
+    def test_workers_floor_is_one(self):
+        tv = TimingAnalyzer(ripple_adder(4), workers=0)
+        assert tv.workers == 1
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(StageError):
+            TimingAnalyzer(ripple_adder(4), executor="mpi")
+
+
+class TestInvalidation:
+    def test_notify_changed_recomputes_only_affected_stage(self):
+        net = manchester_adder(6)
+        tv = TimingAnalyzer(net)
+        base = tv.analyze()
+        populated = dict(tv.calculator._arc_cache)
+
+        target = next(iter(net.devices))
+        dev = net.device(target)
+        touched_stages = {
+            tv.stage_graph.stage_of(n).index
+            for n in (dev.gate, dev.source, dev.drain)
+            if tv.stage_graph.stage_of(n) is not None
+        }
+        tv.notify_changed([target])
+
+        for key, arcs in tv.calculator._arc_cache.items():
+            # Untouched stages keep the *same* cached lists (identity:
+            # nothing was recomputed for them).
+            assert key[0] not in touched_stages
+            assert arcs is populated[key]
+        dropped = set(populated) - set(tv.calculator._arc_cache)
+        assert dropped
+        assert {key[0] for key in dropped} <= touched_stages
+
+        # Re-analysis refills exactly the dropped keys with equal results
+        # (the device itself was not edited, only marked).
+        again = tv.analyze()
+        assert again.max_delay == base.max_delay
+        assert set(tv.calculator._arc_cache) == set(populated)
+
+    def test_invalidate_devices_clears_cap_and_fact_caches(self):
+        net = ripple_adder(4)
+        tv = TimingAnalyzer(net)
+        tv.analyze()
+        calc = tv.calculator
+        assert calc._cap_cache and calc._device_facts is not None
+
+        target = next(iter(net.devices))
+        dev = net.device(target)
+        calc.invalidate_devices([target])
+        assert calc._device_facts is None
+        for node in (dev.gate, dev.source, dev.drain):
+            assert node not in calc._cap_cache
+
+    def test_edit_then_parallel_reanalysis_matches_fresh(self):
+        net = random_logic(300, seed=7)
+        tv = TimingAnalyzer(net, workers=2, executor="thread")
+        tv.calculator.all_arcs(parallel=True, workers=2)
+        tv.analyze()
+
+        target = sorted(net.devices)[3]
+        net.device(target).w *= 1.5
+        tv.notify_changed([target])
+        tv.calculator.all_arcs(parallel=True, workers=2)
+        incremental = tv.analyze().max_delay
+
+        fresh_net = random_logic(300, seed=7)
+        fresh_net.device(target).w *= 1.5
+        fresh = TimingAnalyzer(fresh_net).analyze().max_delay
+        assert incremental == pytest.approx(fresh, rel=1e-12)
