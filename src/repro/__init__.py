@@ -50,7 +50,9 @@ from .netlist import (
     Node,
     Transistor,
 )
+from .errors import ReportSchemaError
 from .tech import FF, KOHM, NMOS4, NS, PF, PS, UM, Technology
+from .trace import NULL_TRACE, NullTrace, Trace, get_logger
 
 __version__ = "1.0.0"
 
@@ -82,6 +84,12 @@ __all__ = [
     "ClockingError",
     "SimulationError",
     "ConvergenceError",
+    "ReportSchemaError",
+    # tracing / diagnostics
+    "Trace",
+    "NullTrace",
+    "NULL_TRACE",
+    "get_logger",
 ]
 
 

@@ -29,14 +29,17 @@ __all__ = [
 
 
 def save_result(name: str, text: str) -> None:
-    """Print a bench's table/series and save it under benchmarks/results/.
+    """Print a bench's table/series and save it as ``<name>.txt``.
 
     pytest captures stdout, so every bench also persists its output where
     EXPERIMENTS.md can reference it.  The destination defaults to
     ``benchmarks/results/`` in the repository checkout and is created if
-    missing; set ``REPRO_RESULTS_DIR`` to redirect it (an installed package
-    has no checkout to write into).  A read-only destination downgrades to
-    a warning -- a bench run should never die on the save.
+    missing; set the ``REPRO_RESULTS_DIR`` environment variable to an
+    absolute path to redirect it (an installed package has no checkout to
+    write into -- see README "Benchmarks").  A read-only destination
+    downgrades to a warning -- a bench run should never die on the save::
+
+        REPRO_RESULTS_DIR=/tmp/results PYTHONPATH=src pytest benchmarks/
     """
     import os
     import pathlib

@@ -5,8 +5,13 @@ decomposition), timing-arc extraction, and arrival propagation -- plus the
 end-to-end :meth:`~repro.core.TimingAnalyzer.analyze` call, on the synthetic
 scaling circuits of experiment R-T3 (``random_logic``, seed 7).  It emits a
 machine-readable ``BENCH_perf.json`` with devices/second per phase, the
-parallel-extraction speedup over serial, and the end-to-end speedup over the
-checked-in pre-optimization baseline, then gates on two regressions:
+parallel-extraction speedup over serial, the end-to-end speedup over the
+checked-in pre-optimization baseline, and -- via one extra *traced*
+analysis per size (:class:`repro.trace.Trace`) -- a ``phase_attribution``
+breakdown saying what fraction of the end-to-end time each pipeline phase
+(erc/flow/stages/extract/propagate/paths) consumed.  The gated timings
+themselves run with tracing disabled, proving the ``NULL_TRACE`` default
+costs nothing.  It then gates on two regressions:
 
 * no phase may be slower than ``benchmarks/results/perf_baseline.json``
   by more than the tolerance factor (``REPRO_PERF_TOLERANCE``, default
@@ -69,6 +74,7 @@ from ..core import TimingAnalyzer
 from ..core.arrival import propagate
 from ..core.graph import TimingGraph
 from ..delay import FALL, RISE
+from ..trace import Trace
 
 __all__ = ["run", "main", "parity_circuits"]
 
@@ -143,7 +149,16 @@ def _bench_size(size: int, repeat: int, workers: int) -> dict:
 
     parallel_extract_s = _best_of(repeat, extract_parallel)
 
+    # One traced analysis attributes the end-to-end time to the pipeline
+    # phases (erc/flow/stages/extract/propagate/paths).  Deliberately
+    # measured OUTSIDE the gated numbers above, which run with tracing
+    # disabled -- the gate proves the NULL_TRACE default costs nothing.
+    trace = Trace(logger=None)
+    TimingAnalyzer(net, trace=trace).analyze()
+
     return {
+        "phase_attribution": trace.attribution(),
+        "phase_timers_s": dict(trace.timers_s),
         "devices": devices,
         "setup_s": setup_s,
         "extract_s": extract_s,

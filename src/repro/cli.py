@@ -4,7 +4,12 @@ Subcommands operate on ``.sim`` netlists (with this package's ``|I/|O/|K``
 boundary extension records):
 
 ``analyze``   full timing analysis (combinational or two-phase), report to
-              stdout; exits 1 on races
+              stdout; exits 1 on races.  ``--json`` emits the versioned
+              report schema (docs/report-schema.md) instead of text;
+              ``--trace`` prints per-phase timings to stderr
+``explain``   causal chain behind one node's arrival time: every hop with
+              its stage, arc family, and delay-model terms; the terms sum
+              to the reported arrival exactly
 ``erc``       electrical rules check; exits 1 on errors
 ``flow``      signal-flow inference report; exits 1 if devices remain
               unresolved (hints needed)
@@ -22,6 +27,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import __version__
@@ -33,6 +39,7 @@ from .netlist import sim_dumps, sim_load
 from .opt import optimize
 from .stages import decompose
 from .tech import NMOS4, Technology
+from .trace import Trace
 
 __all__ = ["main"]
 
@@ -50,14 +57,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_analyze(args) -> int:
-    net = _load_netlist(args)
+def _parse_input_arrivals(args) -> dict[str, float]:
     arrivals = {}
     for spec in args.input_arrival or ():
         name, _eq, value = spec.partition("=")
         if not _eq:
             raise SystemExit(f"--input-arrival needs name=ns, got {spec!r}")
         arrivals[name] = float(value) * 1e-9
+    return arrivals
+
+
+def _apply_hints(args, net) -> None:
     hints = HintSet()
     for spec in args.hint or ():
         pattern, _eq, direction = spec.partition("=")
@@ -66,13 +76,58 @@ def _cmd_analyze(args) -> int:
         hints.add(pattern, direction)
     if len(hints):
         hints.apply(net)
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _cmd_analyze(args) -> int:
+    net = _load_netlist(args)
+    arrivals = _parse_input_arrivals(args)
+    _apply_hints(args, net)
+    trace = Trace() if args.trace else None
+    analyzer = TimingAnalyzer(
+        net, model=args.model, run_erc=not args.no_erc, trace=trace
+    )
+    result = analyzer.analyze(input_arrivals=arrivals, top_k=args.top_k)
+    if args.json:
+        _print_json(result.to_json())
+    else:
+        print(result.report())
+    if trace is not None:
+        print(trace.summary(), file=sys.stderr)
+    if result.clock_verification is not None and result.clock_verification.races:
+        return 1
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    net = _load_netlist(args)
+    arrivals = _parse_input_arrivals(args)
+    _apply_hints(args, net)
     analyzer = TimingAnalyzer(
         net, model=args.model, run_erc=not args.no_erc
     )
-    result = analyzer.analyze(input_arrivals=arrivals, top_k=args.top_k)
-    print(result.report())
-    if result.clock_verification is not None and result.clock_verification.races:
-        return 1
+    result = analyzer.analyze(input_arrivals=arrivals)
+    nodes = args.node or [
+        path.endpoint for path in result.paths[: 1]
+    ]
+    if not nodes:
+        print("error: no critical path to explain; name a node",
+              file=sys.stderr)
+        return 2
+    payloads = []
+    for node in nodes:
+        explanation = analyzer.explain(
+            node, args.transition, result=result
+        )
+        if args.json:
+            payloads.append(explanation.to_json())
+        else:
+            print(explanation.format())
+    if args.json:
+        _print_json(payloads if len(payloads) > 1 else payloads[0])
     return 0
 
 
@@ -131,6 +186,24 @@ def _cmd_charge(args) -> int:
 
     net = _load_netlist(args)
     hazards = charge_sharing_report(net, threshold=args.threshold)
+    if args.json:
+        _print_json({
+            "schema": "repro-charge-report",
+            "netlist": net.name,
+            "threshold": args.threshold,
+            "hazards": [
+                {
+                    "node": hazard.node,
+                    "node_class": hazard.node_class,
+                    "c_store": hazard.c_store,
+                    "c_shared": hazard.c_shared,
+                    "retention": hazard.ratio,
+                    "via": list(hazard.via),
+                }
+                for hazard in hazards
+            ],
+        })
+        return 1 if hazards else 0
     if not hazards:
         print(f"{net.name}: no charge-sharing hazards "
               f"(threshold {args.threshold})")
@@ -183,7 +256,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip electrical rules (partial netlists)")
     p.add_argument("--input-arrival", action="append", metavar="NAME=NS")
     p.add_argument("--hint", action="append", metavar="PATTERN=DIR")
+    p.add_argument("--json", action="store_true",
+                   help="emit the versioned JSON report schema "
+                        "(docs/report-schema.md) instead of text")
+    p.add_argument("--trace", action="store_true",
+                   help="print per-phase timing/counter summary to stderr")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "explain",
+        help="causal chain behind a node's arrival time",
+        description="Print every hop behind a node's worst arrival: "
+                    "stage, arc family (gate/transfer/channel), RC and "
+                    "slope delay terms.  The terms sum to the reported "
+                    "arrival exactly.  With no NODE, explains the "
+                    "critical-path endpoint.",
+    )
+    _add_common(p)
+    p.add_argument("node", nargs="*",
+                   help="node(s) to explain (default: critical endpoint)")
+    p.add_argument("--transition", choices=("rise", "fall"), default=None,
+                   help="explain this transition (default: the worst one)")
+    p.add_argument("--model", default="elmore",
+                   choices=("elmore", "lumped", "pr-min", "pr-max"))
+    p.add_argument("--no-erc", action="store_true",
+                   help="skip electrical rules (partial netlists)")
+    p.add_argument("--input-arrival", action="append", metavar="NAME=NS")
+    p.add_argument("--hint", action="append", metavar="PATTERN=DIR")
+    p.add_argument("--json", action="store_true",
+                   help="emit the explanation(s) as JSON")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("erc", help="electrical rules check")
     _add_common(p)
@@ -207,6 +309,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--threshold", type=float, default=0.5,
                    help="minimum acceptable retention ratio")
+    p.add_argument("--json", action="store_true",
+                   help="emit the hazard list as JSON")
     p.set_defaults(func=_cmd_charge)
 
     p = sub.add_parser("optimize", help="critical-path resizing loop")

@@ -9,6 +9,10 @@ Public surface:
   :class:`PathStep` -- path extraction
 * :func:`verify_two_phase`, :class:`ClockVerification`,
   :class:`PhaseResult`, :class:`RaceViolation` -- clock verification
+* provenance: :func:`explain_arrival`, :class:`Explanation`,
+  :class:`ProvenanceRecord` -- the causal chain behind any arrival
+* JSON reports: :data:`REPORT_SCHEMA`, :func:`result_to_json`,
+  :func:`validate_report`, :func:`schema_markdown`
 * report helpers: :func:`format_ns`, :func:`design_fingerprint`,
   :func:`slack_histogram`, :func:`format_table`
 """
@@ -16,6 +20,12 @@ Public surface:
 from .analyzer import AnalysisResult, TimingAnalyzer
 from .charge import ChargeHazard, charge_sharing_report
 from .arrival import DEFAULT_INPUT_SLEW, Arrival, ArrivalMap, propagate
+from .provenance import (
+    ARC_FAMILIES,
+    Explanation,
+    ProvenanceRecord,
+    explain_arrival,
+)
 from .constraints import (
     ClockVerification,
     PhaseResult,
@@ -28,10 +38,15 @@ from .graph import TimingGraph
 from .mindelay import OverlapMargin, cross_phase_margins, propagate_min
 from .paths import PathStep, TimingPath, critical_paths, trace_path
 from .report import (
+    REPORT_SCHEMA,
+    REPORT_SCHEMA_VERSION,
     design_fingerprint,
     format_ns,
     format_table,
+    result_to_json,
+    schema_markdown,
     slack_histogram,
+    validate_report,
 )
 
 __all__ = [
@@ -61,4 +76,13 @@ __all__ = [
     "design_fingerprint",
     "slack_histogram",
     "format_table",
+    "ARC_FAMILIES",
+    "Explanation",
+    "ProvenanceRecord",
+    "explain_arrival",
+    "REPORT_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
+    "result_to_json",
+    "schema_markdown",
+    "validate_report",
 ]

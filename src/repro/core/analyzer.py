@@ -39,10 +39,12 @@ from ..flow import FlowReport, infer_flow
 from ..netlist import Netlist
 from ..netlist.validate import Violation, validate
 from ..stages import StageGraph, decompose
+from ..trace import NULL_TRACE, Trace
 from .arrival import DEFAULT_INPUT_SLEW, ArrivalMap, propagate
 from .constraints import ClockVerification, verify_two_phase
 from .graph import TimingGraph
 from .paths import TimingPath, critical_paths
+from .provenance import Explanation, explain_arrival
 
 __all__ = ["TimingAnalyzer", "AnalysisResult"]
 
@@ -87,6 +89,18 @@ class AnalysisResult:
             return None
         worst = self.arrivals.worst(node)
         return worst.time if worst is not None else None
+
+    def to_json(self, *, include_wall_time: bool = False) -> dict:
+        """Serialize to the versioned JSON report schema.
+
+        See :data:`repro.core.report.REPORT_SCHEMA` (rendered reference:
+        ``docs/report-schema.md``).  Deterministic by default; pass
+        ``include_wall_time=True`` to add the (nondeterministic)
+        ``analysis_seconds`` field.
+        """
+        from .report import result_to_json
+
+        return result_to_json(self, include_wall_time=include_wall_time)
 
     def report(self, time_unit: float = 1e-9, unit_name: str = "ns") -> str:
         """The classic TV-style text report."""
@@ -142,6 +156,12 @@ class TimingAnalyzer:
         small netlists; results are bit-identical to serial extraction.
     executor:
         Pool flavour: ``"process"`` (fork), ``"thread"``, or ``"auto"``.
+    trace:
+        Optional :class:`repro.trace.Trace` collecting per-phase timers
+        (``erc`` / ``flow`` / ``stages`` / ``extract`` / ``propagate`` /
+        ``paths`` / ``constraints``) and work counters.  Defaults to the
+        shared no-op :data:`repro.trace.NULL_TRACE` -- zero overhead when
+        unused.
     """
 
     def __init__(
@@ -155,13 +175,18 @@ class TimingAnalyzer:
         run_erc: bool = True,
         workers: int = 1,
         executor: str = "auto",
+        trace: Trace | None = None,
     ):
+        self.trace = NULL_TRACE if trace is None else trace
         self.netlist = netlist
-        self.erc_warnings: list[Violation] = (
-            validate(netlist) if run_erc else []
-        )
-        self.flow_report = infer_flow(netlist)
-        self.stage_graph: StageGraph = decompose(netlist)
+        with self.trace.timer("erc"):
+            self.erc_warnings: list[Violation] = (
+                validate(netlist) if run_erc else []
+            )
+        with self.trace.timer("flow"):
+            self.flow_report = infer_flow(netlist)
+        with self.trace.timer("stages"):
+            self.stage_graph: StageGraph = decompose(netlist)
         self.calculator = StageDelayCalculator(
             netlist,
             self.stage_graph,
@@ -173,6 +198,8 @@ class TimingAnalyzer:
         )
         self.workers = self.calculator.workers
         self.clock = clock or self._default_clock()
+        self.trace.incr("devices", len(netlist.devices))
+        self.trace.incr("stages", len(self.stage_graph))
 
     def _default_clock(self) -> TwoPhaseClock | None:
         phases = set(self.netlist.clocks.values())
@@ -211,6 +238,61 @@ class TimingAnalyzer:
         return result
 
     # ------------------------------------------------------------------
+    def explain(
+        self,
+        node: str,
+        transition: str | None = None,
+        *,
+        result: AnalysisResult | None = None,
+    ) -> Explanation:
+        """Build the causal chain behind a node's worst arrival time.
+
+        Returns an :class:`~repro.core.provenance.Explanation` whose
+        records' delay terms sum to the reported arrival *exactly* (the
+        chain is verified hop-by-hop while it is built).  ``transition``
+        selects ``"rise"`` or ``"fall"``; the default is the node's worst
+        (latest) transition.
+
+        Pass the ``result`` of a previous :meth:`analyze` to avoid
+        re-running the analysis.  In two-phase mode the chain is taken
+        from the phase in which the node arrives latest, and the
+        explanation's ``phase`` attribute names it.
+
+        Raises :class:`TimingError` if the node has no recorded arrival.
+        """
+        if result is None:
+            result = self.analyze()
+        slope = self.calculator.slope
+        if result.arrivals is not None:
+            return explain_arrival(result.arrivals, slope, node, transition)
+
+        assert result.clock_verification is not None
+        best_phase: str | None = None
+        best_time = None
+        for phase, phase_result in result.clock_verification.phases.items():
+            arrival = (
+                phase_result.arrivals.worst(node)
+                if transition is None
+                else phase_result.arrivals.get(node, transition)
+            )
+            if arrival is None:
+                continue
+            if best_time is None or arrival.time > best_time:
+                best_phase = phase
+                best_time = arrival.time
+        if best_phase is None:
+            raise TimingError(
+                f"no arrival recorded at {node!r} in any clock phase"
+            )
+        return explain_arrival(
+            result.clock_verification.phases[best_phase].arrivals,
+            slope,
+            node,
+            transition,
+            phase=best_phase,
+        )
+
+    # ------------------------------------------------------------------
     def _base_result(self, mode: str) -> AnalysisResult:
         return AnalysisResult(
             mode=mode,
@@ -240,15 +322,21 @@ class TimingAnalyzer:
             sources[(name, RISE)] = t
             sources[(name, FALL)] = t
 
-        arcs = self.calculator.all_arcs(active_clocks=None)
-        graph = TimingGraph.build(arcs)
-        arrivals = propagate(
-            graph, sources, self.calculator.slope, source_slew=input_slew
-        )
+        with self.trace.timer("extract"):
+            arcs = self.calculator.all_arcs(active_clocks=None)
+            graph = TimingGraph.build(arcs)
+        with self.trace.timer("propagate"):
+            arrivals = propagate(
+                graph, sources, self.calculator.slope, source_slew=input_slew
+            )
 
         endpoints = set(self.netlist.outputs) or None
-        paths = critical_paths(arrivals, endpoints, k=top_k)
+        with self.trace.timer("paths"):
+            paths = critical_paths(arrivals, endpoints, k=top_k)
         worst = arrivals.max_arrival(endpoints)
+        self.trace.incr("arcs", len(arcs))
+        self.trace.incr("arrivals", len(arrivals))
+        self.trace.incr("cut_arcs", len(graph.cut_arcs))
 
         result = self._base_result("combinational")
         result.arrivals = arrivals
@@ -263,13 +351,18 @@ class TimingAnalyzer:
         top_k: int,
     ) -> AnalysisResult:
         assert self.clock is not None
-        verification = verify_two_phase(
-            self.netlist,
-            self.calculator,
-            self.clock,
-            input_arrivals=input_arrivals,
-            top_k=top_k,
-        )
+        with self.trace.timer("constraints"):
+            verification = verify_two_phase(
+                self.netlist,
+                self.calculator,
+                self.clock,
+                input_arrivals=input_arrivals,
+                top_k=top_k,
+            )
+        for phase_result in verification.phases.values():
+            self.trace.incr("arrivals", len(phase_result.arrivals))
+            self.trace.incr("cut_arcs", phase_result.cut_arc_count)
+        self.trace.incr("races", len(verification.races))
         result = self._base_result("two-phase")
         result.clock_verification = verification
         worst_phase = max(

@@ -1,20 +1,833 @@
-"""Report formatting helpers shared by the analyzer, examples, and benches."""
+"""Reports: the versioned JSON schema, its validator, and text helpers.
+
+Until this layer existed the analyzer's only output was an 87-line opaque
+text report.  This module defines the machine-readable contract:
+
+* :data:`REPORT_SCHEMA` -- a versioned JSON-Schema(-subset) document
+  describing every field a timing report may carry;
+* :func:`result_to_json` -- serialize an
+  :class:`~repro.core.analyzer.AnalysisResult` to that schema
+  (deterministic: byte-identical between serial and parallel runs);
+* :func:`validate_report` -- dependency-free structural validation
+  against the schema (raises :class:`~repro.errors.ReportSchemaError`);
+* :func:`schema_markdown` -- render the schema as the reference page
+  checked in at ``docs/report-schema.md`` (the doc is *generated from*
+  the schema; a test asserts the two never drift).
+
+Schema versioning follows semver: a field addition bumps the minor
+version, a meaning/type change bumps the major version.  Consumers should
+accept any report whose major version they know.
+
+The classic text helpers (:func:`format_ns`, :func:`design_fingerprint`,
+:func:`slack_histogram`, :func:`format_table`) live here too, shared by
+the analyzer, examples, and benches.
+
+Regenerate the schema reference with::
+
+    PYTHONPATH=src python -m repro.core.report > docs/report-schema.md
+"""
 
 from __future__ import annotations
 
+import json
+
+from ..errors import ReportSchemaError
 from ..netlist import Netlist
 from ..stages import StageGraph, archetype_census
-from .analyzer import AnalysisResult
 from .arrival import ArrivalMap
 
 __all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "REPORT_SCHEMA",
+    "result_to_json",
+    "validate_report",
+    "schema_markdown",
     "format_ns",
     "design_fingerprint",
     "slack_histogram",
     "format_table",
 ]
 
+#: Version of the JSON report contract (semver).
+REPORT_SCHEMA_VERSION = "1.0.0"
 
+_STEP_SCHEMA = {
+    "type": "object",
+    "description": "One hop of a timing path.",
+    "required": ["node", "transition", "time", "slew", "stage", "via",
+                 "devices"],
+    "additionalProperties": False,
+    "properties": {
+        "node": {"type": "string", "description": "Circuit node name."},
+        "transition": {
+            "enum": ["rise", "fall"],
+            "description": "Direction of the transition at this node.",
+        },
+        "time": {
+            "type": "number",
+            "description": "Cumulative arrival time at this node, seconds.",
+        },
+        "slew": {
+            "type": "number",
+            "description": "Transition time (slew) at this node, seconds.",
+        },
+        "stage": {
+            "type": ["integer", "null"],
+            "description": "Index of the stage traversed (null for the "
+                           "source step).",
+        },
+        "via": {
+            "enum": ["gate", "channel", None],
+            "description": "How the stage was entered: a gate input, a "
+                           "channel boundary, or null for the source step.",
+        },
+        "devices": {
+            "type": "array",
+            "items": {"type": "string"},
+            "description": "Devices on the worst RC path of this hop.",
+        },
+    },
+}
+
+_PATH_SCHEMA = {
+    "type": "object",
+    "description": "A reconstructed worst-case timing path.",
+    "required": ["endpoint", "transition", "arrival", "steps"],
+    "additionalProperties": False,
+    "properties": {
+        "endpoint": {"type": "string", "description": "Path endpoint node."},
+        "transition": {
+            "enum": ["rise", "fall"],
+            "description": "Endpoint transition direction.",
+        },
+        "arrival": {
+            "type": "number",
+            "description": "Worst-case arrival at the endpoint, seconds.",
+        },
+        "steps": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/step"},
+            "description": "Hops from startpoint to endpoint, in order.",
+        },
+    },
+}
+
+_PROVENANCE_RECORD_SCHEMA = {
+    "type": "object",
+    "description": "One hop of an arrival-time provenance chain "
+                   "(see repro.core.provenance).",
+    "required": ["node", "transition", "time", "slew", "kind", "delta",
+                 "stage", "trigger", "inverting", "intrinsic_delay",
+                 "slope_delay", "input_slew", "tau", "devices", "truncated"],
+    "additionalProperties": False,
+    "properties": {
+        "node": {"type": "string", "description": "Circuit node name."},
+        "transition": {
+            "enum": ["rise", "fall"],
+            "description": "Direction of the transition at this node.",
+        },
+        "time": {
+            "type": "number",
+            "description": "Cumulative arrival after this hop, seconds.",
+        },
+        "slew": {
+            "type": "number",
+            "description": "Output slew after this hop, seconds.",
+        },
+        "kind": {
+            "enum": ["source", "gate", "transfer", "channel"],
+            "description": "Arc family: externally seeded source, "
+                           "inverting gate arc, non-inverting transfer "
+                           "(clocked switch / precharge / follower / "
+                           "select), or channel injection.",
+        },
+        "delta": {
+            "type": "number",
+            "description": "Exact contribution of this hop, seconds; the "
+                           "deltas sum to the reported arrival "
+                           "bit-for-bit.",
+        },
+        "stage": {
+            "type": ["integer", "null"],
+            "description": "Stage index (null for the source record).",
+        },
+        "trigger": {
+            "type": ["string", "null"],
+            "description": "Node whose transition triggered the arc "
+                           "(null for the source record).",
+        },
+        "inverting": {
+            "type": ["boolean", "null"],
+            "description": "Whether the arc inverts (null for the source "
+                           "record).",
+        },
+        "intrinsic_delay": {
+            "type": "number",
+            "description": "RC (delay-model) term of the hop, seconds.",
+        },
+        "slope_delay": {
+            "type": "number",
+            "description": "Input-slope correction term of the hop, "
+                           "seconds.",
+        },
+        "input_slew": {
+            "type": "number",
+            "description": "Slew of the triggering transition, seconds.",
+        },
+        "tau": {
+            "type": "number",
+            "description": "Elmore time constant of the hop's RC tree, "
+                           "seconds.",
+        },
+        "devices": {
+            "type": "array",
+            "items": {"type": "string"},
+            "description": "Devices on the worst RC path of this hop.",
+        },
+        "truncated": {
+            "type": "boolean",
+            "description": "True if path enumeration hit its cap while "
+                           "computing this hop (the delay is then a "
+                           "lower bound).",
+        },
+    },
+}
+
+_EXPLANATION_SCHEMA = {
+    "type": "object",
+    "description": "A full provenance chain for one endpoint arrival "
+                   "(the payload of `repro explain --json`).",
+    "required": ["endpoint", "transition", "arrival", "phase", "exact",
+                 "records"],
+    "additionalProperties": False,
+    "properties": {
+        "endpoint": {"type": "string", "description": "Explained node."},
+        "transition": {
+            "enum": ["rise", "fall"],
+            "description": "Explained transition direction.",
+        },
+        "arrival": {
+            "type": "number",
+            "description": "Reported worst-case arrival, seconds.",
+        },
+        "phase": {
+            "type": ["string", "null"],
+            "description": "Clock phase the chain was computed under "
+                           "(null for combinational analysis).",
+        },
+        "exact": {
+            "type": "boolean",
+            "description": "True iff the record deltas sum to `arrival` "
+                           "exactly (always true in a healthy build).",
+        },
+        "records": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/provenance_record"},
+            "description": "Causal chain from source to endpoint.",
+        },
+    },
+}
+
+_PHASE_SCHEMA = {
+    "type": "object",
+    "description": "Per-phase results of two-phase clock verification.",
+    "required": ["phase", "width", "capture_nodes", "cut_arc_count",
+                 "critical"],
+    "additionalProperties": False,
+    "properties": {
+        "phase": {"type": "string", "description": "Phase label."},
+        "width": {
+            "type": "number",
+            "description": "Minimum width of the phase, seconds.",
+        },
+        "capture_nodes": {
+            "type": "array",
+            "items": {"type": "string"},
+            "description": "Storage nodes written during the phase "
+                           "(sorted).",
+        },
+        "cut_arc_count": {
+            "type": "integer",
+            "description": "Feedback arcs cut in this phase's timing "
+                           "graph.",
+        },
+        "critical": {
+            "anyOf": [{"$ref": "#/$defs/path"}, {"type": "null"}],
+            "description": "The phase's critical path (null if the phase "
+                           "launches nothing).",
+        },
+    },
+}
+
+_CLOCK_SCHEMA = {
+    "type": "object",
+    "description": "Two-phase clock verification outcome.",
+    "required": ["phase1", "phase2", "nonoverlap", "min_cycle", "phases",
+                 "races", "overlap_margins"],
+    "additionalProperties": False,
+    "properties": {
+        "phase1": {"type": "string", "description": "First phase label."},
+        "phase2": {"type": "string", "description": "Second phase label."},
+        "nonoverlap": {
+            "type": "number",
+            "description": "Dead time between phases, seconds.",
+        },
+        "min_cycle": {
+            "type": "number",
+            "description": "Minimum cycle time, seconds.",
+        },
+        "phases": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/phase"},
+            "description": "Per-phase results, in schema phase order.",
+        },
+        "races": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/race"},
+            "description": "Same-phase race violations found.",
+        },
+        "overlap_margins": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/overlap_margin"},
+            "description": "Tolerated clock overlap per phase direction.",
+        },
+    },
+}
+
+_RACE_SCHEMA = {
+    "type": "object",
+    "description": "A signal that can cross two same-phase latches in one "
+                   "phase.",
+    "required": ["phase", "from_node", "to_node", "kind"],
+    "additionalProperties": False,
+    "properties": {
+        "phase": {"type": "string", "description": "Racing phase label."},
+        "from_node": {"type": "string", "description": "Launching node."},
+        "to_node": {"type": "string", "description": "Captured node."},
+        "kind": {
+            "enum": ["cross-stage", "same-stage"],
+            "description": "Whether the race crosses stages or stays "
+                           "within one conduction network.",
+        },
+    },
+}
+
+_OVERLAP_MARGIN_SCHEMA = {
+    "type": "object",
+    "description": "Maximum clock overlap the design tolerates in one "
+                   "phase direction.",
+    "required": ["from_phase", "to_phase", "margin", "from_node", "to_node"],
+    "additionalProperties": False,
+    "properties": {
+        "from_phase": {"type": "string", "description": "Launching phase."},
+        "to_phase": {"type": "string", "description": "Capturing phase."},
+        "margin": {
+            "type": ["number", "null"],
+            "description": "Tolerated overlap, seconds (null: no "
+                           "cross-phase path, unbounded margin).",
+        },
+        "from_node": {
+            "type": ["string", "null"],
+            "description": "Start of the fastest cross-phase path.",
+        },
+        "to_node": {
+            "type": ["string", "null"],
+            "description": "End of the fastest cross-phase path.",
+        },
+    },
+}
+
+_ERC_WARNING_SCHEMA = {
+    "type": "object",
+    "description": "One electrical-rules warning carried by the analysis.",
+    "required": ["code", "severity", "subject", "message"],
+    "additionalProperties": False,
+    "properties": {
+        "code": {"type": "string", "description": "Rule identifier."},
+        "severity": {
+            "enum": ["error", "warning"],
+            "description": "Violation severity.",
+        },
+        "subject": {
+            "type": "string",
+            "description": "Node or device at fault.",
+        },
+        "message": {"type": "string", "description": "Human-readable "
+                                                     "detail."},
+    },
+}
+
+REPORT_SCHEMA = {
+    "$id": "repro-timing-report",
+    "title": "repro timing analysis report",
+    "description": "Machine-readable result of one TimingAnalyzer run. "
+                   "All times are seconds (strict SI). The payload is "
+                   "deterministic: serial and parallel analyses of the "
+                   "same netlist serialize byte-identically.",
+    "version": REPORT_SCHEMA_VERSION,
+    "type": "object",
+    "required": ["schema", "schema_version", "generator", "netlist", "mode",
+                 "units", "flow", "erc_warnings", "cut_arc_count",
+                 "max_delay", "arrival_count", "paths", "clock"],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {
+            "const": "repro-timing-report",
+            "description": "Payload discriminator.",
+        },
+        "schema_version": {
+            "type": "string",
+            "description": "Semver of this contract; consumers should "
+                           "accept any report whose major version they "
+                           "know.",
+        },
+        "generator": {
+            "type": "object",
+            "description": "Tool that produced the report.",
+            "required": ["tool", "version"],
+            "additionalProperties": False,
+            "properties": {
+                "tool": {"const": "repro", "description": "Tool name."},
+                "version": {"type": "string",
+                            "description": "Package version."},
+            },
+        },
+        "netlist": {
+            "type": "object",
+            "description": "Identity and size of the analyzed design.",
+            "required": ["name", "devices", "stages"],
+            "additionalProperties": False,
+            "properties": {
+                "name": {"type": "string", "description": "Netlist name."},
+                "devices": {"type": "integer",
+                            "description": "Transistor count."},
+                "stages": {"type": "integer",
+                           "description": "Channel-connected stage count."},
+            },
+        },
+        "mode": {
+            "enum": ["combinational", "two-phase"],
+            "description": "Analysis mode.",
+        },
+        "units": {
+            "type": "object",
+            "description": "Units of every numeric field.",
+            "required": ["time"],
+            "additionalProperties": False,
+            "properties": {
+                "time": {"const": "s", "description": "Strict SI seconds."},
+            },
+        },
+        "flow": {
+            "type": "object",
+            "description": "Signal-flow inference coverage (R-T4 "
+                           "accounting).",
+            "required": ["total_devices", "pass_candidates",
+                         "auto_resolved", "hinted", "unresolved",
+                         "conflicts"],
+            "additionalProperties": False,
+            "properties": {
+                "total_devices": {
+                    "type": "integer",
+                    "description": "All devices in the netlist.",
+                },
+                "pass_candidates": {
+                    "type": "integer",
+                    "description": "Devices needing a flow direction.",
+                },
+                "auto_resolved": {
+                    "type": "integer",
+                    "description": "Resolved by structural rules.",
+                },
+                "hinted": {
+                    "type": "integer",
+                    "description": "Resolved by designer hints.",
+                },
+                "unresolved": {
+                    "type": "integer",
+                    "description": "Left bidirectional.",
+                },
+                "conflicts": {
+                    "type": "integer",
+                    "description": "Rules demanded opposite directions.",
+                },
+            },
+        },
+        "erc_warnings": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/erc_warning"},
+            "description": "Electrical-rules warnings (errors abort the "
+                           "analysis instead).",
+        },
+        "cut_arc_count": {
+            "type": "integer",
+            "description": "Feedback arcs cut to acyclify the timing "
+                           "graph (summed over phases in two-phase "
+                           "mode).",
+        },
+        "max_delay": {
+            "type": ["number", "null"],
+            "description": "Combinational: worst input-to-output delay. "
+                           "Two-phase: worst phase width. Seconds.",
+        },
+        "arrival_count": {
+            "type": ["integer", "null"],
+            "description": "Recorded (node, transition) arrivals "
+                           "(combinational mode; null otherwise).",
+        },
+        "paths": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/path"},
+            "description": "Top-k critical paths, worst first.",
+        },
+        "clock": {
+            "anyOf": [{"$ref": "#/$defs/clock"}, {"type": "null"}],
+            "description": "Two-phase verification outcome (null in "
+                           "combinational mode).",
+        },
+        "analysis_seconds": {
+            "type": "number",
+            "description": "Wall-clock analysis time. OPTIONAL -- "
+                           "omitted by default so reports stay "
+                           "deterministic; request it with "
+                           "result_to_json(include_wall_time=True).",
+        },
+    },
+    "$defs": {
+        "step": _STEP_SCHEMA,
+        "path": _PATH_SCHEMA,
+        "provenance_record": _PROVENANCE_RECORD_SCHEMA,
+        "explanation": _EXPLANATION_SCHEMA,
+        "phase": _PHASE_SCHEMA,
+        "clock": _CLOCK_SCHEMA,
+        "race": _RACE_SCHEMA,
+        "overlap_margin": _OVERLAP_MARGIN_SCHEMA,
+        "erc_warning": _ERC_WARNING_SCHEMA,
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# Serialization.
+# ----------------------------------------------------------------------
+def _path_to_json(path) -> dict:
+    return {
+        "endpoint": path.endpoint,
+        "transition": path.transition,
+        "arrival": path.arrival,
+        "steps": [
+            {
+                "node": step.node,
+                "transition": step.transition,
+                "time": step.time,
+                "slew": step.slew,
+                "stage": step.stage_index,
+                "via": step.via,
+                "devices": list(step.devices),
+            }
+            for step in path.steps
+        ],
+    }
+
+
+def _clock_to_json(verification) -> dict:
+    clock = verification.clock
+    return {
+        "phase1": clock.phase1,
+        "phase2": clock.phase2,
+        "nonoverlap": clock.nonoverlap,
+        "min_cycle": verification.min_cycle,
+        "phases": [
+            {
+                "phase": phase,
+                "width": result.width,
+                "capture_nodes": sorted(result.storage_written),
+                "cut_arc_count": result.cut_arc_count,
+                "critical": (
+                    _path_to_json(result.critical)
+                    if result.critical is not None
+                    else None
+                ),
+            }
+            for phase, result in (
+                (p, verification.phases[p]) for p in clock.phases
+            )
+        ],
+        "races": [
+            {
+                "phase": race.phase,
+                "from_node": race.from_node,
+                "to_node": race.to_node,
+                "kind": race.kind,
+            }
+            for race in verification.races
+        ],
+        "overlap_margins": [
+            {
+                "from_phase": margin.from_phase,
+                "to_phase": margin.to_phase,
+                "margin": margin.margin,
+                "from_node": margin.from_node,
+                "to_node": margin.to_node,
+            }
+            for margin in verification.overlap_margins
+        ],
+    }
+
+
+def result_to_json(result, *, include_wall_time: bool = False) -> dict:
+    """Serialize an :class:`~repro.core.analyzer.AnalysisResult`.
+
+    The payload conforms to :data:`REPORT_SCHEMA` and is deterministic:
+    two analyses of the same netlist -- serial or parallel -- produce
+    equal payloads (and equal ``json.dumps(..., sort_keys=True)`` bytes).
+    Wall-clock time is the one nondeterministic field, so it is included
+    only on request (``include_wall_time=True``).
+    """
+    from .. import __version__  # local import: package init imports core
+
+    payload = {
+        "schema": "repro-timing-report",
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "generator": {"tool": "repro", "version": __version__},
+        "netlist": {
+            "name": result.netlist_name,
+            "devices": result.device_count,
+            "stages": result.stage_count,
+        },
+        "mode": result.mode,
+        "units": {"time": "s"},
+        "flow": {
+            "total_devices": result.flow.total_devices,
+            "pass_candidates": result.flow.pass_candidates,
+            "auto_resolved": result.flow.auto_resolved,
+            "hinted": len(result.flow.hinted),
+            "unresolved": len(result.flow.unresolved),
+            "conflicts": len(result.flow.conflicts),
+        },
+        "erc_warnings": [
+            {
+                "code": violation.code,
+                "severity": violation.severity,
+                "subject": violation.subject,
+                "message": violation.message,
+            }
+            for violation in result.erc_warnings
+        ],
+        "cut_arc_count": result.cut_arc_count,
+        "max_delay": result.max_delay,
+        "arrival_count": (
+            len(result.arrivals) if result.arrivals is not None else None
+        ),
+        "paths": [_path_to_json(path) for path in result.paths],
+        "clock": (
+            _clock_to_json(result.clock_verification)
+            if result.clock_verification is not None
+            else None
+        ),
+    }
+    if include_wall_time:
+        payload["analysis_seconds"] = result.analysis_seconds
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Validation (dependency-free JSON-Schema subset).
+# ----------------------------------------------------------------------
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise ReportSchemaError(f"unsupported $ref {ref!r}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def _validate(value, schema: dict, root: dict, path: str, problems: list):
+    ref = schema.get("$ref")
+    if ref is not None:
+        schema = _resolve_ref(ref, root)
+
+    any_of = schema.get("anyOf")
+    if any_of is not None:
+        for option in any_of:
+            trial: list[str] = []
+            _validate(value, option, root, path, trial)
+            if not trial:
+                return
+        problems.append(f"{path}: matches no anyOf alternative")
+        return
+
+    if "const" in schema:
+        if value != schema["const"]:
+            problems.append(
+                f"{path}: expected constant {schema['const']!r}, "
+                f"got {value!r}"
+            )
+        return
+
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            problems.append(
+                f"{path}: {value!r} not one of {schema['enum']!r}"
+            )
+        return
+
+    declared = schema.get("type")
+    if declared is not None:
+        types = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            problems.append(
+                f"{path}: expected {'/'.join(types)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in value:
+                problems.append(f"{path}: missing required field {name!r}")
+        if schema.get("additionalProperties") is False:
+            for name in value:
+                if name not in properties:
+                    problems.append(f"{path}: unexpected field {name!r}")
+        for name, sub in properties.items():
+            if name in value:
+                _validate(value[name], sub, root, f"{path}.{name}", problems)
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if items is not None:
+            for index, element in enumerate(value):
+                _validate(
+                    element, items, root, f"{path}[{index}]", problems
+                )
+
+
+def validate_report(payload, schema: dict | None = None) -> None:
+    """Validate a payload against the report schema (or any sub-schema).
+
+    Raises :class:`ReportSchemaError` listing every violation; returns
+    None on success.  The validator is a dependency-free subset of JSON
+    Schema (type / required / properties / additionalProperties / items /
+    enum / const / anyOf / local $ref) -- exactly the vocabulary
+    :data:`REPORT_SCHEMA` uses, so no third-party ``jsonschema`` package
+    is needed.
+    """
+    root = REPORT_SCHEMA
+    if schema is None:
+        schema = REPORT_SCHEMA
+    problems: list[str] = []
+    _validate(payload, schema, root, "$", problems)
+    if problems:
+        raise ReportSchemaError(
+            "report does not conform to schema "
+            f"v{REPORT_SCHEMA_VERSION}:\n  " + "\n  ".join(problems)
+        )
+
+
+# ----------------------------------------------------------------------
+# Schema -> markdown reference (docs/report-schema.md is generated from
+# this; tests assert the checked-in file matches).
+# ----------------------------------------------------------------------
+def _schema_type_label(schema: dict) -> str:
+    ref = schema.get("$ref")
+    if ref is not None:
+        name = ref.rsplit("/", 1)[-1]
+        return f"[`{name}`](#{name.replace('_', '-')})"
+    if "anyOf" in schema:
+        return " \\| ".join(
+            _schema_type_label(option) for option in schema["anyOf"]
+        )
+    if "const" in schema:
+        return f"const `{json.dumps(schema['const'])}`"
+    if "enum" in schema:
+        return " \\| ".join(
+            f"`{json.dumps(v)}`" for v in schema["enum"]
+        )
+    declared = schema.get("type", "any")
+    types = declared if isinstance(declared, list) else [declared]
+    label = " \\| ".join(f"`{t}`" for t in types)
+    if "array" in types and "items" in schema:
+        label += f" of {_schema_type_label(schema['items'])}"
+    return label
+
+
+def _object_table(schema: dict) -> list[str]:
+    lines = [
+        "| field | type | required | description |",
+        "|---|---|---|---|",
+    ]
+    required = set(schema.get("required", ()))
+    for name, sub in schema.get("properties", {}).items():
+        description = sub.get("description", "").replace("\n", " ")
+        lines.append(
+            f"| `{name}` | {_schema_type_label(sub)} "
+            f"| {'yes' if name in required else 'no'} "
+            f"| {description} |"
+        )
+    return lines
+
+
+def schema_markdown() -> str:
+    """Render :data:`REPORT_SCHEMA` as the markdown reference page.
+
+    This is the single source of the checked-in
+    ``docs/report-schema.md``; ``tests/test_documentation.py`` fails if
+    the file and this function's output ever differ.
+    """
+    lines = [
+        "# JSON report schema reference",
+        "",
+        "<!-- GENERATED from repro.core.report.REPORT_SCHEMA -- do not",
+        "     edit by hand.  Regenerate with:",
+        "     PYTHONPATH=src python -m repro.core.report > "
+        "docs/report-schema.md -->",
+        "",
+        f"Schema id: `{REPORT_SCHEMA['$id']}` · "
+        f"version: `{REPORT_SCHEMA_VERSION}` (semver: field additions "
+        "bump the minor version, meaning/type changes bump the major "
+        "version).",
+        "",
+        REPORT_SCHEMA["description"],
+        "",
+        "Produce a payload with `AnalysisResult.to_json()` (or `repro "
+        "analyze --json`); check one with "
+        "`repro.core.validate_report(payload)`.",
+        "",
+        "## Top-level report",
+        "",
+    ]
+    lines.extend(_object_table(REPORT_SCHEMA))
+    for name, sub in REPORT_SCHEMA["$defs"].items():
+        lines.append("")
+        lines.append(f"## {name}")
+        lines.append("")
+        description = sub.get("description")
+        if description:
+            lines.append(description)
+            lines.append("")
+        lines.extend(_object_table(sub))
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Classic text helpers.
+# ----------------------------------------------------------------------
 def format_ns(seconds: float, digits: int = 3) -> str:
     """Render a time in nanoseconds."""
     return f"{seconds * 1e9:.{digits}f} ns"
@@ -85,3 +898,7 @@ def format_table(
             "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
         )
     return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - doc regeneration helper
+    print(schema_markdown(), end="")

@@ -47,6 +47,10 @@ class ClockingError(TimingError):
     """A clock schema is inconsistent or a clocking constraint is violated."""
 
 
+class ReportSchemaError(ReproError):
+    """A JSON timing report does not conform to the published schema."""
+
+
 class SimulationError(ReproError):
     """A circuit simulation (switch-level or SPICE-lite) failed."""
 

@@ -76,6 +76,82 @@ class TestAnalyze:
         with pytest.raises(SystemExit):
             main(["analyze", chain_file, "--input-arrival", "nonsense"])
 
+    def test_json_flag_emits_valid_schema(self, chain_file, capsys):
+        from repro.core import validate_report
+
+        assert main(["analyze", chain_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["mode"] == "combinational"
+        assert payload["netlist"]["name"] == "invchain3"
+
+    def test_json_flag_two_phase(self, clocked_file, capsys):
+        from repro.core import validate_report
+
+        assert main(["analyze", clocked_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["mode"] == "two-phase"
+        assert payload["clock"]["min_cycle"] > 0
+
+    def test_trace_flag_reports_phases(self, chain_file, capsys):
+        assert main(["analyze", chain_file, "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert "max delay" in captured.out  # report untouched
+        assert "trace summary" in captured.err
+        assert "extract" in captured.err
+
+
+class TestExplain:
+    def test_defaults_to_critical_endpoint(self, chain_file, capsys):
+        assert main(["explain", chain_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("explain n2")
+        assert "(exact)" in out
+        assert "MISMATCH" not in out
+
+    def test_named_node_and_transition(self, chain_file, capsys):
+        assert main(
+            ["explain", chain_file, "n1", "--transition", "rise"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("explain n1 (rise)")
+        assert "(exact)" in out
+
+    def test_sum_matches_analyze_max_delay(self, chain_file, capsys):
+        main(["analyze", chain_file, "--json"])
+        report = json.loads(capsys.readouterr().out)
+        main(["explain", chain_file, "--json"])
+        explanation = json.loads(capsys.readouterr().out)
+        assert explanation["exact"] is True
+        assert explanation["arrival"] == report["max_delay"]
+        assert sum(
+            r["delta"] for r in explanation["records"]
+        ) == pytest.approx(report["max_delay"], rel=0, abs=0)
+
+    def test_json_matches_schema(self, chain_file, capsys):
+        from repro.core import validate_report
+        from repro.core.report import REPORT_SCHEMA
+
+        assert main(["explain", chain_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload, REPORT_SCHEMA["$defs"]["explanation"])
+
+    def test_multiple_nodes_json_is_a_list(self, chain_file, capsys):
+        assert main(["explain", chain_file, "n0", "n1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["endpoint"] for p in payload] == ["n0", "n1"]
+
+    def test_two_phase_names_the_phase(self, clocked_file, capsys):
+        assert main(["explain", clocked_file]) == 0
+        out = capsys.readouterr().out
+        assert " during phi" in out
+        assert "(exact)" in out
+
+    def test_unknown_node_exits_two(self, chain_file, capsys):
+        assert main(["explain", chain_file, "no_such_node"]) == 2
+        assert "no arrival" in capsys.readouterr().err
+
 
 class TestErc:
     def test_clean(self, chain_file, capsys):
@@ -187,3 +263,13 @@ class TestCharge:
         path.write_text(sim_dumps(net))
         assert main(["charge", str(path)]) == 1
         assert "charge sharing" in capsys.readouterr().out
+        assert main(["charge", str(path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-charge-report"
+        assert payload["hazards"][0]["node"] == "store"
+        assert payload["hazards"][0]["retention"] < 0.5
+
+    def test_json_clean_design(self, chain_file, capsys):
+        assert main(["charge", chain_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hazards"] == []

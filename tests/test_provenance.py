@@ -1,0 +1,184 @@
+"""The explainability invariant: provenance terms sum to the report.
+
+The acceptance bar for the provenance layer is exactness, not
+plausibility: for *every* circuit generator, the sum of the delay terms
+in an explanation equals the reported arrival time bit-for-bit (no
+tolerance).  These tests assert that for every endpoint of every
+generated circuit, in both analysis modes, serial and parallel.
+"""
+
+import pytest
+
+from repro import TimingAnalyzer
+from repro.bench.perf import parity_circuits
+from repro.core import ARC_FAMILIES, explain_arrival, validate_report
+from repro.core.report import REPORT_SCHEMA
+from repro.errors import TimingError
+
+CIRCUITS = parity_circuits()
+IDS = [name for name, _build in CIRCUITS]
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    """One (analyzer, result) per circuit generator, analyzed once."""
+    cache = {}
+    for name, build in CIRCUITS:
+        tv = TimingAnalyzer(build())
+        cache[name] = (tv, tv.analyze())
+    return cache
+
+
+@pytest.mark.parametrize("name", IDS)
+def test_critical_path_explained_exactly(name, analyses):
+    """Sum of provenance deltas == critical-path arrival, bit-for-bit."""
+    tv, result = analyses[name]
+    if result.critical_path is None:
+        pytest.skip(f"{name}: no critical path (nothing to explain)")
+    path = result.critical_path
+    explanation = tv.explain(path.endpoint, path.transition, result=result)
+    assert explanation.verify()
+    assert explanation.total == path.arrival
+    assert explanation.arrival == path.arrival
+    assert explanation.endpoint == path.endpoint
+    if result.mode == "two-phase":
+        assert explanation.phase in result.clock_verification.phases
+
+
+@pytest.mark.parametrize("name", IDS)
+def test_every_recorded_arrival_explained_exactly(name, analyses):
+    """Exactness holds for every node and transition, not just the worst.
+
+    Combinational circuits: every entry in the arrival map.  Two-phase
+    circuits: every entry of every phase's arrival map.
+    """
+    tv, result = analyses[name]
+    slope = tv.calculator.slope
+    if result.arrivals is not None:
+        maps = [(None, result.arrivals)]
+    else:
+        maps = [
+            (phase, phase_result.arrivals)
+            for phase, phase_result in result.clock_verification.phases.items()
+        ]
+    checked = 0
+    for phase, arrivals in maps:
+        for arrival in arrivals.items():
+            explanation = explain_arrival(
+                arrivals, slope, arrival.node, arrival.transition, phase=phase
+            )
+            # explain_arrival raises TimingError on any bit of divergence;
+            # reaching here already proves the chain.  Assert anyway.
+            assert explanation.total == arrival.time
+            assert explanation.records[0].kind == "source"
+            assert all(r.kind in ARC_FAMILIES for r in explanation.records)
+            checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("name", IDS)
+def test_explanations_identical_serial_vs_parallel(name):
+    """The causal chain is independent of the extraction strategy."""
+    build = dict(CIRCUITS)[name]
+    serial_tv = TimingAnalyzer(build(), workers=1)
+    serial = serial_tv.analyze()
+    pooled_tv = TimingAnalyzer(build(), workers=2)
+    pooled_tv.calculator.all_arcs(parallel=True, workers=2)
+    pooled = pooled_tv.analyze()
+    if serial.critical_path is None:
+        pytest.skip(f"{name}: no critical path")
+    endpoint = serial.critical_path.endpoint
+    transition = serial.critical_path.transition
+    a = serial_tv.explain(endpoint, transition, result=serial)
+    b = pooled_tv.explain(endpoint, transition, result=pooled)
+    assert a.to_json() == b.to_json()
+
+
+class TestExplanationShape:
+    def test_worst_transition_is_default(self, analyses):
+        tv, result = analyses["ripple_adder"]
+        worst = result.arrivals.worst("cout")
+        explanation = tv.explain("cout", result=result)
+        assert explanation.transition == worst.transition
+        assert explanation.arrival == worst.time
+
+    def test_source_record_carries_seed_time(self, analyses):
+        tv, result = analyses["inverter_chain"]
+        explanation = tv.explain(result.critical_path.endpoint, result=result)
+        source = explanation.records[0]
+        assert source.kind == "source"
+        assert source.delta == source.time
+        assert source.stage_index is None
+        assert source.trigger is None
+
+    def test_hop_records_carry_model_terms(self, analyses):
+        tv, result = analyses["inverter_chain"]
+        explanation = tv.explain(result.critical_path.endpoint, result=result)
+        for record in explanation.records[1:]:
+            assert record.kind == "gate"  # inverter chain: all gate arcs
+            assert record.delta == record.intrinsic_delay + record.slope_delay
+            assert record.stage_index is not None
+            assert record.trigger is not None
+            assert record.input_slew > 0
+
+    def test_all_arc_families_observed(self, analyses):
+        """Across the generator zoo, every arc family explains something.
+
+        (Not per circuit: e.g. a pure pass chain's *worst* arrivals can
+        all be select-triggered, so its channel arcs never win.)
+        """
+        kinds = set()
+        for tv, result in analyses.values():
+            if result.arrivals is not None:
+                maps = [result.arrivals]
+            else:
+                maps = [
+                    p.arrivals
+                    for p in result.clock_verification.phases.values()
+                ]
+            for arrivals in maps:
+                for arrival in arrivals.items():
+                    explanation = explain_arrival(
+                        arrivals, tv.calculator.slope,
+                        arrival.node, arrival.transition,
+                    )
+                    kinds.update(r.kind for r in explanation.records)
+        assert kinds == {"source", "gate", "transfer", "channel"}
+
+    def test_format_reports_exact(self, analyses):
+        tv, result = analyses["full_adder"]
+        text = tv.explain(result.critical_path.endpoint, result=result).format()
+        assert "exact" in text
+        assert "MISMATCH" not in text
+
+    def test_json_matches_schema(self, analyses):
+        tv, result = analyses["toy_cpu"]
+        payload = tv.explain(result.critical_path.endpoint, result=result).to_json()
+        validate_report(payload, REPORT_SCHEMA["$defs"]["explanation"])
+        assert payload["exact"] is True
+
+    def test_unknown_node_raises(self, analyses):
+        tv, result = analyses["inverter"]
+        with pytest.raises(TimingError):
+            tv.explain("no_such_node", result=result)
+
+    def test_two_phase_picks_worst_phase(self, analyses):
+        tv, result = analyses["register_bit"]
+        verification = result.clock_verification
+        assert verification is not None
+        path = result.critical_path
+        explanation = tv.explain(path.endpoint, path.transition, result=result)
+        worst = max(
+            (
+                p
+                for p in verification.phases
+                if verification.phases[p].arrivals.get(
+                    path.endpoint, path.transition
+                )
+                is not None
+            ),
+            key=lambda p: verification.phases[p]
+            .arrivals.get(path.endpoint, path.transition)
+            .time,
+        )
+        assert explanation.phase == worst

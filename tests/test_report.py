@@ -1,14 +1,21 @@
-"""Tests for report helpers (repro.core.report)."""
+"""Tests for reports (repro.core.report): text helpers and JSON schema."""
+
+import json
 
 import pytest
 
-from repro import TimingAnalyzer
-from repro.circuits import inverter_chain, ripple_adder
+from repro import Netlist, ReportSchemaError, TimingAnalyzer
+from repro.circuits import inverter_chain, ripple_adder, shift_register
 from repro.core import (
+    REPORT_SCHEMA,
+    REPORT_SCHEMA_VERSION,
     design_fingerprint,
     format_ns,
     format_table,
+    result_to_json,
+    schema_markdown,
     slack_histogram,
+    validate_report,
 )
 from repro.stages import decompose
 
@@ -70,3 +77,158 @@ class TestFormatTable:
         text = format_table(["h"], [["wider-than-header"]])
         header_line, sep, row = text.splitlines()
         assert len(sep) >= len("wider-than-header")
+
+
+class TestJsonReport:
+    def test_combinational_payload_validates(self):
+        result = TimingAnalyzer(ripple_adder(4)).analyze()
+        payload = result.to_json()
+        validate_report(payload)
+        assert payload["schema"] == "repro-timing-report"
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        assert payload["mode"] == "combinational"
+        assert payload["clock"] is None
+        assert payload["max_delay"] == result.max_delay
+        assert payload["arrival_count"] == len(result.arrivals)
+        assert len(payload["paths"]) == len(result.paths)
+
+    def test_two_phase_payload_validates(self):
+        result = TimingAnalyzer(shift_register(3)).analyze()
+        payload = result.to_json()
+        validate_report(payload)
+        assert payload["mode"] == "two-phase"
+        assert payload["arrival_count"] is None
+        clock = payload["clock"]
+        assert clock["min_cycle"] == result.min_cycle
+        assert [p["phase"] for p in clock["phases"]] == ["phi1", "phi2"]
+        for phase in clock["phases"]:
+            assert phase["capture_nodes"] == sorted(phase["capture_nodes"])
+
+    def test_path_steps_reproduce_critical_path(self):
+        result = TimingAnalyzer(ripple_adder(3)).analyze()
+        payload = result.to_json()
+        path = payload["paths"][0]
+        assert path["endpoint"] == result.critical_path.endpoint
+        assert path["arrival"] == result.critical_path.arrival
+        assert path["steps"][-1]["time"] == path["arrival"]
+
+    def test_wall_time_omitted_by_default(self):
+        result = TimingAnalyzer(inverter_chain(3)).analyze()
+        assert "analysis_seconds" not in result.to_json()
+        with_time = result.to_json(include_wall_time=True)
+        assert with_time["analysis_seconds"] == result.analysis_seconds
+        validate_report(with_time)
+
+    def test_byte_identical_serial_vs_parallel(self):
+        serial_tv = TimingAnalyzer(shift_register(4), workers=1)
+        serial = serial_tv.analyze()
+        pooled_tv = TimingAnalyzer(shift_register(4), workers=2)
+        pooled_tv.calculator.all_arcs(parallel=True, workers=2)
+        pooled = pooled_tv.analyze()
+        dumps = lambda r: json.dumps(r.to_json(), sort_keys=True)
+        assert dumps(serial) == dumps(pooled)
+
+    def test_deterministic_across_runs(self):
+        dumps = lambda: json.dumps(
+            TimingAnalyzer(ripple_adder(4)).analyze().to_json(),
+            sort_keys=True,
+        )
+        assert dumps() == dumps()
+
+    def test_empty_netlist(self):
+        # Declared I/O but zero devices: the analysis degenerates
+        # gracefully and the report still validates.
+        net = Netlist("empty")
+        net.add_node("a")
+        net.add_node("out")
+        net.set_input("a")
+        net.set_output("out")
+        result = TimingAnalyzer(net, run_erc=False).analyze()
+        payload = result.to_json()
+        validate_report(payload)
+        assert payload["netlist"]["devices"] == 0
+        assert payload["netlist"]["stages"] == 0
+        assert payload["max_delay"] == 0.0
+        assert payload["paths"] == []
+
+    def test_zero_arc_stage(self):
+        # A pass switch between two driven inputs forms a stage that
+        # yields no timing arcs; the report must not choke on it.
+        net = Netlist("zeroarc")
+        for node in ("a", "b", "g"):
+            net.add_node(node)
+        net.set_input("a", "b", "g")
+        net.add_enh("g", "a", "b", name="sw")
+        tv = TimingAnalyzer(net, run_erc=False)
+        assert tv.calculator.all_arcs() == []
+        assert len(tv.stage_graph) == 1
+        payload = tv.analyze().to_json()
+        validate_report(payload)
+        assert payload["netlist"]["stages"] == 1
+        assert payload["max_delay"] == 0.0
+
+
+class TestValidateReport:
+    def test_missing_required_field(self):
+        payload = TimingAnalyzer(inverter_chain(2)).analyze().to_json()
+        del payload["max_delay"]
+        with pytest.raises(ReportSchemaError, match="max_delay"):
+            validate_report(payload)
+
+    def test_unexpected_field(self):
+        payload = TimingAnalyzer(inverter_chain(2)).analyze().to_json()
+        payload["surprise"] = 1
+        with pytest.raises(ReportSchemaError, match="surprise"):
+            validate_report(payload)
+
+    def test_wrong_type(self):
+        payload = TimingAnalyzer(inverter_chain(2)).analyze().to_json()
+        payload["cut_arc_count"] = "zero"
+        with pytest.raises(ReportSchemaError, match="cut_arc_count"):
+            validate_report(payload)
+
+    def test_bool_is_not_a_number(self):
+        payload = TimingAnalyzer(inverter_chain(2)).analyze().to_json()
+        payload["max_delay"] = True  # bool must not satisfy "number"
+        with pytest.raises(ReportSchemaError, match="max_delay"):
+            validate_report(payload)
+
+    def test_bad_enum(self):
+        payload = TimingAnalyzer(inverter_chain(2)).analyze().to_json()
+        payload["mode"] = "quantum"
+        with pytest.raises(ReportSchemaError, match="mode"):
+            validate_report(payload)
+
+    def test_bad_const(self):
+        payload = TimingAnalyzer(inverter_chain(2)).analyze().to_json()
+        payload["schema"] = "other-schema"
+        with pytest.raises(ReportSchemaError, match="schema"):
+            validate_report(payload)
+
+    def test_nested_item_error_is_located(self):
+        payload = TimingAnalyzer(inverter_chain(2)).analyze().to_json()
+        payload["paths"][0]["steps"][0]["transition"] = "sideways"
+        with pytest.raises(ReportSchemaError, match=r"paths\[0\].steps\[0\]"):
+            validate_report(payload)
+
+    def test_subschema_validation(self):
+        result = TimingAnalyzer(ripple_adder(2)).analyze()
+        path = result.to_json()["paths"][0]
+        validate_report(path, REPORT_SCHEMA["$defs"]["path"])
+
+    def test_free_function_matches_method(self):
+        result = TimingAnalyzer(inverter_chain(2)).analyze()
+        assert result.to_json() == result_to_json(result)
+
+
+class TestSchemaMarkdown:
+    def test_documents_every_field_and_def(self):
+        text = schema_markdown()
+        for name in REPORT_SCHEMA["properties"]:
+            assert f"`{name}`" in text, name
+        for defname in REPORT_SCHEMA["$defs"]:
+            assert f"## {defname}" in text, defname
+        assert REPORT_SCHEMA_VERSION in text
+
+    def test_marked_generated(self):
+        assert "GENERATED" in schema_markdown()

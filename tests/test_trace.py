@@ -1,0 +1,159 @@
+"""The tracing facility: counters, timers, logging, and the null object.
+
+Contracts under test: metrics accumulate correctly, attribution is a
+probability distribution, timer completions reach the stdlib ``"repro"``
+logger, the analyzer populates the documented phase names, and the
+disabled path (``NULL_TRACE``) collects nothing.
+"""
+
+import logging
+
+import pytest
+
+from repro import NULL_TRACE, NullTrace, Trace, TimingAnalyzer, get_logger
+from repro.circuits import register_bit, ripple_adder
+
+
+class TestTrace:
+    def test_counters_accumulate(self):
+        trace = Trace(logger=None)
+        trace.incr("arcs")
+        trace.incr("arcs", 4)
+        assert trace.counters == {"arcs": 5}
+
+    def test_timers_accumulate_across_uses(self):
+        trace = Trace(logger=None)
+        with trace.timer("extract"):
+            pass
+        first = trace.timers_s["extract"]
+        with trace.timer("extract"):
+            pass
+        assert trace.timers_s["extract"] > first
+        assert set(trace.timers_s) == {"extract"}
+
+    def test_attribution_sums_to_one(self):
+        trace = Trace(logger=None)
+        with trace.timer("a"):
+            pass
+        with trace.timer("b"):
+            pass
+        shares = trace.attribution()
+        assert set(shares) == {"a", "b"}
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(share >= 0 for share in shares.values())
+
+    def test_attribution_empty_when_nothing_timed(self):
+        assert Trace(logger=None).attribution() == {}
+
+    def test_snapshot_is_detached_copy(self):
+        trace = Trace(logger=None)
+        trace.incr("n")
+        snap = trace.snapshot()
+        trace.incr("n")
+        assert snap == {"counters": {"n": 1}, "timers_s": {}}
+
+    def test_summary_lists_everything(self):
+        trace = Trace(logger=None)
+        trace.incr("devices", 7)
+        with trace.timer("flow"):
+            pass
+        text = trace.summary()
+        assert "devices" in text and "flow" in text
+
+    def test_summary_empty(self):
+        assert "(empty)" in Trace(logger=None).summary()
+
+    def test_clear(self):
+        trace = Trace(logger=None)
+        trace.incr("x")
+        with trace.timer("t"):
+            pass
+        trace.clear()
+        assert trace.counters == {} and trace.timers_s == {}
+
+    def test_timer_logs_debug_on_package_logger(self, caplog):
+        trace = Trace()  # default: the "repro" logger
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            with trace.timer("extract"):
+                pass
+        assert any(
+            "extract" in record.message and record.name == "repro"
+            for record in caplog.records
+        )
+
+    def test_logger_none_is_silent(self, caplog):
+        trace = Trace(logger=None)
+        with caplog.at_level(logging.DEBUG):
+            with trace.timer("extract"):
+                pass
+        assert not caplog.records
+        assert "extract" in trace.timers_s  # still collected
+
+    def test_get_logger_name(self):
+        assert get_logger().name == "repro"
+
+
+class TestNullTrace:
+    def test_collects_nothing(self):
+        null = NullTrace()
+        null.incr("arcs", 100)
+        with null.timer("extract"):
+            pass
+        assert null.counters == {} and null.timers_s == {}
+        assert null.attribution() == {}
+        assert not null.enabled
+
+    def test_shared_singleton_timer_is_reusable(self):
+        timer = NULL_TRACE.timer("a")
+        assert NULL_TRACE.timer("b") is timer  # one object, no allocation
+        with timer:
+            with timer:
+                pass
+
+    def test_null_is_silent(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            with NULL_TRACE.timer("extract"):
+                pass
+            NULL_TRACE._log("boom")
+        assert not caplog.records
+
+
+class TestAnalyzerIntegration:
+    def test_combinational_phases_timed(self):
+        trace = Trace(logger=None)
+        TimingAnalyzer(ripple_adder(4), trace=trace).analyze()
+        assert set(trace.timers_s) >= {
+            "erc", "flow", "stages", "extract", "propagate", "paths",
+        }
+        assert trace.counters["devices"] > 0
+        assert trace.counters["stages"] > 0
+        assert trace.counters["arcs"] > 0
+        assert trace.counters["arrivals"] > 0
+
+    def test_two_phase_constraints_timed(self):
+        trace = Trace(logger=None)
+        TimingAnalyzer(register_bit(), trace=trace).analyze()
+        assert "constraints" in trace.timers_s
+        assert trace.counters["arrivals"] > 0
+
+    def test_default_is_shared_null_trace(self):
+        tv = TimingAnalyzer(ripple_adder(2))
+        assert tv.trace is NULL_TRACE
+
+    def test_tracing_does_not_change_results(self):
+        net_a = ripple_adder(4)
+        net_b = ripple_adder(4)
+        plain = TimingAnalyzer(net_a).analyze()
+        traced = TimingAnalyzer(net_b, trace=Trace(logger=None)).analyze()
+        plain.analysis_seconds = traced.analysis_seconds = 0.0
+        assert plain.report() == traced.report()
+        assert plain.to_json() == traced.to_json()
+
+    def test_one_trace_spans_many_analyses(self):
+        trace = Trace(logger=None)
+        TimingAnalyzer(ripple_adder(2), trace=trace).analyze()
+        first_extract = trace.timers_s["extract"]
+        first_devices = trace.counters["devices"]
+        TimingAnalyzer(ripple_adder(2), trace=trace).analyze()
+        assert trace.timers_s["extract"] > first_extract
+        assert trace.counters["devices"] == 2 * first_devices
