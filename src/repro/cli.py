@@ -6,7 +6,9 @@ boundary extension records):
 ``analyze``   full timing analysis (combinational or two-phase), report to
               stdout; exits 1 on races.  ``--json`` emits the versioned
               report schema (docs/report-schema.md) instead of text;
-              ``--trace`` prints per-phase timings to stderr
+              ``--trace`` prints per-phase timings to stderr;
+              ``--on-error=quarantine|best-effort`` degrades gracefully
+              around ERC/extraction failures instead of aborting
 ``explain``   causal chain behind one node's arrival time: every hop with
               its stage, arc family, and delay-model terms; the terms sum
               to the reported arrival exactly
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from . import __version__
@@ -88,7 +91,11 @@ def _cmd_analyze(args) -> int:
     _apply_hints(args, net)
     trace = Trace() if args.trace else None
     analyzer = TimingAnalyzer(
-        net, model=args.model, run_erc=not args.no_erc, trace=trace
+        net,
+        model=args.model,
+        run_erc=not args.no_erc,
+        trace=trace,
+        on_error=args.on_error,
     )
     result = analyzer.analyze(input_arrivals=arrivals, top_k=args.top_k)
     if args.json:
@@ -107,7 +114,10 @@ def _cmd_explain(args) -> int:
     arrivals = _parse_input_arrivals(args)
     _apply_hints(args, net)
     analyzer = TimingAnalyzer(
-        net, model=args.model, run_erc=not args.no_erc
+        net,
+        model=args.model,
+        run_erc=not args.no_erc,
+        on_error=args.on_error,
     )
     result = analyzer.analyze(input_arrivals=arrivals)
     nodes = args.node or [
@@ -245,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="print full tracebacks instead of one-line diagnostics"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("analyze", help="run the timing analyzer")
@@ -261,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(docs/report-schema.md) instead of text")
     p.add_argument("--trace", action="store_true",
                    help="print per-phase timing/counter summary to stderr")
+    p.add_argument("--on-error", default="strict",
+                   choices=("strict", "quarantine", "best-effort"),
+                   help="error policy: fail fast (strict, default), "
+                        "excise broken stages and analyze the rest "
+                        "(quarantine), or additionally downgrade "
+                        "recoverable errors (best-effort)")
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(
@@ -285,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hint", action="append", metavar="PATTERN=DIR")
     p.add_argument("--json", action="store_true",
                    help="emit the explanation(s) as JSON")
+    p.add_argument("--on-error", default="strict",
+                   choices=("strict", "quarantine", "best-effort"),
+                   help="error policy (see `repro analyze --help`); "
+                        "explaining a quarantined node reports why it "
+                        "was excised")
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("erc", help="electrical rules check")
@@ -325,16 +350,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: parse arguments, dispatch, map errors to exit codes."""
+    """Entry point: parse arguments, dispatch, map errors to exit codes.
+
+    Expected failures (missing files, any :class:`ReproError`) print a
+    one-line ``error:`` diagnostic and exit 2.  *Unexpected* exceptions
+    are mapped to the same contract -- one line, exit 2 -- instead of
+    dumping a traceback on the user; pass ``--debug`` to re-raise with
+    the full traceback.  ``SystemExit``/``KeyboardInterrupt`` pass
+    through untouched, and a ``BrokenPipeError`` (the report was piped
+    into ``head``/``less`` and the reader quit) exits 0 silently.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except FileNotFoundError as exc:
+    except BrokenPipeError:
+        # The stdout consumer went away mid-report; not an error.  Point
+        # stdout at devnull so interpreter shutdown does not raise again
+        # on the final flush (no-op when stdout has no real fd, e.g.
+        # under test capture).
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
+        return 0
+    except (FileNotFoundError, ReproError) as exc:
+        if args.debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except Exception as exc:
+        if args.debug:
+            raise
+        print(
+            f"internal error ({type(exc).__name__}): {exc} "
+            "[rerun with --debug for a traceback]",
+            file=sys.stderr,
+        )
         return 2
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass, field
 
+from .. import robust
 from ..clocks import TwoPhaseClock
 from ..delay import (
     FALL,
@@ -34,10 +35,16 @@ from ..delay import (
     SlopeModel,
     StageDelayCalculator,
 )
-from ..errors import TimingError
+from ..errors import (
+    ElectricalRuleError,
+    FlowError,
+    ReproError,
+    StageError,
+    TimingError,
+)
 from ..flow import FlowReport, infer_flow
 from ..netlist import Netlist
-from ..netlist.validate import Violation, validate
+from ..netlist.validate import Violation, check, validate
 from ..stages import StageGraph, decompose
 from ..trace import NULL_TRACE, Trace
 from .arrival import DEFAULT_INPUT_SLEW, ArrivalMap, propagate
@@ -72,6 +79,13 @@ class AnalysisResult:
     clock_verification: ClockVerification | None = None
     cut_arc_count: int = 0
     analysis_seconds: float = 0.0
+    #: Error policy the run executed under (repro.robust.ERROR_POLICIES).
+    policy: str = robust.STRICT
+    #: Typed records of tolerated failures (quarantines/downgrades/skips).
+    diagnostics: list[robust.Diagnostic] = field(default_factory=list)
+    #: Analyzed-vs-quarantined accounting; ``coverage.complete`` is True
+    #: for an undegraded run.
+    coverage: robust.Coverage | None = None
 
     @property
     def min_cycle(self) -> float | None:
@@ -115,6 +129,12 @@ class AnalysisResult:
                 f"feedback  : {self.cut_arc_count} arc(s) cut "
                 "(static storage loops)"
             )
+        if self.policy != robust.STRICT:
+            lines.append(f"policy    : {self.policy}")
+        if self.coverage is not None and not self.coverage.complete:
+            lines.append(f"coverage  : {self.coverage.summary()}")
+        for diag in self.diagnostics:
+            lines.append(f"diag      : {diag}")
         lines.append(self.flow.summary())
         if self.erc_warnings:
             lines.append(f"erc       : {len(self.erc_warnings)} warning(s)")
@@ -162,6 +182,16 @@ class TimingAnalyzer:
         ``paths`` / ``constraints``) and work counters.  Defaults to the
         shared no-op :data:`repro.trace.NULL_TRACE` -- zero overhead when
         unused.
+    on_error:
+        Error policy, one of :data:`repro.robust.ERROR_POLICIES`.
+        ``"strict"`` (default) fails fast exactly as before.
+        ``"quarantine"`` excises the stages implicated by ERC errors or
+        extraction failures and analyzes the rest, reporting
+        :class:`~repro.robust.Diagnostic` records and
+        :class:`~repro.robust.Coverage` on the result.
+        ``"best-effort"`` additionally downgrades recoverable flow/timing
+        errors (e.g. a netlist with no primary inputs) to diagnostics on
+        a degraded result.
     """
 
     def __init__(
@@ -176,17 +206,21 @@ class TimingAnalyzer:
         workers: int = 1,
         executor: str = "auto",
         trace: Trace | None = None,
+        on_error: str = robust.STRICT,
     ):
         self.trace = NULL_TRACE if trace is None else trace
         self.netlist = netlist
+        self.on_error = robust.validate_policy(on_error)
+        #: Analyzer-level diagnostics (ERC skips, downgraded flow/timing
+        #: errors); stage quarantines live on ``calculator.diagnostics``.
+        self.diagnostics: list[robust.Diagnostic] = []
+        self._erc_errors: list[Violation] = []
         with self.trace.timer("erc"):
-            self.erc_warnings: list[Violation] = (
-                validate(netlist) if run_erc else []
-            )
+            self.erc_warnings: list[Violation] = self._run_erc(run_erc)
         with self.trace.timer("flow"):
-            self.flow_report = infer_flow(netlist)
+            self.flow_report = self._run_flow()
         with self.trace.timer("stages"):
-            self.stage_graph: StageGraph = decompose(netlist)
+            self.stage_graph: StageGraph = self._run_stages()
         self.calculator = StageDelayCalculator(
             netlist,
             self.stage_graph,
@@ -195,11 +229,150 @@ class TimingAnalyzer:
             max_paths=max_paths,
             workers=workers,
             executor=executor,
+            trace=self.trace,
+            on_error=self.on_error,
         )
+        if self._erc_errors:
+            self._quarantine_erc_errors(self._erc_errors)
         self.workers = self.calculator.workers
         self.clock = clock or self._default_clock()
         self.trace.incr("devices", len(netlist.devices))
         self.trace.incr("stages", len(self.stage_graph))
+
+    # ------------------------------------------------------------------
+    # Policy-aware pipeline steps.
+    # ------------------------------------------------------------------
+    def _run_erc(self, run_erc: bool) -> list[Violation]:
+        """Electrical rules under the active policy.
+
+        ``strict`` raises on error-severity violations (via
+        :func:`repro.netlist.validate.validate`); the degraded policies
+        run :func:`repro.netlist.validate.check` instead, keep the errors
+        aside for stage quarantine, and return only the warnings.  A
+        *crash* inside ERC (not a rule violation) is wrapped in
+        :class:`ElectricalRuleError` under strict and recorded as a
+        ``skipped`` diagnostic otherwise.
+        """
+        if not run_erc:
+            return []
+        try:
+            robust.fault_point("erc", self.netlist)
+            if self.on_error == robust.STRICT:
+                return validate(self.netlist)
+            violations = check(self.netlist)
+        except ReproError:
+            raise
+        except Exception as exc:
+            detail = f"{type(exc).__name__}: {exc}"
+            if self.on_error == robust.STRICT:
+                raise ElectricalRuleError(
+                    f"electrical rules check crashed: {detail}"
+                ) from exc
+            self.diagnostics.append(
+                robust.Diagnostic(
+                    code="erc-crash",
+                    severity="warning",
+                    subject="erc",
+                    stage=None,
+                    action="skipped",
+                    message=f"electrical rules check crashed ({detail}); "
+                    "continuing without ERC",
+                )
+            )
+            return []
+        self._erc_errors = [v for v in violations if v.severity == "error"]
+        return [v for v in violations if v.severity == "warning"]
+
+    def _run_flow(self) -> FlowReport:
+        """Signal-flow inference, downgradeable under ``best-effort``."""
+        try:
+            return infer_flow(self.netlist)
+        except Exception as exc:
+            if isinstance(exc, ReproError) and not isinstance(exc, FlowError):
+                raise
+            detail = f"{type(exc).__name__}: {exc}"
+            if self.on_error == robust.BEST_EFFORT:
+                self.diagnostics.append(
+                    robust.Diagnostic(
+                        code="flow-error",
+                        severity="error",
+                        subject=self.netlist.name,
+                        stage=None,
+                        action="downgraded",
+                        message=f"signal-flow inference failed ({detail}); "
+                        "unresolved devices treated as bidirectional",
+                    )
+                )
+                return FlowReport(total_devices=len(self.netlist.devices))
+            if isinstance(exc, FlowError):
+                raise
+            raise FlowError(
+                f"signal-flow inference crashed: {detail}"
+            ) from exc
+
+    def _run_stages(self) -> StageGraph:
+        """Stage decomposition; crashes become typed :class:`StageError`."""
+        try:
+            return decompose(self.netlist)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise StageError(
+                f"stage decomposition crashed: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _stages_for_subject(self, subject: str) -> set[int]:
+        """Stage indices implicated by an ERC violation subject.
+
+        A device maps through its terminals; a node maps to its owning
+        stage when it has one, else (gate-only nodes, e.g. a floating
+        gate) to every stage it gates -- those stages' timing depends on
+        the broken node.
+        """
+        nodes: list[str] = []
+        if subject in self.netlist.devices:
+            dev = self.netlist.device(subject)
+            nodes = [dev.source, dev.drain, dev.gate]
+        elif subject in self.netlist.nodes:
+            nodes = [subject]
+        indices: set[int] = set()
+        for node in nodes:
+            stage = self.stage_graph.stage_of(node)
+            if stage is not None:
+                indices.add(stage.index)
+            else:
+                for gated in self.stage_graph.stages_gated_by(node):
+                    indices.add(gated.index)
+        return indices
+
+    def _quarantine_erc_errors(self, errors: list[Violation]) -> None:
+        """Excise the stages implicated by ERC errors (degraded policies).
+
+        An error that maps to no stage (e.g. a dangling output that does
+        not exist in the netlist) cannot be excised; it is recorded as a
+        ``downgraded`` diagnostic instead so it still reaches the report.
+        """
+        for violation in errors:
+            indices = sorted(self._stages_for_subject(violation.subject))
+            if indices:
+                for index in indices:
+                    self.calculator.quarantine_stage(
+                        index,
+                        code=violation.code,
+                        subject=violation.subject,
+                        message=violation.message,
+                    )
+            else:
+                self.diagnostics.append(
+                    robust.Diagnostic(
+                        code=violation.code,
+                        severity="error",
+                        subject=violation.subject,
+                        stage=None,
+                        action="downgraded",
+                        message=violation.message,
+                    )
+                )
 
     def _default_clock(self) -> TwoPhaseClock | None:
         phases = set(self.netlist.clocks.values())
@@ -235,7 +408,30 @@ class TimingAnalyzer:
                 input_arrivals, top_k, input_slew
             )
         result.analysis_seconds = _time.perf_counter() - started
+        result.policy = self.on_error
+        result.diagnostics = list(self.diagnostics) + list(
+            self.calculator.diagnostics
+        )
+        result.coverage = self._coverage()
         return result
+
+    def _coverage(self) -> robust.Coverage:
+        """Analyzed-vs-quarantined accounting over the stage graph."""
+        quarantined = self.calculator.quarantined
+        q_devices: set[str] = set()
+        q_nodes: set[str] = set()
+        for index in quarantined:
+            stage = self.stage_graph[index]
+            q_devices.update(stage.device_names)
+            q_nodes.update(stage.nodes)
+        return robust.Coverage(
+            stages_total=len(self.stage_graph),
+            stages_analyzed=len(self.stage_graph) - len(quarantined),
+            devices_total=len(self.netlist.devices),
+            devices_analyzed=len(self.netlist.devices) - len(q_devices),
+            nodes_total=len(self.netlist.nodes),
+            nodes_analyzed=len(self.netlist.nodes) - len(q_nodes),
+        )
 
     # ------------------------------------------------------------------
     def explain(
@@ -264,6 +460,13 @@ class TimingAnalyzer:
             result = self.analyze()
         slope = self.calculator.slope
         if result.arrivals is not None:
+            missing = (
+                result.arrivals.worst(node) is None
+                if transition is None
+                else result.arrivals.get(node, transition) is None
+            )
+            if missing:
+                self._raise_if_quarantined(node)
             return explain_arrival(result.arrivals, slope, node, transition)
 
         assert result.clock_verification is not None
@@ -281,6 +484,7 @@ class TimingAnalyzer:
                 best_phase = phase
                 best_time = arrival.time
         if best_phase is None:
+            self._raise_if_quarantined(node)
             raise TimingError(
                 f"no arrival recorded at {node!r} in any clock phase"
             )
@@ -290,6 +494,27 @@ class TimingAnalyzer:
             node,
             transition,
             phase=best_phase,
+        )
+
+    def _raise_if_quarantined(self, node: str) -> None:
+        """Raise a :class:`TimingError` naming the quarantine cause.
+
+        Called when a node has no recorded arrival: if the node belongs
+        to a quarantined stage, the error says *why* the stage was
+        excised instead of the generic "no arrival" message.
+        """
+        stage = self.stage_graph.stage_of(node)
+        if stage is None or stage.index not in self.calculator.quarantined:
+            return
+        causes = [
+            d.message or d.code
+            for d in self.calculator.diagnostics
+            if d.stage == stage.index
+        ]
+        why = "; ".join(causes) if causes else "quarantined"
+        raise TimingError(
+            f"no arrival at {node!r}: stage {stage.index} was quarantined "
+            f"under the {self.on_error!r} policy ({why})"
         )
 
     # ------------------------------------------------------------------
@@ -313,10 +538,25 @@ class TimingAnalyzer:
         sources: dict[tuple[str, str], float] = {}
         drive_points = set(self.netlist.inputs) | set(self.netlist.clocks)
         if not drive_points:
-            raise TimingError(
-                f"netlist {self.netlist.name!r} declares no primary inputs; "
-                "combinational analysis has no sources"
-            )
+            if self.on_error != robust.BEST_EFFORT:
+                raise TimingError(
+                    f"netlist {self.netlist.name!r} declares no primary "
+                    "inputs; combinational analysis has no sources"
+                )
+            if not any(
+                d.code == "no-primary-inputs" for d in self.diagnostics
+            ):
+                self.diagnostics.append(
+                    robust.Diagnostic(
+                        code="no-primary-inputs",
+                        severity="error",
+                        subject=self.netlist.name,
+                        stage=None,
+                        action="downgraded",
+                        message="netlist declares no primary inputs; "
+                        "arrivals and paths are empty",
+                    )
+                )
         for name in drive_points:
             t = input_arrivals.get(name, 0.0)
             sources[(name, RISE)] = t
@@ -326,9 +566,17 @@ class TimingAnalyzer:
             arcs = self.calculator.all_arcs(active_clocks=None)
             graph = TimingGraph.build(arcs)
         with self.trace.timer("propagate"):
-            arrivals = propagate(
-                graph, sources, self.calculator.slope, source_slew=input_slew
-            )
+            if sources:
+                arrivals = propagate(
+                    graph,
+                    sources,
+                    self.calculator.slope,
+                    source_slew=input_slew,
+                )
+            else:
+                # Only reachable under best-effort (no drive points were
+                # downgraded to a diagnostic above): nothing to propagate.
+                arrivals = ArrivalMap()
 
         endpoints = set(self.netlist.outputs) or None
         with self.trace.timer("paths"):

@@ -49,7 +49,9 @@ __all__ = [
 ]
 
 #: Version of the JSON report contract (semver).
-REPORT_SCHEMA_VERSION = "1.0.0"
+#: 1.1.0 added the ``diagnostics`` section (error policy, typed
+#: diagnostic records, and quarantine coverage).
+REPORT_SCHEMA_VERSION = "1.1.0"
 
 _STEP_SCHEMA = {
     "type": "object",
@@ -357,6 +359,128 @@ _ERC_WARNING_SCHEMA = {
     },
 }
 
+_DIAGNOSTIC_SCHEMA = {
+    "type": "object",
+    "description": "One typed record of a failure tolerated by a degraded "
+                   "error policy (see repro.robust).",
+    "required": ["code", "severity", "subject", "stage", "action",
+                 "message"],
+    "additionalProperties": False,
+    "properties": {
+        "code": {
+            "type": "string",
+            "description": "Failure class: an ERC rule code (e.g. "
+                           "\"ratio\") or a pipeline code (e.g. "
+                           "\"extraction-failure\", \"erc-crash\", "
+                           "\"no-primary-inputs\").",
+        },
+        "severity": {
+            "enum": ["error", "warning"],
+            "description": "Severity of the underlying failure.",
+        },
+        "subject": {
+            "type": "string",
+            "description": "Node, device, or pipeline step at fault.",
+        },
+        "stage": {
+            "type": ["integer", "null"],
+            "description": "Implicated stage index (null when the failure "
+                           "is not attributable to one stage).",
+        },
+        "action": {
+            "enum": ["quarantined", "downgraded", "skipped"],
+            "description": "What the analyzer did: excised the stage, "
+                           "downgraded a fatal error to this record, or "
+                           "skipped a pipeline step.",
+        },
+        "message": {
+            "type": "string",
+            "description": "Human-readable detail.",
+        },
+    },
+}
+
+_COVERAGE_SCHEMA = {
+    "type": "object",
+    "description": "Analyzed-vs-quarantined accounting of one run; "
+                   "`complete` is true iff nothing was quarantined.",
+    "required": ["complete", "stages_total", "stages_analyzed",
+                 "stages_quarantined", "devices_total", "devices_analyzed",
+                 "devices_quarantined", "nodes_total", "nodes_analyzed",
+                 "nodes_quarantined"],
+    "additionalProperties": False,
+    "properties": {
+        "complete": {
+            "type": "boolean",
+            "description": "True iff every stage was analyzed.",
+        },
+        "stages_total": {
+            "type": "integer",
+            "description": "Stages in the decomposition.",
+        },
+        "stages_analyzed": {
+            "type": "integer",
+            "description": "Stages that contributed timing arcs.",
+        },
+        "stages_quarantined": {
+            "type": "integer",
+            "description": "Stages excised from the analysis.",
+        },
+        "devices_total": {
+            "type": "integer",
+            "description": "Devices in the netlist.",
+        },
+        "devices_analyzed": {
+            "type": "integer",
+            "description": "Devices of analyzed stages.",
+        },
+        "devices_quarantined": {
+            "type": "integer",
+            "description": "Devices of quarantined stages.",
+        },
+        "nodes_total": {
+            "type": "integer",
+            "description": "Nodes in the netlist (including boundary "
+                           "nodes, which belong to no stage).",
+        },
+        "nodes_analyzed": {
+            "type": "integer",
+            "description": "Nodes outside quarantined stages.",
+        },
+        "nodes_quarantined": {
+            "type": "integer",
+            "description": "Internal nodes of quarantined stages.",
+        },
+    },
+}
+
+_DIAGNOSTICS_SECTION_SCHEMA = {
+    "type": "object",
+    "description": "Degraded-mode accounting: the error policy the run "
+                   "executed under, every tolerated failure, and what "
+                   "fraction of the design the results cover.  Under the "
+                   "default strict policy `records` is empty and "
+                   "`coverage.complete` is true.",
+    "required": ["policy", "records", "coverage"],
+    "additionalProperties": False,
+    "properties": {
+        "policy": {
+            "enum": ["strict", "quarantine", "best-effort"],
+            "description": "Error policy of the run.",
+        },
+        "records": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/diagnostic"},
+            "description": "Tolerated failures, in pipeline order.",
+        },
+        "coverage": {
+            "anyOf": [{"$ref": "#/$defs/coverage"}, {"type": "null"}],
+            "description": "Quarantine accounting (null only for "
+                           "hand-built results that never ran analyze()).",
+        },
+    },
+}
+
 REPORT_SCHEMA = {
     "$id": "repro-timing-report",
     "title": "repro timing analysis report",
@@ -368,7 +492,8 @@ REPORT_SCHEMA = {
     "type": "object",
     "required": ["schema", "schema_version", "generator", "netlist", "mode",
                  "units", "flow", "erc_warnings", "cut_arc_count",
-                 "max_delay", "arrival_count", "paths", "clock"],
+                 "max_delay", "arrival_count", "paths", "clock",
+                 "diagnostics"],
     "additionalProperties": False,
     "properties": {
         "schema": {
@@ -485,6 +610,11 @@ REPORT_SCHEMA = {
             "description": "Two-phase verification outcome (null in "
                            "combinational mode).",
         },
+        "diagnostics": {
+            "$ref": "#/$defs/diagnostics",
+            "description": "Degraded-mode accounting (policy, tolerated "
+                           "failures, coverage).  Added in 1.1.0.",
+        },
         "analysis_seconds": {
             "type": "number",
             "description": "Wall-clock analysis time. OPTIONAL -- "
@@ -503,6 +633,9 @@ REPORT_SCHEMA = {
         "race": _RACE_SCHEMA,
         "overlap_margin": _OVERLAP_MARGIN_SCHEMA,
         "erc_warning": _ERC_WARNING_SCHEMA,
+        "diagnostic": _DIAGNOSTIC_SCHEMA,
+        "coverage": _COVERAGE_SCHEMA,
+        "diagnostics": _DIAGNOSTICS_SECTION_SCHEMA,
     },
 }
 
@@ -625,6 +758,15 @@ def result_to_json(result, *, include_wall_time: bool = False) -> dict:
             if result.clock_verification is not None
             else None
         ),
+        "diagnostics": {
+            "policy": result.policy,
+            "records": [diag.to_json() for diag in result.diagnostics],
+            "coverage": (
+                result.coverage.to_json()
+                if result.coverage is not None
+                else None
+            ),
+        },
     }
     if include_wall_time:
         payload["analysis_seconds"] = result.analysis_seconds

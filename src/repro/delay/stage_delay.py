@@ -48,10 +48,13 @@ import concurrent.futures
 import math
 import multiprocessing
 import os
+import time
 from collections import deque
 from dataclasses import dataclass, replace
 
-from ..errors import StageError
+from .. import robust
+from ..errors import ReproError, StageError
+from ..trace import NULL_TRACE
 from ..netlist import DeviceKind, FlowDirection, Netlist, Transistor
 from ..stages import Stage, StageGraph
 from ..tech import Technology
@@ -246,6 +249,24 @@ class StageDelayCalculator:
     executor:
         ``"process"``, ``"thread"``, or ``"auto"`` (fork-based processes
         where the platform has them, threads otherwise).
+    trace:
+        Optional :class:`repro.trace.Trace` receiving the supervision
+        counters (``extract_retries``, ``extract_timeouts``,
+        ``extract_corrupt_results``, ``extract_fallback_stages``,
+        ``extract_pool_failures``).
+    on_error:
+        Error policy (:data:`repro.robust.ERROR_POLICIES`).  Under
+        ``strict`` (default) a stage whose extraction fails raises; under
+        ``quarantine``/``best-effort`` the stage is excised
+        (:meth:`quarantine_stage`) and :meth:`all_arcs` returns the arcs
+        of the surviving stages.
+
+    Supervision knobs (attributes, overridable per instance):
+    ``task_timeout`` (seconds one pool task may run before it is treated
+    as hung), ``task_retries`` (pool re-submissions after a failed
+    attempt), ``retry_backoff`` (initial inter-attempt sleep; doubles per
+    retry).  Exhausted retries never lose work: the serial walk in
+    :meth:`all_arcs` recomputes whatever the pool did not deliver.
     """
 
     def __init__(
@@ -259,6 +280,8 @@ class StageDelayCalculator:
         tech: Technology | None = None,
         workers: int = 1,
         executor: str = "auto",
+        trace=None,
+        on_error: str = robust.STRICT,
     ):
         if model not in DELAY_MODELS:
             raise StageError(
@@ -276,6 +299,15 @@ class StageDelayCalculator:
         self.tech = tech or netlist.tech
         self.workers = max(1, int(workers))
         self.executor = executor
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.on_error = robust.validate_policy(on_error)
+        #: Stage indices excised from analysis; :meth:`all_arcs` skips them.
+        self.quarantined: set[int] = set()
+        #: :class:`repro.robust.Diagnostic` records for quarantined stages.
+        self.diagnostics: list[robust.Diagnostic] = []
+        self.task_timeout = 60.0
+        self.task_retries = 2
+        self.retry_backoff = 0.05
         self._cap_cache: dict[str, float] = {}
         self._arc_cache: dict[tuple, list[StageArc]] = {}
         # name -> (gate, group, source, out_of_source, out_of_drain,
@@ -350,6 +382,39 @@ class StageDelayCalculator:
                 if key[0] not in stale
             }
 
+    def quarantine_stage(
+        self,
+        index: int,
+        *,
+        code: str = "extraction-failure",
+        severity: str = "error",
+        subject: str | None = None,
+        message: str = "",
+    ) -> robust.Diagnostic:
+        """Excise stage ``index`` from analysis and record a diagnostic.
+
+        Quarantined stages are skipped by :meth:`all_arcs`; the recorded
+        :class:`~repro.robust.Diagnostic` ends up on the analysis result
+        and in the JSON report's ``diagnostics`` section.  Idempotent per
+        stage: quarantining an already-quarantined stage still appends the
+        new diagnostic (distinct causes are all worth reporting).
+        """
+        self.quarantined.add(index)
+        if subject is None:
+            stage = self.graph[index]
+            outputs = sorted(stage.outputs) or sorted(stage.nodes)
+            subject = outputs[0] if outputs else f"stage-{index}"
+        diag = robust.Diagnostic(
+            code=code,
+            severity=severity,
+            subject=subject,
+            stage=index,
+            action="quarantined",
+            message=message,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
     def all_arcs(
         self,
         active_clocks: frozenset[str] | None = None,
@@ -358,7 +423,7 @@ class StageDelayCalculator:
         parallel: bool | None = None,
         workers: int | None = None,
     ) -> list[StageArc]:
-        """Timing arcs of every stage in the graph.
+        """Timing arcs of every non-quarantined stage in the graph.
 
         ``parallel``/``workers`` control the fan-out: ``parallel=None``
         (default) uses the pool only when the calculator was built with
@@ -368,6 +433,14 @@ class StageDelayCalculator:
         serial path.  Stages are channel-connected components, hence
         independent, and results are merged in stage-index order -- the arc
         list is identical to the serial one.
+
+        The pool only *pre-fills* the arc cache; this serial walk is
+        authoritative, so quarantine decisions are made here (never in a
+        worker) and the result is deterministic regardless of pool
+        failures.  A stage whose extraction raises is re-raised as a typed
+        :class:`~repro.errors.ReproError` under the ``strict`` policy and
+        quarantined (with a diagnostic) under ``quarantine``/
+        ``best-effort``.
         """
         resolved = self.workers if workers is None else max(1, int(workers))
         if parallel is None:
@@ -383,7 +456,27 @@ class StageDelayCalculator:
             self._extract_parallel(active_clocks, open_gates, resolved)
         result: list[StageArc] = []
         for stage in self.graph:
-            result.extend(self.arcs(stage, active_clocks, open_gates))
+            if stage.index in self.quarantined:
+                continue
+            try:
+                robust.fault_point("stage-arcs", stage.index)
+                stage_arcs = self.arcs(stage, active_clocks, open_gates)
+            except Exception as exc:
+                if self.on_error == robust.STRICT:
+                    if isinstance(exc, ReproError):
+                        raise
+                    raise StageError(
+                        f"arc extraction failed for stage {stage.index}: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                self.quarantine_stage(
+                    stage.index,
+                    message=(
+                        f"arc extraction failed: {type(exc).__name__}: {exc}"
+                    ),
+                )
+                continue
+            result.extend(stage_arcs)
         return result
 
     # ------------------------------------------------------------------
@@ -406,66 +499,147 @@ class StageDelayCalculator:
 
         Only fills ``self._arc_cache``; the caller still walks the stages
         in order, so the merged arc list is deterministic and identical to
-        serial extraction.  Any pool failure (fork unavailable, pickling,
-        broken pool) falls back to the serial path simply by leaving the
-        cache unfilled.
+        serial extraction.  The pool is *supervised*: each task has a
+        timeout (``task_timeout``), failed or corrupt chunks are retried
+        with exponential backoff (``task_retries``/``retry_backoff``), and
+        whatever still failed after the last attempt falls back to the
+        serial path simply by leaving the cache unfilled.  A pool that
+        cannot start at all (no fork, pickling failure) degrades the same
+        way.
         """
         missing = [
             stage.index
             for stage in self.graph
-            if (stage.index, active_clocks, open_gates) not in self._arc_cache
+            if stage.index not in self.quarantined
+            and (stage.index, active_clocks, open_gates)
+            not in self._arc_cache
         ]
         if len(missing) < 2:
             return
         kind = self._executor_kind()
-        try:
-            if kind == "process":
-                self._extract_with_processes(
-                    missing, active_clocks, open_gates, workers
-                )
-            else:
-                self._extract_with_threads(
-                    missing, active_clocks, open_gates, workers
-                )
-        except Exception:
-            # Serial fallback: arcs() computes whatever the pool did not.
-            return
-
-    def _extract_with_processes(
-        self, missing, active_clocks, open_gates, workers
-    ) -> None:
-        # Fork-based workers inherit this calculator by memory copy: no
-        # netlist pickling, and the child's str-hash seed (hence every
-        # set-iteration order) matches the parent's, which keeps the
-        # extracted arc lists bit-identical to serial extraction.
-        mp_ctx = multiprocessing.get_context("fork")
         n_chunks = max(1, min(len(missing), workers * 4))
         step = (len(missing) + n_chunks - 1) // n_chunks
-        chunks = [
+        pending = [
             missing[i : i + step] for i in range(0, len(missing), step)
         ]
-        with concurrent.futures.ProcessPoolExecutor(
+        backoff = self.retry_backoff
+        for attempt in range(self.task_retries + 1):
+            if not pending:
+                return
+            if attempt:
+                self.trace.incr("extract_retries", len(pending))
+                time.sleep(backoff)
+                backoff *= 2
+            try:
+                if kind == "process":
+                    pending = self._run_process_pool(
+                        pending, active_clocks, open_gates, workers
+                    )
+                else:
+                    pending = self._run_thread_pool(
+                        pending, active_clocks, open_gates, workers
+                    )
+            except Exception:
+                # Pool could not start at all; nothing was extracted this
+                # attempt, so every chunk is still pending.
+                self.trace.incr("extract_pool_failures")
+        if pending:
+            # Serial fallback: arcs() computes whatever the pool did not.
+            self.trace.incr(
+                "extract_fallback_stages", sum(len(c) for c in pending)
+            )
+
+    def _run_process_pool(
+        self, chunks, active_clocks, open_gates, workers
+    ) -> list[list[int]]:
+        """One supervised pool attempt; returns the chunks that failed.
+
+        Fork-based workers inherit this calculator by memory copy: no
+        netlist pickling, and the child's str-hash seed (hence every
+        set-iteration order) matches the parent's, which keeps the
+        extracted arc lists bit-identical to serial extraction.  Each
+        chunk's future is awaited with ``task_timeout``; a timeout, a
+        worker crash (``BrokenProcessPool``), or a structurally corrupt
+        return value marks the chunk failed without touching the cache.
+        """
+        mp_ctx = multiprocessing.get_context("fork")
+        failed: list[list[int]] = []
+        pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(workers, len(chunks)),
             mp_context=mp_ctx,
             initializer=_pool_init,
             initargs=(self, active_clocks, open_gates),
-        ) as pool:
-            for extracted in pool.map(_pool_extract, chunks):
+        )
+        try:
+            futures = [
+                (pool.submit(_pool_extract, chunk), chunk)
+                for chunk in chunks
+            ]
+            for future, chunk in futures:
+                try:
+                    extracted = future.result(timeout=self.task_timeout)
+                except concurrent.futures.TimeoutError:
+                    self.trace.incr("extract_timeouts")
+                    future.add_done_callback(_swallow_result)
+                    failed.append(chunk)
+                    continue
+                except Exception:
+                    failed.append(chunk)
+                    continue
+                if not _valid_pool_result(extracted, chunk):
+                    self.trace.incr("extract_corrupt_results")
+                    failed.append(chunk)
+                    continue
                 for index, arcs in extracted:
-                    self._arc_cache[(index, active_clocks, open_gates)] = arcs
+                    self._arc_cache[
+                        (index, active_clocks, open_gates)
+                    ] = arcs
+        finally:
+            # Never block on a hung worker: abandon outstanding work and
+            # terminate any process still alive so injected hangs cannot
+            # stall interpreter shutdown.
+            pool.shutdown(wait=False, cancel_futures=True)
+            if failed:
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    if proc.is_alive():
+                        proc.terminate()
+        return failed
 
-    def _extract_with_threads(
-        self, missing, active_clocks, open_gates, workers
-    ) -> None:
-        # arcs() writes the cache itself; distinct stages mean distinct
-        # keys, so concurrent writes never collide.
-        def one(index: int) -> None:
-            self.arcs(self.graph[index], active_clocks, open_gates)
+    def _run_thread_pool(
+        self, chunks, active_clocks, open_gates, workers
+    ) -> list[list[int]]:
+        """One supervised thread-pool attempt; returns the failed chunks.
 
-        with concurrent.futures.ThreadPoolExecutor(
-            max_workers=min(workers, len(missing))
-        ) as pool:
-            list(pool.map(one, missing))
+        ``arcs()`` writes the cache itself; distinct stages mean distinct
+        keys, so concurrent writes never collide.  Threads cannot be
+        killed, but a timed-out chunk is still marked failed so the
+        caller retries or falls back while the straggler finishes in the
+        background.
+        """
+
+        def one(indices: list[int]) -> None:
+            for index in indices:
+                robust.fault_point("worker-task", index)
+                self.arcs(self.graph[index], active_clocks, open_gates)
+
+        failed: list[list[int]] = []
+        pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(workers, len(chunks))
+        )
+        try:
+            futures = [(pool.submit(one, chunk), chunk) for chunk in chunks]
+            for future, chunk in futures:
+                try:
+                    future.result(timeout=self.task_timeout)
+                except concurrent.futures.TimeoutError:
+                    self.trace.incr("extract_timeouts")
+                    future.add_done_callback(_swallow_result)
+                    failed.append(chunk)
+                except Exception:
+                    failed.append(chunk)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return failed
 
     def _clock_open(
         self,
@@ -1523,12 +1697,51 @@ def _pool_init(calc, active_clocks, open_gates) -> None:
 
 
 def _pool_extract(indices: list[int]) -> list[tuple[int, list[StageArc]]]:
+    # The fault points are no-ops in production; the testing harness uses
+    # them to crash/hang this worker or corrupt its return value (fork
+    # workers inherit the installed handler by memory copy).
     assert _POOL_STATE is not None
     calc, active_clocks, open_gates = _POOL_STATE
-    return [
-        (index, calc.arcs(calc.graph[index], active_clocks, open_gates))
-        for index in indices
-    ]
+    out = []
+    for index in indices:
+        robust.fault_point("worker-task", index)
+        out.append(
+            (index, calc.arcs(calc.graph[index], active_clocks, open_gates))
+        )
+    return robust.fault_point("worker-result", out)
+
+
+def _valid_pool_result(extracted, chunk) -> bool:
+    """Structural corrupt-return detection for one pool chunk.
+
+    The parent only trusts a worker return that is exactly a list of
+    ``(requested stage index, list of StageArc)`` pairs covering the
+    chunk; anything else is discarded (and retried) rather than poisoning
+    the arc cache -- the cache must stay bit-identical to serial
+    extraction.
+    """
+    if not isinstance(extracted, list) or len(extracted) != len(chunk):
+        return False
+    expected = set(chunk)
+    for item in extracted:
+        if not (isinstance(item, tuple) and len(item) == 2):
+            return False
+        index, arcs = item
+        if index not in expected:
+            return False
+        if not isinstance(arcs, list):
+            return False
+        if not all(isinstance(arc, StageArc) for arc in arcs):
+            return False
+    return True
+
+
+def _swallow_result(future) -> None:
+    """Retrieve an abandoned future's outcome so it is never logged."""
+    try:
+        future.exception()
+    except Exception:
+        pass
 
 
 def _merge_arcs(arcs: list[StageArc]) -> list[StageArc]:

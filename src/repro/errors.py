@@ -28,7 +28,27 @@ class SimFormatError(NetlistError):
 
 
 class ElectricalRuleError(NetlistError):
-    """An electrical rules check (ERC) failed on a netlist."""
+    """An electrical rules check (ERC) failed on a netlist.
+
+    ``violations`` carries every :class:`~repro.netlist.validate.Violation`
+    found by the check -- errors *and* warnings -- so callers that catch the
+    exception (quarantine mode, the CLI) still see the full picture instead
+    of only the truncated summary in the message.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()):  # noqa: D107
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+    @property
+    def errors(self) -> tuple:
+        """The error-severity violations behind this exception."""
+        return tuple(v for v in self.violations if v.severity == "error")
+
+    @property
+    def warnings(self) -> tuple:
+        """The warning-severity violations found in the same check run."""
+        return tuple(v for v in self.violations if v.severity == "warning")
 
 
 class StageError(ReproError):

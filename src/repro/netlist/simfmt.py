@@ -31,9 +31,10 @@ declarations (device flow hints are not part of the format).
 from __future__ import annotations
 
 import io
-from typing import Iterable, TextIO
+import math
+from typing import Callable, Iterable, TextIO
 
-from ..errors import SimFormatError
+from ..errors import NetlistError, SimFormatError
 from ..tech import Technology, NMOS4
 from .components import DeviceKind
 from .netlist import Netlist
@@ -115,7 +116,12 @@ def load(
 
     vdd = header.get("vdd", "vdd")
     gnd = header.get("gnd", "gnd")
-    netlist = Netlist(header.get("name", name), tech=tech, vdd=vdd, gnd=gnd)
+    try:
+        netlist = Netlist(
+            header.get("name", name), tech=tech, vdd=vdd, gnd=gnd
+        )
+    except NetlistError as exc:
+        raise SimFormatError(f"bad header: {exc}") from exc
 
     # First pass: collect aliases so later records use canonical names.
     for lineno, fields in records:
@@ -124,11 +130,11 @@ def load(
                 raise SimFormatError("alias record needs 2 names", lineno)
             aliases[fields[1]] = fields[2]
 
-    def canon(node: str) -> str:
+    def canon(node: str, lineno: int) -> str:
         seen = set()
         while node in aliases:
             if node in seen:
-                raise SimFormatError(f"alias cycle at {node!r}")
+                raise SimFormatError(f"alias cycle at {node!r}", lineno)
             seen.add(node)
             node = aliases[node]
         return node
@@ -141,24 +147,33 @@ def load(
                     f"transistor record needs at least 3 node names: {fields}",
                     lineno,
                 )
-            gate, source, drain = (canon(f) for f in fields[1:4])
+            gate, source, drain = (canon(f, lineno) for f in fields[1:4])
             w = netlist.tech.min_width()
             l = netlist.tech.min_length()
             if len(fields) >= 8:
                 w = _number(fields[6], lineno) * CENTIMICRON
                 l = _number(fields[7], lineno) * CENTIMICRON
             kind = DeviceKind.ENH if code == "e" else DeviceKind.DEP
-            netlist.add_transistor(kind, gate, source, drain, w=w, l=l)
+            _guarded(
+                lineno,
+                netlist.add_transistor,
+                kind, gate, source, drain, w=w, l=l,
+            )
         elif code == "c":
             if len(fields) != 3:
                 raise SimFormatError("c record needs node and value", lineno)
-            netlist.add_node(canon(fields[1]), _number(fields[2], lineno) * FEMTOFARAD)
+            _guarded(
+                lineno,
+                netlist.add_node,
+                canon(fields[1], lineno),
+                _number(fields[2], lineno) * FEMTOFARAD,
+            )
         elif code == "C":
             if len(fields) != 4:
                 raise SimFormatError("C record needs 2 nodes and value", lineno)
             half = _number(fields[3], lineno) * FEMTOFARAD / 2.0
-            netlist.add_node(canon(fields[1]), half)
-            netlist.add_node(canon(fields[2]), half)
+            _guarded(lineno, netlist.add_node, canon(fields[1], lineno), half)
+            _guarded(lineno, netlist.add_node, canon(fields[2], lineno), half)
         elif code == "=":
             pass  # handled above
         elif code == "R":
@@ -170,15 +185,15 @@ def load(
         if kind == "I":
             if len(rest) != 1:
                 raise SimFormatError("|I record needs one node", lineno)
-            netlist.set_input(canon(rest[0]))
+            _guarded(lineno, netlist.set_input, canon(rest[0], lineno))
         elif kind == "O":
             if len(rest) != 1:
                 raise SimFormatError("|O record needs one node", lineno)
-            netlist.set_output(canon(rest[0]))
+            _guarded(lineno, netlist.set_output, canon(rest[0], lineno))
         else:  # K
             if len(rest) != 2:
                 raise SimFormatError("|K record needs node and phase", lineno)
-            netlist.set_clock(canon(rest[0]), rest[1])
+            _guarded(lineno, netlist.set_clock, canon(rest[0], lineno), rest[1])
 
     return netlist
 
@@ -195,11 +210,32 @@ def _parse_header(body: str, header: dict[str, str]) -> None:
             i += 1
 
 
+def _guarded(lineno: int, fn: Callable, *args, **kwargs):
+    """Apply a netlist mutation, converting NetlistError to SimFormatError.
+
+    Record application can violate netlist invariants the record syntax
+    alone cannot express (a rail declared as an input, a transistor whose
+    source and drain alias to the same node, conflicting clock phases).
+    Those surface as :class:`NetlistError` (or ``ValueError`` from the
+    component dataclass validators, e.g. zero-width geometry); the parser
+    owns the line number, so it rewraps them as :class:`SimFormatError`
+    pointing at the offending record.
+    """
+    try:
+        return fn(*args, **kwargs)
+    except SimFormatError:
+        raise
+    except (NetlistError, ValueError) as exc:
+        raise SimFormatError(str(exc), lineno) from exc
+
+
 def _number(text: str, lineno: int) -> float:
     try:
         value = float(text)
     except ValueError:
         raise SimFormatError(f"expected a number, got {text!r}", lineno) from None
+    if not math.isfinite(value):
+        raise SimFormatError(f"expected a finite number, got {text!r}", lineno)
     if value < 0:
         raise SimFormatError(f"expected a non-negative number, got {text}", lineno)
     return value

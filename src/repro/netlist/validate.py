@@ -71,6 +71,10 @@ def validate(netlist: Netlist) -> list[Violation]:
     """Run :func:`check`; raise if any error-severity violation was found.
 
     Returns the warning-severity violations (if any) for the caller to log.
+    When it raises, the :class:`~repro.errors.ElectricalRuleError` carries
+    *all* violations -- errors and warnings -- on ``.violations`` (with
+    ``.errors``/``.warnings`` convenience views), so degraded-mode callers
+    don't lose the warnings that accompanied the failure.
     """
     violations = check(netlist)
     errors = [v for v in violations if v.severity == "error"]
@@ -78,7 +82,8 @@ def validate(netlist: Netlist) -> list[Violation]:
         summary = "; ".join(str(v) for v in errors[:5])
         more = f" (and {len(errors) - 5} more)" if len(errors) > 5 else ""
         raise ElectricalRuleError(
-            f"netlist {netlist.name!r} failed ERC: {summary}{more}"
+            f"netlist {netlist.name!r} failed ERC: {summary}{more}",
+            violations=violations,
         )
     return [v for v in violations if v.severity == "warning"]
 

@@ -1,0 +1,248 @@
+"""Error policies, diagnostics, and coverage for degraded-mode analysis.
+
+TV's value was running on *real extracted layout*, where wiring mistakes
+are the norm.  A strictly fail-fast pipeline turns one bad corner of a
+chip into zero information about the rest of it; this module provides the
+vocabulary for degrading gracefully instead:
+
+* **Error policies** -- :data:`STRICT` (today's fail-fast behaviour),
+  :data:`QUARANTINE` (excise the stages implicated by ERC errors or
+  extraction failures and analyze the rest), and :data:`BEST_EFFORT`
+  (additionally downgrade recoverable flow/timing errors to
+  diagnostics).  Select one with ``TimingAnalyzer(net, on_error=...)``
+  or ``repro analyze --on-error=...``.
+* :class:`Diagnostic` -- one typed record of something that went wrong
+  and what the analyzer did about it; carried on
+  :class:`~repro.core.analyzer.AnalysisResult.diagnostics` and in the
+  JSON report's ``diagnostics`` section.
+* :class:`Coverage` -- how much of the design the analysis actually
+  covered (stages/devices/nodes analyzed vs quarantined).
+* **Fault points** -- named injection sites
+  (:func:`fault_point`/:func:`install_fault_handler`) used by the
+  deterministic fault-injection harness in :mod:`repro.testing.faults`.
+  With no handler installed a fault point is a single ``None`` check;
+  the perf gate in :mod:`repro.bench.perf` keeps that free.
+
+Everything here is dependency-free and importable from anywhere in the
+package (it sits below :mod:`repro.netlist` in the layering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ReproError
+
+__all__ = [
+    "STRICT",
+    "QUARANTINE",
+    "BEST_EFFORT",
+    "ERROR_POLICIES",
+    "validate_policy",
+    "Diagnostic",
+    "Coverage",
+    "DIAGNOSTIC_ACTIONS",
+    "fault_point",
+    "install_fault_handler",
+    "clear_fault_handler",
+]
+
+#: Fail fast: any ERC error or pipeline failure raises (the historical
+#: behaviour and the default).
+STRICT = "strict"
+#: Excise the stages implicated by ERC errors or extraction failures and
+#: analyze the rest, reporting diagnostics and coverage.
+QUARANTINE = "quarantine"
+#: Quarantine, plus downgrade recoverable flow/timing errors (e.g. a
+#: netlist with no primary inputs) to diagnostics on a degraded result.
+BEST_EFFORT = "best-effort"
+
+#: Every recognized error policy, in increasing order of tolerance.
+ERROR_POLICIES = (STRICT, QUARANTINE, BEST_EFFORT)
+
+#: Actions a diagnostic may record (the ``action`` field).
+DIAGNOSTIC_ACTIONS = (
+    "quarantined",  # the implicated stage was excised from the analysis
+    "downgraded",   # a fatal error became this diagnostic (best-effort)
+    "skipped",      # a pipeline step was skipped after an internal failure
+)
+
+
+def validate_policy(policy: str) -> str:
+    """Return ``policy`` if it names a known error policy, else raise.
+
+    Raises :class:`~repro.errors.ReproError` so CLI and library callers
+    get a typed error for a typo'd ``--on-error`` value.
+    """
+    if policy not in ERROR_POLICIES:
+        raise ReproError(
+            f"unknown error policy {policy!r}; choose from {ERROR_POLICIES}"
+        )
+    return policy
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One typed record of a tolerated failure.
+
+    ``code`` identifies the failure class (an ERC rule code such as
+    ``"ratio"``, or a pipeline code such as ``"extraction-failure"`` /
+    ``"erc-crash"`` / ``"no-primary-inputs"``); ``severity`` is
+    ``"error"`` or ``"warning"``; ``subject`` names the node, device, or
+    pipeline step at fault; ``stage`` is the implicated stage index (None
+    when the failure is not attributable to one stage); ``action`` is one
+    of :data:`DIAGNOSTIC_ACTIONS` and says what the analyzer did.
+    """
+
+    code: str
+    severity: str
+    subject: str
+    stage: int | None
+    action: str
+    message: str
+
+    def __str__(self) -> str:
+        where = f" stage {self.stage}" if self.stage is not None else ""
+        return (
+            f"[{self.severity}] {self.code} @ {self.subject}{where}: "
+            f"{self.message} ({self.action})"
+        )
+
+    def to_json(self) -> dict:
+        """Serialize to the report schema's ``diagnostic`` object."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "subject": self.subject,
+            "stage": self.stage,
+            "action": self.action,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """What fraction of the design one analysis actually covered.
+
+    Counts are over the stage decomposition: a quarantined stage removes
+    its devices and internal nodes from the analyzed set.  ``complete``
+    is True iff nothing was quarantined.
+    """
+
+    stages_total: int
+    stages_analyzed: int
+    devices_total: int
+    devices_analyzed: int
+    nodes_total: int
+    nodes_analyzed: int
+
+    @property
+    def stages_quarantined(self) -> int:
+        """Stages excised from the analysis."""
+        return self.stages_total - self.stages_analyzed
+
+    @property
+    def devices_quarantined(self) -> int:
+        """Devices belonging to quarantined stages."""
+        return self.devices_total - self.devices_analyzed
+
+    @property
+    def nodes_quarantined(self) -> int:
+        """Internal nodes belonging to quarantined stages."""
+        return self.nodes_total - self.nodes_analyzed
+
+    @property
+    def complete(self) -> bool:
+        """True iff every stage was analyzed."""
+        return self.stages_analyzed == self.stages_total
+
+    @property
+    def device_fraction(self) -> float:
+        """Analyzed share of the device count (1.0 for an empty design)."""
+        if self.devices_total == 0:
+            return 1.0
+        return self.devices_analyzed / self.devices_total
+
+    def summary(self) -> str:
+        """One-line human-readable coverage statement."""
+        if self.complete:
+            return (
+                f"complete ({self.stages_total} stages, "
+                f"{self.devices_total} devices)"
+            )
+        return (
+            f"{self.device_fraction * 100.0:.1f}% of devices "
+            f"({self.stages_analyzed}/{self.stages_total} stages, "
+            f"{self.devices_analyzed}/{self.devices_total} devices, "
+            f"{self.stages_quarantined} stage(s) quarantined)"
+        )
+
+    def to_json(self) -> dict:
+        """Serialize to the report schema's ``coverage`` object."""
+        return {
+            "complete": self.complete,
+            "stages_total": self.stages_total,
+            "stages_analyzed": self.stages_analyzed,
+            "stages_quarantined": self.stages_quarantined,
+            "devices_total": self.devices_total,
+            "devices_analyzed": self.devices_analyzed,
+            "devices_quarantined": self.devices_quarantined,
+            "nodes_total": self.nodes_total,
+            "nodes_analyzed": self.nodes_analyzed,
+            "nodes_quarantined": self.nodes_quarantined,
+        }
+
+
+# ----------------------------------------------------------------------
+# Fault points: named injection sites for the testing harness.
+#
+# Production code calls ``fault_point(site, payload)`` at the few places
+# where external failure modes concentrate (worker-task boundaries, the
+# ERC entry).  With no handler installed -- the production state -- the
+# call is one global read and one ``is None`` branch.  The harness in
+# repro.testing.faults installs a handler that can raise (simulated
+# exception), kill the process (simulated worker crash), sleep (simulated
+# hang), or substitute the payload (simulated corrupt return value).
+# ----------------------------------------------------------------------
+_FAULT_HANDLER = None
+
+#: Sites the pipeline currently instruments.
+FAULT_SITES = (
+    "erc",            # entry of the electrical-rules step
+    "worker-task",    # start of one extraction task inside a pool worker
+    "worker-result",  # a pool worker's return value (may be substituted)
+    "stage-arcs",     # authoritative serial extraction of one stage
+)
+
+
+def install_fault_handler(handler) -> None:
+    """Install ``handler(site, payload) -> replacement | None`` globally.
+
+    Intended only for :mod:`repro.testing.faults`; installing a handler
+    in production code is a bug.  The handler is inherited by fork-based
+    pool workers (memory copy), which is what lets the harness inject
+    faults *inside* worker processes deterministically.
+    """
+    global _FAULT_HANDLER
+    _FAULT_HANDLER = handler
+
+
+def clear_fault_handler() -> None:
+    """Remove any installed fault handler (restores production state)."""
+    global _FAULT_HANDLER
+    _FAULT_HANDLER = None
+
+
+def fault_point(site: str, payload=None):
+    """Pass through ``payload``, giving an installed handler a shot at it.
+
+    Returns ``payload`` unchanged when no handler is installed (the
+    production fast path).  A handler may raise, block, terminate the
+    process, or return a replacement payload; returning ``None`` keeps
+    the original payload.
+    """
+    handler = _FAULT_HANDLER
+    if handler is None:
+        return payload
+    replacement = handler(site, payload)
+    return payload if replacement is None else replacement

@@ -1,0 +1,14 @@
+"""Test-support utilities for the repro package.
+
+This subpackage is imported only by tests and tooling -- nothing in the
+production pipeline depends on it.  Its one module,
+:mod:`repro.testing.faults`, provides the deterministic fault-injection
+harness (crash / hang / corrupt-return plans targeted at the
+:mod:`repro.robust` fault points) and the seeded netlist/``.sim``
+mutation fuzzer used to prove that every failure path yields a typed
+:class:`~repro.errors.ReproError` or a clean degraded result.
+"""
+
+from .faults import FaultPlan, NetlistFuzzer
+
+__all__ = ["FaultPlan", "NetlistFuzzer"]

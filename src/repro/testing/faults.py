@@ -1,0 +1,375 @@
+"""Deterministic fault injection and seeded netlist fuzzing.
+
+Two tools for proving the pipeline degrades instead of dying:
+
+* :class:`FaultPlan` -- a scripted set of faults (raise, hard process
+  kill, delay, corrupt return value) bound to the named injection sites
+  of :mod:`repro.robust` (``"worker-task"``, ``"worker-result"``,
+  ``"stage-arcs"``, ``"erc"``).  Install it, run an analysis, and the
+  plan fires exactly the faults you scripted -- deterministically, with
+  per-process counters (fork-based pool workers inherit the plan by
+  memory copy, so a ``times=1`` crash fires once in *each* worker that
+  reaches the site).
+* :class:`NetlistFuzzer` -- a seeded mutation fuzzer: structural netlist
+  mutations (drop/rewire/short devices, float gates, flip kinds) built
+  through the ordinary :class:`~repro.netlist.Netlist` API, plus textual
+  ``.sim`` corruption for parser fuzzing.  Same seed, same mutations.
+
+Neither tool is imported by production code; the production hook is the
+single ``None`` check inside :func:`repro.robust.fault_point`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+
+from .. import robust
+from ..netlist import Netlist
+
+__all__ = ["FaultPlan", "NetlistFuzzer", "CORRUPT_SENTINEL"]
+
+#: Replacement payload used by :meth:`FaultPlan.corrupt`.  Structurally
+#: invalid for every instrumented site, so supervision must detect and
+#: discard it.
+CORRUPT_SENTINEL = "<corrupted-by-fault-plan>"
+
+
+class _Spec:
+    """One scripted fault: a mode, its parameters, and a firing budget."""
+
+    def __init__(self, mode: str, times: int | None, **params):
+        self.mode = mode
+        self.times = times  # None = unlimited
+        self.params = params
+
+    def take(self) -> bool:
+        """Consume one firing; False once the budget is exhausted."""
+        if self.times is None:
+            return True
+        if self.times <= 0:
+            return False
+        self.times -= 1
+        return True
+
+
+class FaultPlan:
+    """A deterministic, scripted set of faults.
+
+    Build a plan by chaining the scripting methods, then activate it with
+    :meth:`installed` (preferred, a context manager) or
+    :meth:`install`/:meth:`uninstall`::
+
+        plan = FaultPlan().crash("worker-task", times=1)
+        with plan.installed():
+            result = analyzer.analyze()
+
+    Each scripted fault fires at most ``times`` times *per process*
+    (``times=None`` means every time).  ``fired`` records the
+    ``(site, mode)`` pairs that fired in the current process, in order --
+    faults fired inside fork-pool workers mutate the worker's copy and
+    are not visible here.
+    """
+
+    def __init__(self):
+        self._specs: dict[str, list[_Spec]] = {}
+        #: ``(site, mode)`` pairs fired in this process, in order.
+        self.fired: list[tuple[str, str]] = []
+
+    # -- scripting -----------------------------------------------------
+    def _add(self, site: str, spec: _Spec) -> "FaultPlan":
+        self._specs.setdefault(site, []).append(spec)
+        return self
+
+    def crash(
+        self,
+        site: str,
+        *,
+        times: int | None = 1,
+        exc_type: type = RuntimeError,
+        message: str = "injected fault",
+    ) -> "FaultPlan":
+        """Raise ``exc_type(message)`` when ``site`` is reached."""
+        return self._add(
+            site, _Spec("crash", times, exc_type=exc_type, message=message)
+        )
+
+    def hard_crash(
+        self, site: str, *, times: int | None = 1, exit_code: int = 13
+    ) -> "FaultPlan":
+        """Kill the whole process (``os._exit``) when ``site`` is reached.
+
+        In a fork-pool worker this simulates a segfaulting/OOM-killed
+        worker: the parent sees a ``BrokenProcessPool``.  Do not script
+        this on a parent-side site unless you mean it.
+        """
+        return self._add(site, _Spec("hard-crash", times, exit_code=exit_code))
+
+    def delay(
+        self, site: str, seconds: float, *, times: int | None = 1
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` when ``site`` is reached (a simulated hang)."""
+        return self._add(site, _Spec("delay", times, seconds=seconds))
+
+    def corrupt(
+        self, site: str, *, times: int | None = 1, replacement=CORRUPT_SENTINEL
+    ) -> "FaultPlan":
+        """Substitute the site's payload with ``replacement``.
+
+        Meaningful only on value-carrying sites (``"worker-result"``);
+        the default sentinel is structurally invalid, so the parent-side
+        corrupt-return detection must discard it.
+        """
+        return self._add(
+            site, _Spec("corrupt", times, replacement=replacement)
+        )
+
+    # -- activation ----------------------------------------------------
+    def install(self) -> None:
+        """Register this plan as the process-global fault handler."""
+        robust.install_fault_handler(self._handle)
+
+    def uninstall(self) -> None:
+        """Clear the process-global fault handler."""
+        robust.clear_fault_handler()
+
+    @contextmanager
+    def installed(self):
+        """Context manager: install on entry, always clear on exit."""
+        self.install()
+        try:
+            yield self
+        finally:
+            self.uninstall()
+
+    # -- the handler ---------------------------------------------------
+    def _handle(self, site: str, payload):
+        """Fault-handler callback invoked by :func:`repro.robust.fault_point`."""
+        for spec in self._specs.get(site, ()):
+            if not spec.take():
+                continue
+            self.fired.append((site, spec.mode))
+            if spec.mode == "crash":
+                raise spec.params["exc_type"](spec.params["message"])
+            if spec.mode == "hard-crash":
+                os._exit(spec.params["exit_code"])
+            if spec.mode == "delay":
+                time.sleep(spec.params["seconds"])
+                return None
+            if spec.mode == "corrupt":
+                return spec.params["replacement"]
+        return None
+
+
+# ----------------------------------------------------------------------
+# Seeded netlist mutation fuzzing.
+# ----------------------------------------------------------------------
+class NetlistFuzzer:
+    """Seeded structural netlist mutator and ``.sim`` text corruptor.
+
+    ``NetlistFuzzer(seed)`` is fully deterministic: the same seed applied
+    to the same input produces the same mutant.  Mutants are rebuilt
+    through the ordinary :class:`~repro.netlist.Netlist` API, so they are
+    always *constructible* circuits -- broken electrically (floating
+    gates, shorted nodes, missing devices), which is exactly the class of
+    damage layout extraction produces, and which analysis must survive
+    with a typed error or a degraded result.
+    """
+
+    #: Structural mutation kinds :meth:`mutate` draws from.
+    MUTATIONS = (
+        "drop-device",
+        "rewire-terminal",
+        "short-nodes",
+        "flip-kind",
+        "float-gate",
+        "drop-input",
+    )
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # -- structural mutation -------------------------------------------
+    def mutate(self, netlist: Netlist, *, mutations: int = 2) -> Netlist:
+        """Return a rebuilt copy of ``netlist`` with seeded damage.
+
+        Applies ``mutations`` randomly chosen operations from
+        :data:`MUTATIONS`.  The result is a fresh :class:`Netlist` (the
+        input is never modified).
+        """
+        plan = [
+            self.rng.choice(self.MUTATIONS) for _ in range(max(1, mutations))
+        ]
+        dropped: set[str] = set()
+        rewires: dict[str, tuple[str, str]] = {}  # device -> (slot, node)
+        renames: dict[str, str] = {}  # node -> node (shorts, floats)
+        flipped: set[str] = set()
+        dropped_inputs: set[str] = set()
+
+        devices = sorted(netlist.devices)
+        nodes = sorted(netlist.nodes)
+        fresh = 0
+        for op in plan:
+            if not devices:
+                break
+            if op == "drop-device":
+                dropped.add(self.rng.choice(devices))
+            elif op == "rewire-terminal":
+                name = self.rng.choice(devices)
+                slot = self.rng.choice(("gate", "source", "drain"))
+                rewires[name] = (slot, self.rng.choice(nodes))
+            elif op == "short-nodes":
+                a, b = self.rng.choice(nodes), self.rng.choice(nodes)
+                if a != b:
+                    renames[a] = b
+            elif op == "flip-kind":
+                flipped.add(self.rng.choice(devices))
+            elif op == "float-gate":
+                name = self.rng.choice(devices)
+                fresh += 1
+                rewires[name] = ("gate", f"__float{fresh}")
+            elif op == "drop-input":
+                inputs = sorted(netlist.inputs)
+                if inputs:
+                    dropped_inputs.add(self.rng.choice(inputs))
+        return self._rebuild(
+            netlist, dropped, rewires, renames, flipped, dropped_inputs
+        )
+
+    def _rebuild(
+        self, net, dropped, rewires, renames, flipped, dropped_inputs
+    ) -> Netlist:
+        """Reconstruct ``net`` through the public API with edits applied."""
+
+        def mapped(node: str) -> str:
+            seen = {node}
+            while node in renames and renames[node] not in seen:
+                node = renames[node]
+                seen.add(node)
+            return node
+
+        out = Netlist(f"{net.name}-mut{self.seed}", tech=net.tech)
+        for name in net.nodes:
+            target = mapped(name)
+            if not out.is_rail(target):
+                out.add_node(target, net.node(name).cap)
+        for name in sorted(net.devices):
+            if name in dropped:
+                continue
+            dev = net.devices[name]
+            terminals = {
+                "gate": dev.gate,
+                "source": dev.source,
+                "drain": dev.drain,
+            }
+            if name in rewires:
+                slot, node = rewires[name]
+                terminals[slot] = node
+            kind = dev.kind
+            if name in flipped:
+                kind = "dep" if dev.kind.value == "enh" else "enh"
+            source = mapped(terminals["source"])
+            drain = mapped(terminals["drain"])
+            if source == drain:
+                continue  # a self-loop device cannot be constructed
+            out.add_transistor(
+                kind,
+                mapped(terminals["gate"]),
+                source,
+                drain,
+                w=dev.w,
+                l=dev.l,
+                name=name,
+            )
+        for node in sorted(net.inputs):
+            target = mapped(node)
+            if node not in dropped_inputs and not out.is_rail(target):
+                out.set_input(target)
+        for node in sorted(net.outputs):
+            target = mapped(node)
+            if not out.is_rail(target):
+                out.set_output(target)
+        for node, phase in sorted(net.clocks.items()):
+            target = mapped(node)
+            if not out.is_rail(target) and target not in out.clocks:
+                out.set_clock(target, phase)
+        return out
+
+    # -- .sim text corruption ------------------------------------------
+    #: Textual corruption kinds :meth:`corrupt_sim` draws from.
+    TEXT_MUTATIONS = (
+        "truncate",
+        "delete-line",
+        "duplicate-line",
+        "garble-token",
+        "garble-number",
+        "insert-garbage",
+    )
+
+    def corrupt_sim(self, text: str, *, mutations: int = 2) -> str:
+        """Return a damaged copy of ``.sim`` file text.
+
+        Applies ``mutations`` randomly chosen operations from
+        :data:`TEXT_MUTATIONS`: truncation mid-record, deleted or
+        duplicated lines, garbled tokens and numbers, injected garbage
+        records.  Parsing the result must raise
+        :class:`~repro.errors.SimFormatError` (with a line number) or
+        succeed -- never an untyped exception.
+        """
+        for _ in range(max(1, mutations)):
+            op = self.rng.choice(self.TEXT_MUTATIONS)
+            lines = text.splitlines()
+            if op == "truncate" and text:
+                text = text[: self.rng.randrange(len(text))]
+            elif op == "delete-line" and lines:
+                del lines[self.rng.randrange(len(lines))]
+                text = "\n".join(lines) + "\n"
+            elif op == "duplicate-line" and lines:
+                i = self.rng.randrange(len(lines))
+                lines.insert(i, lines[i])
+                text = "\n".join(lines) + "\n"
+            elif op == "garble-token" and lines:
+                i = self.rng.randrange(len(lines))
+                tokens = lines[i].split()
+                if tokens:
+                    j = self.rng.randrange(len(tokens))
+                    tokens[j] = self.rng.choice(
+                        ("@#$", "", "e", "|X", "????", tokens[j] * 7)
+                    )
+                    lines[i] = " ".join(tokens)
+                    text = "\n".join(lines) + "\n"
+            elif op == "garble-number" and lines:
+                i = self.rng.randrange(len(lines))
+                tokens = lines[i].split()
+                numeric = [
+                    j
+                    for j, tok in enumerate(tokens)
+                    if any(c.isdigit() for c in tok)
+                ]
+                if numeric:
+                    j = self.rng.choice(numeric)
+                    tokens[j] = self.rng.choice(
+                        ("nan", "inf", "-inf", "1e", "0x12", "--3", "3..14")
+                    )
+                    lines[i] = " ".join(tokens)
+                    text = "\n".join(lines) + "\n"
+            elif op == "insert-garbage":
+                i = self.rng.randrange(len(lines) + 1)
+                lines.insert(
+                    i,
+                    self.rng.choice(
+                        (
+                            "z q r s",
+                            "e too few",
+                            "d a b c 4 4 extra extra extra",
+                            "= loop loop",
+                            "C x y",
+                            "\x00\x01binary",
+                        )
+                    ),
+                )
+                text = "\n".join(lines) + "\n"
+        return text

@@ -229,11 +229,15 @@ class TestTechFile:
 
         assert delay(slowed) > 1.5 * delay(base)
 
-    def test_unknown_tech_key_rejected(self, tmp_path, chain_file):
+    def test_unknown_tech_key_rejected(self, tmp_path, chain_file, capsys):
         techfile = tmp_path / "typo.json"
         techfile.write_text(json.dumps({"vdd": 5.0, "vt_typo": 1.0}))
+        # Unexpected exceptions map to a one-line exit-2 diagnostic;
+        # --debug re-raises the original.
+        assert main(["analyze", chain_file, "--tech", str(techfile)]) == 2
+        assert "vt_typo" in capsys.readouterr().err
         with pytest.raises(ValueError):
-            main(["analyze", chain_file, "--tech", str(techfile)])
+            main(["--debug", "analyze", chain_file, "--tech", str(techfile)])
 
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as exc_info:
@@ -273,3 +277,106 @@ class TestCharge:
         assert main(["charge", chain_file, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["hazards"] == []
+
+
+class TestErrorPolicyFlags:
+    @pytest.fixture
+    def broken_file(self, tmp_path):
+        """A 4-stage chain whose second stage violates the ratio rule."""
+        from tests.test_robust import chain_with_ratio_error
+
+        path = tmp_path / "broken.sim"
+        path.write_text(sim_dumps(chain_with_ratio_error(n=4, bad=1)))
+        return str(path)
+
+    def test_strict_default_exits_two(self, broken_file, capsys):
+        assert main(["analyze", broken_file]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "ERC" in err or "erc" in err.lower()
+
+    def test_quarantine_analyzes_the_rest(self, broken_file, capsys):
+        assert main(["analyze", broken_file, "--on-error=quarantine"]) == 0
+        out = capsys.readouterr().out
+        assert "policy" in out and "quarantine" in out
+        assert "coverage" in out
+        assert "diag" in out and "ratio" in out
+
+    def test_quarantine_json_carries_diagnostics(self, broken_file, capsys):
+        from repro.core import validate_report
+
+        code = main(
+            ["analyze", broken_file, "--on-error=quarantine", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["schema_version"] == "1.1.0"
+        assert payload["diagnostics"]["policy"] == "quarantine"
+        assert payload["diagnostics"]["records"]
+        assert payload["diagnostics"]["coverage"]["complete"] is False
+
+    def test_explain_quarantined_node_says_why(self, broken_file, capsys):
+        code = main(
+            ["explain", broken_file, "n2", "--on-error=quarantine"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "quarantined" in err
+
+    def test_best_effort_accepted(self, broken_file):
+        assert main(["analyze", broken_file, "--on-error=best-effort"]) == 0
+
+    def test_unknown_policy_rejected_by_argparse(self, broken_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", broken_file, "--on-error=lenient"])
+
+
+class TestFailureContract:
+    def test_internal_error_maps_to_exit_two(self, chain_file, capsys,
+                                             monkeypatch):
+        import repro.cli as cli_module
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("wired to fail")
+
+        monkeypatch.setattr(cli_module, "TimingAnalyzer", explode)
+        assert main(["analyze", chain_file]) == 2
+        err = capsys.readouterr().err
+        assert "internal error (RuntimeError)" in err
+        assert "--debug" in err
+
+    def test_debug_reraises_internal_error(self, chain_file, monkeypatch):
+        import repro.cli as cli_module
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("wired to fail")
+
+        monkeypatch.setattr(cli_module, "TimingAnalyzer", explode)
+        with pytest.raises(RuntimeError, match="wired to fail"):
+            main(["--debug", "analyze", chain_file])
+
+    def test_debug_reraises_repro_error(self, tmp_path):
+        from repro import SimFormatError
+
+        path = tmp_path / "bad.sim"
+        path.write_text("z q r s\n")
+        assert main(["analyze", str(path)]) == 2
+        with pytest.raises(SimFormatError):
+            main(["--debug", "analyze", str(path)])
+
+    def test_missing_file_still_one_liner(self, capsys):
+        assert main(["analyze", "/nonexistent.sim"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_broken_pipe_exits_quietly(self, chain_file, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        def gone(*args, **kwargs):
+            raise BrokenPipeError(32, "Broken pipe")
+
+        monkeypatch.setattr(cli_module, "TimingAnalyzer", gone)
+        assert main(["analyze", chain_file]) == 0
+        assert "internal error" not in capsys.readouterr().err

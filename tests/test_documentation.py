@@ -26,6 +26,7 @@ MODULES = [
     "repro.trace",
     "repro.tech",
     "repro.errors",
+    "repro.robust",
     "repro.clocks",
     "repro.netlist",
     "repro.netlist.components",
@@ -83,6 +84,8 @@ MODULES = [
     "repro.opt.advisor",
     "repro.bench",
     "repro.bench.harness",
+    "repro.testing",
+    "repro.testing.faults",
     "repro.cli",
 ]
 

@@ -1,0 +1,216 @@
+"""Tests for degraded-mode analysis (repro.robust + analyzer policies)."""
+
+import pytest
+
+from repro import (
+    ElectricalRuleError,
+    Netlist,
+    ReproError,
+    TimingAnalyzer,
+    TimingError,
+    UM,
+)
+from repro import robust
+from repro.circuits import inverter_chain
+from repro.core import validate_report
+from repro.core.report import REPORT_SCHEMA_VERSION
+
+
+def chain_with_ratio_error(n: int = 4, bad: int = 1) -> Netlist:
+    """An n-inverter chain whose ``bad``-th stage violates the ratio rule.
+
+    Every other stage is a correctly ratioed inverter, so exactly one
+    stage carries an error-severity ERC violation.
+    """
+    net = Netlist("degraded-chain")
+    net.set_input("n0")
+    for i in range(n):
+        src, out = f"n{i}", f"n{i + 1}"
+        if i == bad:
+            # Pull-up as strong as the pull-down: ratio 1 < 3.
+            net.add_pullup(out, w=8 * UM, l=4 * UM)
+            net.add_enh(src, out, "gnd", w=8 * UM, l=4 * UM)
+        else:
+            net.add_pullup(out)
+            net.add_enh(src, out, "gnd")
+    net.set_output(f"n{n}")
+    return net
+
+
+class TestPolicyVocabulary:
+    def test_policies_ordered_by_tolerance(self):
+        assert robust.ERROR_POLICIES == (
+            robust.STRICT,
+            robust.QUARANTINE,
+            robust.BEST_EFFORT,
+        )
+
+    def test_validate_policy_passthrough(self):
+        for policy in robust.ERROR_POLICIES:
+            assert robust.validate_policy(policy) == policy
+
+    def test_validate_policy_rejects_unknown(self):
+        with pytest.raises(ReproError, match="unknown error policy"):
+            robust.validate_policy("lenient")
+
+    def test_analyzer_rejects_unknown_policy(self):
+        with pytest.raises(ReproError, match="unknown error policy"):
+            TimingAnalyzer(inverter_chain(2), on_error="bogus")
+
+    def test_diagnostic_str_and_json(self):
+        diag = robust.Diagnostic(
+            code="ratio",
+            severity="error",
+            subject="n2",
+            stage=1,
+            action="quarantined",
+            message="pull-up too strong",
+        )
+        text = str(diag)
+        assert "ratio" in text and "n2" in text and "stage 1" in text
+        assert diag.to_json()["action"] == "quarantined"
+
+    def test_coverage_accounting(self):
+        cov = robust.Coverage(
+            stages_total=4,
+            stages_analyzed=3,
+            devices_total=8,
+            devices_analyzed=6,
+            nodes_total=10,
+            nodes_analyzed=9,
+        )
+        assert not cov.complete
+        assert cov.stages_quarantined == 1
+        assert cov.devices_quarantined == 2
+        assert cov.device_fraction == pytest.approx(0.75)
+        assert "3/4 stages" in cov.summary()
+        assert cov.to_json()["complete"] is False
+
+    def test_complete_coverage_summary(self):
+        cov = robust.Coverage(2, 2, 4, 4, 5, 5)
+        assert cov.complete
+        assert cov.summary().startswith("complete")
+
+
+class TestStrictPolicy:
+    def test_strict_is_default_and_raises(self):
+        net = chain_with_ratio_error()
+        with pytest.raises(ElectricalRuleError) as excinfo:
+            TimingAnalyzer(net)
+        assert excinfo.value.violations
+        assert any(v.code == "ratio" for v in excinfo.value.errors)
+
+    def test_clean_run_reports_complete_coverage(self):
+        result = TimingAnalyzer(inverter_chain(3)).analyze()
+        assert result.policy == robust.STRICT
+        assert result.diagnostics == []
+        assert result.coverage is not None and result.coverage.complete
+
+
+class TestQuarantinePolicy:
+    def test_degraded_end_to_end(self):
+        """The ISSUE's acceptance scenario: one broken stage out of four.
+
+        Under ``quarantine`` the analysis completes, the broken stage is
+        excised (coverage < 100%), a typed diagnostic names the ERC rule,
+        and the JSON report validates against schema 1.1.0.
+        """
+        net = chain_with_ratio_error(n=4, bad=1)
+        tv = TimingAnalyzer(net, on_error=robust.QUARANTINE)
+        result = tv.analyze()
+
+        assert result.policy == robust.QUARANTINE
+        assert result.coverage is not None
+        assert not result.coverage.complete
+        assert result.coverage.device_fraction < 1.0
+        assert result.coverage.stages_quarantined >= 1
+
+        quarantined = [
+            d for d in result.diagnostics if d.action == "quarantined"
+        ]
+        assert quarantined
+        assert any(d.code == "ratio" for d in quarantined)
+        assert all(d.stage is not None for d in quarantined)
+
+        payload = result.to_json()
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == "1.1.0"
+        validate_report(payload)
+        assert payload["diagnostics"]["policy"] == "quarantine"
+        assert payload["diagnostics"]["records"]
+        assert payload["diagnostics"]["coverage"]["complete"] is False
+
+    def test_same_netlist_strict_raises(self):
+        with pytest.raises(ElectricalRuleError):
+            TimingAnalyzer(chain_with_ratio_error())
+
+    def test_healthy_stages_still_timed(self):
+        net = chain_with_ratio_error(n=4, bad=3)
+        result = TimingAnalyzer(net, on_error=robust.QUARANTINE).analyze()
+        # Stages upstream of the quarantined one still get arrivals.
+        assert result.arrival_of("n3") is not None
+        assert result.arrival_of("n4") is None
+
+    def test_text_report_mentions_policy_and_coverage(self):
+        net = chain_with_ratio_error()
+        report = TimingAnalyzer(net, on_error=robust.QUARANTINE).analyze().report()
+        assert "policy" in report and "quarantine" in report
+        assert "coverage" in report
+        assert "diag" in report
+
+    def test_explain_quarantined_node_names_cause(self):
+        net = chain_with_ratio_error(n=4, bad=1)
+        tv = TimingAnalyzer(net, on_error=robust.QUARANTINE)
+        result = tv.analyze()
+        with pytest.raises(TimingError, match="quarantined"):
+            tv.explain("n2", result=result)
+
+    def test_explain_healthy_node_still_works(self):
+        net = chain_with_ratio_error(n=4, bad=3)
+        tv = TimingAnalyzer(net, on_error=robust.QUARANTINE)
+        result = tv.analyze()
+        explanation = tv.explain("n2", result=result)
+        assert explanation.records
+
+
+class TestBestEffortPolicy:
+    def test_no_primary_inputs_downgraded(self):
+        net = Netlist("no-inputs")
+        net.add_pullup("y")
+        net.add_enh("y", "z", "gnd")
+        net.add_pullup("z")
+        tv = TimingAnalyzer(net, on_error=robust.BEST_EFFORT, run_erc=False)
+        result = tv.analyze()
+        assert any(
+            d.code == "no-primary-inputs" and d.action == "downgraded"
+            for d in result.diagnostics
+        )
+        assert result.paths == []
+
+    def test_no_primary_inputs_still_raises_under_quarantine(self):
+        net = Netlist("no-inputs")
+        net.add_pullup("y")
+        net.add_enh("y", "z", "gnd")
+        net.add_pullup("z")
+        tv = TimingAnalyzer(net, on_error=robust.QUARANTINE, run_erc=False)
+        with pytest.raises(TimingError, match="no primary"):
+            tv.analyze()
+
+
+class TestElectricalRuleErrorPayload:
+    def test_violations_carry_warnings_too(self):
+        """The bugfix: the raised error carries *all* violations."""
+        net = Netlist("t")
+        net.set_input("a")
+        net.add_enh("ghost", "a", "gnd")  # floating-gate error
+        net.add_node("orphan")  # undriven-node warning
+        with pytest.raises(ElectricalRuleError) as excinfo:
+            TimingAnalyzer(net)
+        exc = excinfo.value
+        assert {v.severity for v in exc.violations} == {"error", "warning"}
+        assert any(v.code == "floating-gate" for v in exc.errors)
+        assert any(v.code == "undriven-node" for v in exc.warnings)
+
+    def test_default_violations_empty(self):
+        exc = ElectricalRuleError("plain")
+        assert exc.violations == ()
+        assert exc.errors == () and exc.warnings == ()

@@ -120,3 +120,32 @@ class TestWarnings:
         v = [x for x in check(net) if x.code == "undriven-node"][0]
         text = str(v)
         assert "undriven-node" in text and "orphan" in text
+
+
+class TestValidateErrorPayload:
+    def _broken_net(self):
+        net = Netlist("t")
+        net.set_input("a")
+        net.add_enh("ghost", "a", "gnd")  # floating-gate error
+        net.add_node("orphan")  # undriven-node warning
+        return net
+
+    def test_raised_error_carries_all_violations(self):
+        with pytest.raises(ElectricalRuleError) as excinfo:
+            validate(self._broken_net())
+        exc = excinfo.value
+        assert set(exc.violations) == set(check(self._broken_net()))
+        assert any(v.code == "floating-gate" for v in exc.errors)
+        assert any(v.code == "undriven-node" for v in exc.warnings)
+
+    def test_warning_only_netlist_returns_them(self):
+        # The gated-rail circuit produces warnings but no errors, so
+        # validate() must return instead of raising.
+        net = Netlist("t")
+        net.set_input("a")
+        net.add_enh("vdd", "a", "y", name="odd")
+        net.add_enh("y", "q", "gnd")
+        net.add_pullup("q")
+        warnings = validate(net)
+        assert warnings and all(v.severity == "warning" for v in warnings)
+        assert "gated-rail" in codes(warnings)
