@@ -18,7 +18,28 @@ costs nothing.  It then gates on two regressions:
   1.75 -- generous because CI machines are noisy);
 * end-to-end analysis of the largest circuit must stay at least
   ``REPRO_PERF_MIN_SPEEDUP`` (default 1.5) times faster than the recorded
-  pre-optimization serial baseline.
+  pre-optimization serial baseline;
+* at the MIPS-scale point (:func:`repro.circuits.mips_benchmark_datapath`,
+  ~26.7k devices -- the paper's headline circuit size), warm-pool parallel
+  extraction must beat serial (``extract_speedup_parallel_vs_serial >
+  1.0``).  This gate only *applies* on hosts with at least two usable
+  CPUs; a single-CPU host records the measurement and an explicit
+  ``speedup_gate.applied: false`` instead of a vacuous pass or an
+  unattainable failure.
+
+The full run also times the persistent pool's **cold start** (first
+pooled sweep after :func:`repro.delay.shutdown_pool`) against its
+**warm reuse** (subsequent sweeps on live workers), and records the host
+environment (CPU count, scheduler affinity, ``multiprocessing`` start
+method, resolved worker count) so ``BENCH_perf.json`` files from
+different machines are comparable.
+
+Smoke mode (``--smoke``) measures the smallest circuit only with a
+single repetition, skips the MIPS point and the speedup gates, but
+**does** apply the phase-tolerance gate with a looser factor
+(``REPRO_PERF_SMOKE_TOLERANCE``, default 3.0) and the full serial/
+parallel parity sweep -- so a pool regression fails a PR in seconds
+instead of only in the full gate.
 
 It also proves the parallel path is *safe* to keep enabled: every circuit
 generator in :mod:`repro.circuits` is analyzed serially and with the worker
@@ -44,8 +65,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import pathlib
+import platform
 import sys
 import time
 
@@ -61,6 +84,7 @@ from ..circuits import (
     inverter,
     inverter_chain,
     manchester_adder,
+    mips_benchmark_datapath,
     mips_like_datapath,
     mux2,
     nand,
@@ -80,7 +104,7 @@ from ..circuits import (
 from ..core import TimingAnalyzer
 from ..core.arrival import propagate
 from ..core.graph import TimingGraph
-from ..delay import FALL, RISE
+from ..delay import FALL, RISE, auto_workers, available_cpus, shutdown_pool
 from ..trace import Trace
 
 __all__ = ["run", "main", "parity_circuits"]
@@ -112,6 +136,67 @@ def _best_of(repeat: int, fn) -> float:
         elapsed = time.perf_counter() - started
         best = elapsed if best is None else min(best, elapsed)
     return best
+
+
+def _environment(workers: int) -> dict:
+    """Host metadata making cross-machine trajectories comparable.
+
+    ``affinity_cpus`` is what the crossover heuristic actually sees
+    (container CPU quotas show up here, not in ``os.cpu_count``).
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "affinity_cpus": available_cpus(),
+        "mp_start_method": multiprocessing.get_start_method(),
+        "mp_start_methods": list(multiprocessing.get_all_start_methods()),
+        "bench_workers": workers,
+        "auto_workers": auto_workers(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def _bench_mips(repeat: int, workers: int) -> dict:
+    """Time serial vs pooled extraction at the ~26.7k-device MIPS point.
+
+    The pooled sweep is measured twice: once **cold** (first sweep after
+    ``shutdown_pool``, paying fork + snapshot attach) and then **warm**
+    (reusing the live workers, the steady state the persistent pool
+    exists for).  The headline ``extract_speedup_parallel_vs_serial`` is
+    serial over *warm* -- amortized fork cost is exactly the claim under
+    test.  Kept to extraction only: the end-to-end figures stay on the
+    R-T3 ``random_logic`` family the checked-in baseline covers.
+    """
+    net, _ports = mips_benchmark_datapath()
+    devices = len(net.devices)
+    tv = TimingAnalyzer(net)
+    stages = len(tv.stage_graph)
+
+    def extract_serial() -> None:
+        tv.calculator._arc_cache.clear()
+        tv.calculator.all_arcs(parallel=False)
+
+    extract_s = _best_of(min(repeat, 2), extract_serial)
+
+    def extract_pooled() -> None:
+        tv.calculator._arc_cache.clear()
+        tv.calculator.all_arcs(parallel=True, workers=workers)
+
+    shutdown_pool()
+    cold_s = _best_of(1, extract_pooled)
+    warm_s = _best_of(min(repeat, 2), extract_pooled)
+
+    return {
+        "circuit": "mips_benchmark_datapath",
+        "devices": devices,
+        "stages": stages,
+        "extract_s": extract_s,
+        "parallel_extract_cold_s": cold_s,
+        "parallel_extract_s": warm_s,
+        "pool_cold_start_overhead_s": cold_s - warm_s,
+        "extract_speedup_parallel_vs_serial": extract_s / warm_s,
+        "extract_devices_per_s": devices / extract_s,
+    }
 
 
 def _bench_size(size: int, repeat: int, workers: int) -> dict:
@@ -154,6 +239,10 @@ def _bench_size(size: int, repeat: int, workers: int) -> dict:
         tv.calculator._arc_cache.clear()
         tv.calculator.all_arcs(parallel=True, workers=workers)
 
+    # Cold first (fresh fork + snapshot attach), then warm reuse of the
+    # persistent pool -- the steady-state number the speedup uses.
+    shutdown_pool()
+    parallel_extract_cold_s = _best_of(1, extract_parallel)
     parallel_extract_s = _best_of(repeat, extract_parallel)
 
     # One traced analysis attributes the end-to-end time to the pipeline
@@ -169,6 +258,7 @@ def _bench_size(size: int, repeat: int, workers: int) -> dict:
         "devices": devices,
         "setup_s": setup_s,
         "extract_s": extract_s,
+        "parallel_extract_cold_s": parallel_extract_cold_s,
         "parallel_extract_s": parallel_extract_s,
         "extract_speedup_parallel_vs_serial": extract_s / parallel_extract_s,
         "propagate_s": propagate_s,
@@ -284,18 +374,31 @@ def run(
 ) -> tuple[dict, list[str]]:
     """Execute the harness; returns ``(payload, failures)``.
 
-    ``failures`` is empty when every gate passes (always empty in smoke
-    mode, which measures but does not assert).
+    ``failures`` is empty when every gate passes.  Smoke mode still
+    gates -- phase tolerances (loosened to ``REPRO_PERF_SMOKE_TOLERANCE``)
+    and serial/parallel parity -- but skips the MIPS point and the
+    speedup floors, which need full-size circuits and repetitions to be
+    meaningful.
     """
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     repeat = 1 if smoke else repeat
-    tolerance = _env_float("REPRO_PERF_TOLERANCE", 1.75)
+    if smoke:
+        tolerance = _env_float("REPRO_PERF_SMOKE_TOLERANCE", 3.0)
+    else:
+        tolerance = _env_float("REPRO_PERF_TOLERANCE", 1.75)
     min_speedup = _env_float("REPRO_PERF_MIN_SPEEDUP", 1.5)
+    environment = _environment(workers)
 
     results: dict[str, dict] = {}
     for size in sizes:
         print(f"benchmarking random_logic({size}, seed={SEED}) ...")
         results[str(size + 1)] = _bench_size(size, repeat, workers)
+
+    mips_row = None
+    if not smoke:
+        print("benchmarking mips_benchmark_datapath (~26.7k devices) ...")
+        mips_row = _bench_mips(repeat, workers)
+        results[str(mips_row["devices"])] = mips_row
 
     baseline = {}
     if BASELINE_PATH.exists():
@@ -311,8 +414,6 @@ def run(
         row["end_to_end_speedup_vs_baseline"] = (
             base_row["end_to_end_s"] / row["end_to_end_s"]
         )
-        if smoke:
-            continue
         for phase in phases:
             limit = base_row[phase] * tolerance
             if row[phase] > limit:
@@ -330,6 +431,35 @@ def run(
             f"{speedup:.2f}x, below the required {min_speedup:g}x"
         )
 
+    if mips_row is not None:
+        # The parallel-wins gate.  Physically unattainable with a single
+        # usable CPU, so it only *applies* on multi-CPU hosts; a 1-CPU
+        # host records the measurement and an explicit skip.
+        gate_applies = environment["affinity_cpus"] >= 2
+        mips_speedup = mips_row["extract_speedup_parallel_vs_serial"]
+        mips_row["speedup_gate"] = {
+            "applied": gate_applies,
+            "required": 1.0,
+            "measured": mips_speedup,
+            "skip_reason": (
+                None
+                if gate_applies
+                else (
+                    "host exposes "
+                    f"{environment['affinity_cpus']} usable CPU(s); "
+                    "parallel extraction cannot beat serial without at "
+                    "least 2"
+                )
+            ),
+        }
+        if gate_applies and mips_speedup <= 1.0:
+            failures.append(
+                f"warm-pool parallel extraction at the MIPS point is "
+                f"{mips_speedup:.2f}x serial; the persistent pool must "
+                f"win (> 1.0x) with {workers} workers on "
+                f"{environment['affinity_cpus']} CPUs"
+            )
+
     parity, supervision = check_parity(workers)
     mismatched = [row["circuit"] for row in parity if not row["identical"]]
     if mismatched:
@@ -346,6 +476,7 @@ def run(
         "workers": workers,
         "tolerance": tolerance,
         "min_end_to_end_speedup": min_speedup,
+        "environment": environment,
         "results": results,
         "parity": {
             "circuits": len(parity),
@@ -374,7 +505,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="smallest circuit only, single repetition, no regression gate",
+        help="smallest circuit only, single repetition, loose tolerance "
+             "gate plus the full parity sweep (CI quick mode)",
     )
     parser.add_argument(
         "--repeat", type=int, default=3, help="timing repetitions (best-of)"
@@ -398,9 +530,13 @@ def main(argv: list[str] | None = None) -> int:
     for key, row in payload["results"].items():
         speedup = row.get("end_to_end_speedup_vs_baseline")
         note = f"  ({speedup:.2f}x vs baseline)" if speedup else ""
+        e2e = row.get("end_to_end_devices_per_s")
+        e2e_note = f"  e2e {e2e:.0f}/s" if e2e is not None else ""
+        pool = row.get("extract_speedup_parallel_vs_serial")
+        pool_note = f"  pool {pool:.2f}x" if pool is not None else ""
         print(
             f"{key:>6} devices: extract {row['extract_devices_per_s']:.0f}/s"
-            f"  e2e {row['end_to_end_devices_per_s']:.0f}/s{note}"
+            f"{e2e_note}{pool_note}{note}"
         )
     if failures:
         for failure in failures:

@@ -15,7 +15,11 @@ from .adders import (
     ripple_adder,
 )
 from .control import FsmPorts, Transition, fsm, sequencer, toy_cpu
-from .datapath import DatapathPorts, mips_like_datapath
+from .datapath import (
+    DatapathPorts,
+    mips_benchmark_datapath,
+    mips_like_datapath,
+)
 from .latches import (
     add_half_latch,
     add_register,
@@ -107,6 +111,7 @@ __all__ = [
     "RegFilePorts",
     # datapath
     "mips_like_datapath",
+    "mips_benchmark_datapath",
     "DatapathPorts",
     # control
     "Transition",

@@ -45,7 +45,7 @@ from .primitives import (
 from .regfile import RegFilePorts, add_register_file
 from .shifter import add_barrel_shifter
 
-__all__ = ["mips_like_datapath", "DatapathPorts"]
+__all__ = ["mips_like_datapath", "mips_benchmark_datapath", "DatapathPorts"]
 
 OPS = ("add", "and", "or", "xor")
 
@@ -206,3 +206,17 @@ def mips_like_datapath(
 
     net.set_output(*ports.result)
     return net, ports
+
+
+def mips_benchmark_datapath(
+    *, tech: Technology = NMOS4
+) -> tuple[Netlist, DatapathPorts]:
+    """The ~25k-device scaling point used by :mod:`repro.bench.perf`.
+
+    A 64-bit, 32-register instance of :func:`mips_like_datapath` with an
+    8-way shifter -- about 26.7k enhancement/depletion devices, the same
+    order as the MIPS datapath whose "minutes, not hours" analysis is the
+    paper's headline claim.  Kept as a named generator so the benchmark,
+    tests, and docs all agree on what "MIPS scale" means here.
+    """
+    return mips_like_datapath(64, 32, n_shifts=8, tech=tech)

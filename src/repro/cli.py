@@ -8,7 +8,9 @@ boundary extension records):
               report schema (docs/report-schema.md) instead of text;
               ``--trace`` prints per-phase timings to stderr;
               ``--on-error=quarantine|best-effort`` degrades gracefully
-              around ERC/extraction failures instead of aborting
+              around ERC/extraction failures instead of aborting;
+              ``--workers N|auto`` extracts arcs on the persistent
+              worker pool for large netlists
 ``explain``   causal chain behind one node's arrival time: every hop with
               its stage, arc family, and delay-model terms; the terms sum
               to the reported arrival exactly
@@ -81,6 +83,18 @@ def _apply_hints(args, net) -> None:
         hints.apply(net)
 
 
+def _workers_spec(value: str):
+    """``--workers`` argument: a positive integer or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _print_json(payload) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
@@ -94,6 +108,7 @@ def _cmd_analyze(args) -> int:
         net,
         model=args.model,
         run_erc=not args.no_erc,
+        workers=args.workers,
         trace=trace,
         on_error=args.on_error,
     )
@@ -266,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="elmore",
                    choices=("elmore", "lumped", "pr-min", "pr-max"))
     p.add_argument("--top-k", type=int, default=5)
+    p.add_argument("--workers", type=_workers_spec, default=1,
+                   metavar="N|auto",
+                   help="arc-extraction pool width: a positive integer, "
+                        "or 'auto' to size from the available CPUs; "
+                        "parallel extraction only engages when the "
+                        "crossover heuristic predicts a win, and results "
+                        "are identical to serial either way (default: 1)")
     p.add_argument("--no-erc", action="store_true",
                    help="skip electrical rules (partial netlists)")
     p.add_argument("--input-arrival", action="append", metavar="NAME=NS")

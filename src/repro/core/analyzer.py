@@ -170,10 +170,13 @@ class TimingAnalyzer:
         phases ``phi1``/``phi2``, a default schema is assumed; clocks with
         other labels are treated as ordinary inputs.
     workers:
-        Arc-extraction fan-out width.  With ``workers > 1`` every
-        ``all_arcs`` sweep (combinational and per-phase) extracts stages
-        on a ``concurrent.futures`` pool, falling back to serial for
-        small netlists; results are bit-identical to serial extraction.
+        Arc-extraction fan-out width: a positive int, or ``"auto"`` to
+        size the pool from the CPUs actually available.  With more than
+        one worker every ``all_arcs`` sweep (combinational and
+        per-phase) extracts stages on a persistent ``concurrent.futures``
+        pool when the measured crossover heuristic predicts a win
+        (device count vs. pool warmth), staying serial otherwise;
+        results are bit-identical to serial extraction either way.
     executor:
         Pool flavour: ``"process"`` (fork), ``"thread"``, or ``"auto"``.
     trace:
@@ -203,7 +206,7 @@ class TimingAnalyzer:
         clock: TwoPhaseClock | None = None,
         max_paths: int = 4096,
         run_erc: bool = True,
-        workers: int = 1,
+        workers: int | str = 1,
         executor: str = "auto",
         trace: Trace | None = None,
         on_error: str = robust.STRICT,

@@ -10,6 +10,9 @@ Public surface:
 * :func:`device_resistance` -- role-aware effective resistance
 * :class:`StageDelayCalculator`, :class:`StageArc`, :class:`ArcTiming`,
   :data:`DELAY_MODELS` -- the stage timing-arc extractor
+* :func:`auto_workers`, :func:`parallel_crossover`,
+  :func:`shutdown_pool`, :func:`pool_diagnostics`,
+  :data:`WORKERS_AUTO` -- persistent extraction-pool controls
 """
 
 from .effective_res import FALL, RISE, device_resistance
@@ -19,11 +22,18 @@ from .rctree import RCTree
 from .slope import NO_SLOPE, SlopeModel
 from .stage_delay import (
     DELAY_MODELS,
+    PARALLEL_COLD_MIN_DEVICES,
     PARALLEL_MIN_DEVICES,
+    WORKERS_AUTO,
     ArcTiming,
     StageArc,
     StageContext,
     StageDelayCalculator,
+    auto_workers,
+    available_cpus,
+    parallel_crossover,
+    pool_diagnostics,
+    shutdown_pool,
 )
 
 __all__ = [
@@ -40,8 +50,15 @@ __all__ = [
     "FALL",
     "DELAY_MODELS",
     "PARALLEL_MIN_DEVICES",
+    "PARALLEL_COLD_MIN_DEVICES",
+    "WORKERS_AUTO",
     "ArcTiming",
     "StageArc",
     "StageContext",
     "StageDelayCalculator",
+    "auto_workers",
+    "available_cpus",
+    "parallel_crossover",
+    "pool_diagnostics",
+    "shutdown_pool",
 ]

@@ -52,6 +52,32 @@ class TestAnalyze:
     def test_model_flag(self, chain_file, capsys):
         assert main(["analyze", chain_file, "--model", "lumped"]) == 0
 
+    @staticmethod
+    def _timeless(report: str) -> str:
+        # Drop the wall-clock line, the one legitimately varying field.
+        return "\n".join(
+            line
+            for line in report.splitlines()
+            if not line.startswith("analysis ")
+        )
+
+    def test_workers_flag_integer(self, chain_file, capsys):
+        main(["analyze", chain_file])
+        base = self._timeless(capsys.readouterr().out)
+        assert main(["analyze", chain_file, "--workers", "2"]) == 0
+        assert self._timeless(capsys.readouterr().out) == base
+
+    def test_workers_flag_auto(self, chain_file, capsys):
+        main(["analyze", chain_file])
+        base = self._timeless(capsys.readouterr().out)
+        assert main(["analyze", chain_file, "--workers", "auto"]) == 0
+        assert self._timeless(capsys.readouterr().out) == base
+
+    def test_workers_flag_rejects_garbage(self, chain_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", chain_file, "--workers", "many"])
+        assert "expected an integer or 'auto'" in capsys.readouterr().err
+
     def test_race_sets_exit_code(self, tmp_path, capsys):
         from repro import Netlist
         from repro.circuits import add_half_latch

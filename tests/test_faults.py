@@ -17,7 +17,9 @@ reproducible locally.
 """
 
 import json
+import multiprocessing
 import os
+import time
 
 import pytest
 
@@ -169,6 +171,65 @@ class TestSupervisedExtractionInvariant:
             "extract_pool_failures",
         ):
             assert trace.counters.get(name, 0) == 0
+
+
+def _workers_reaped(timeout_s: float = 5.0) -> bool:
+    """True once no forked child processes remain (they were terminated
+    and reaped, not abandoned)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestPoolLifecycle:
+    """The persistent pool: idempotent shutdown, no orphans, clean ^C."""
+
+    def test_shutdown_is_idempotent(self, net):
+        stage_delay.shutdown_pool()
+        stage_delay.shutdown_pool()  # no pool: must be a clean no-op
+        assert supervised_json(net) == serial_json(net)
+        assert stage_delay.pool_diagnostics()["live"]
+        stage_delay.shutdown_pool()
+        assert not stage_delay.pool_diagnostics()["live"]
+        stage_delay.shutdown_pool()
+        assert not stage_delay.pool_diagnostics()["live"]
+        assert _workers_reaped()
+
+    def test_no_orphans_after_hard_crash(self, net):
+        stage_delay.shutdown_pool()
+        assert _workers_reaped()
+        plan = FaultPlan().hard_crash("worker-task", times=None)
+        with plan.installed():
+            supervised_json(net, retry_backoff=0.01)
+        # The broken pool was poisoned and discarded, and every worker
+        # process it spawned is gone.
+        assert not stage_delay.pool_diagnostics()["live"]
+        assert _workers_reaped()
+
+    def test_no_orphans_after_hang(self, net):
+        stage_delay.shutdown_pool()
+        assert _workers_reaped()
+        plan = FaultPlan().delay("worker-task", 5.0, times=None)
+        with plan.installed():
+            supervised_json(net, task_timeout=0.2, task_retries=0)
+        # Hung workers were terminated (not waited on): they disappear
+        # long before their injected 5 s sleep could finish.
+        assert not stage_delay.pool_diagnostics()["live"]
+        assert _workers_reaped(timeout_s=3.0)
+
+    def test_keyboard_interrupt_tears_down_pool(self, net):
+        stage_delay.shutdown_pool()
+        plan = FaultPlan().crash(
+            "worker-task", times=1, exc_type=KeyboardInterrupt
+        )
+        with plan.installed():
+            with pytest.raises(KeyboardInterrupt):
+                supervised_json(net)
+        assert not stage_delay.pool_diagnostics()["live"]
+        assert _workers_reaped()
 
 
 class TestErcFaultSite:

@@ -13,13 +13,23 @@ import pytest
 from repro import TimingAnalyzer
 from repro.circuits import (
     barrel_shifter,
+    inverter_chain,
     manchester_adder,
     random_logic,
     register_file,
     ripple_adder,
 )
-from repro.delay import PARALLEL_MIN_DEVICES
+from repro.delay import (
+    PARALLEL_COLD_MIN_DEVICES,
+    PARALLEL_MIN_DEVICES,
+    auto_workers,
+    parallel_crossover,
+    pool_diagnostics,
+    shutdown_pool,
+    stage_delay,
+)
 from repro.errors import StageError
+from repro.trace import Trace
 
 
 def _fork_available() -> bool:
@@ -124,6 +134,139 @@ class TestWorkerConfiguration:
     def test_unknown_executor_rejected(self):
         with pytest.raises(StageError):
             TimingAnalyzer(ripple_adder(4), executor="mpi")
+
+
+class TestCrossoverHeuristic:
+    """The auto decision: device count vs. pool warmth vs. CPUs."""
+
+    def test_single_cpu_never_goes_parallel(self):
+        assert not parallel_crossover(10**9, pool_warm=True, cpus=1)
+
+    def test_warm_floor_boundary(self):
+        assert parallel_crossover(
+            PARALLEL_MIN_DEVICES, pool_warm=True, cpus=4
+        )
+        assert not parallel_crossover(
+            PARALLEL_MIN_DEVICES - 1, pool_warm=True, cpus=4
+        )
+
+    def test_cold_floor_boundary(self):
+        assert parallel_crossover(
+            PARALLEL_COLD_MIN_DEVICES, pool_warm=False, cpus=4
+        )
+        assert not parallel_crossover(
+            PARALLEL_COLD_MIN_DEVICES - 1, pool_warm=False, cpus=4
+        )
+        # A cold pool needs more devices to be worth forking than a warm
+        # one needs to be worth reusing.
+        assert PARALLEL_COLD_MIN_DEVICES > PARALLEL_MIN_DEVICES
+
+    def test_below_threshold_takes_serial_path(self, monkeypatch):
+        monkeypatch.setattr(stage_delay, "available_cpus", lambda: 4)
+        trace = Trace(logger=None)
+        tv = TimingAnalyzer(
+            random_logic(300, seed=7),
+            workers=4,
+            executor="thread",
+            trace=trace,
+        )
+        tv.calculator.all_arcs()
+        assert trace.counters.get("extract_serial_sweeps", 0) == 1
+        assert trace.counters.get("extract_parallel_sweeps", 0) == 0
+
+    def test_above_threshold_takes_parallel_path(self, monkeypatch):
+        monkeypatch.setattr(stage_delay, "available_cpus", lambda: 4)
+        monkeypatch.setattr(stage_delay, "PARALLEL_MIN_DEVICES", 100)
+        trace = Trace(logger=None)
+        tv = TimingAnalyzer(
+            random_logic(300, seed=7),
+            workers=4,
+            executor="thread",
+            trace=trace,
+        )
+        tv.calculator.all_arcs()
+        assert trace.counters.get("extract_parallel_sweeps", 0) == 1
+        assert trace.counters.get("extract_serial_sweeps", 0) == 0
+
+    @pytest.mark.skipif(not _fork_available(), reason="fork not available")
+    def test_forced_parallel_tiny_circuit_matches_serial(self):
+        import json
+
+        serial = json.dumps(
+            TimingAnalyzer(inverter_chain(4), workers=1).analyze().to_json()
+        )
+        tv = TimingAnalyzer(inverter_chain(4), workers=2, executor="process")
+        tv.calculator.all_arcs(parallel=True)
+        try:
+            assert json.dumps(tv.analyze().to_json()) == serial
+        finally:
+            shutdown_pool()
+
+
+class TestWorkersAuto:
+    def test_auto_spec_accepted_and_propagated(self):
+        tv = TimingAnalyzer(ripple_adder(4), workers="auto")
+        assert tv.workers == "auto"
+        baseline = TimingAnalyzer(ripple_adder(4)).analyze()
+        assert tv.analyze().max_delay == baseline.max_delay
+
+    def test_auto_workers_tracks_affinity_with_a_cap(self, monkeypatch):
+        monkeypatch.setattr(stage_delay, "available_cpus", lambda: 32)
+        assert auto_workers() == 8
+        monkeypatch.setattr(stage_delay, "available_cpus", lambda: 3)
+        assert auto_workers() == 3
+        monkeypatch.setattr(stage_delay, "available_cpus", lambda: 1)
+        assert auto_workers() == 1
+
+    def test_bogus_workers_spec_rejected(self):
+        with pytest.raises(StageError):
+            TimingAnalyzer(ripple_adder(4), workers="many")
+
+
+@pytest.mark.skipif(not _fork_available(), reason="fork not available")
+class TestPersistentPool:
+    def test_pool_reused_across_sweeps(self):
+        shutdown_pool()
+        trace = Trace(logger=None)
+        tv = TimingAnalyzer(
+            random_logic(400, seed=7),
+            workers=2,
+            executor="process",
+            trace=trace,
+        )
+        try:
+            tv.calculator.all_arcs(parallel=True)
+            assert trace.counters.get("extract_pool_cold_starts", 0) == 1
+            assert pool_diagnostics()["live"]
+
+            tv.calculator._arc_cache.clear()
+            tv.calculator.all_arcs(parallel=True)
+            assert trace.counters.get("extract_pool_cold_starts", 0) == 1
+            assert trace.counters.get("extract_pool_reuses", 0) == 1
+        finally:
+            shutdown_pool()
+        assert not pool_diagnostics()["live"]
+
+    def test_device_edit_rebinds_pool(self):
+        shutdown_pool()
+        net = random_logic(400, seed=7)
+        trace = Trace(logger=None)
+        tv = TimingAnalyzer(net, workers=2, executor="process", trace=trace)
+        try:
+            tv.calculator.all_arcs(parallel=True)
+            assert trace.counters.get("extract_pool_cold_starts", 0) == 1
+
+            target = sorted(net.devices)[0]
+            net.device(target).w *= 1.25
+            tv.notify_changed([target])
+            tv.calculator._arc_cache.clear()
+            tv.calculator.all_arcs(parallel=True)
+            # The edit bumped the snapshot epoch: the live pool no longer
+            # matches and a fresh one is forked from the edited netlist.
+            assert trace.counters.get("extract_pool_cold_starts", 0) == 2
+            assert trace.counters.get("extract_pool_reuses", 0) == 0
+        finally:
+            shutdown_pool()
 
 
 class TestInvalidation:
