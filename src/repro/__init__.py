@@ -100,14 +100,35 @@ def _late_imports() -> None:
     see a partially initialized package.
     """
     from .clocks import TwoPhaseClock  # noqa: F401
-    from .core import AnalysisResult, TimingAnalyzer  # noqa: F401
+    from .core import (  # noqa: F401
+        AnalysisResult,
+        McmmResult,
+        Scenario,
+        TimingAnalyzer,
+        analyze_mcmm,
+        corner_scenarios,
+    )
 
     globals().update(
         TwoPhaseClock=TwoPhaseClock,
         TimingAnalyzer=TimingAnalyzer,
         AnalysisResult=AnalysisResult,
+        Scenario=Scenario,
+        McmmResult=McmmResult,
+        analyze_mcmm=analyze_mcmm,
+        corner_scenarios=corner_scenarios,
     )
-    __all__.extend(["TwoPhaseClock", "TimingAnalyzer", "AnalysisResult"])
+    __all__.extend(
+        [
+            "TwoPhaseClock",
+            "TimingAnalyzer",
+            "AnalysisResult",
+            "Scenario",
+            "McmmResult",
+            "analyze_mcmm",
+            "corner_scenarios",
+        ]
+    )
 
 
 _late_imports()

@@ -10,7 +10,9 @@ boundary extension records):
               ``--on-error=quarantine|best-effort`` degrades gracefully
               around ERC/extraction failures instead of aborting;
               ``--workers N|auto`` extracts arcs on the persistent
-              worker pool for large netlists
+              worker pool for large netlists; repeatable
+              ``--corner NAME=SPEC`` runs a multi-corner (MCMM) sweep
+              sharing the structural phases across corners
 ``explain``   causal chain behind one node's arrival time: every hop with
               its stage, arc family, and delay-model terms; the terms sum
               to the reported arrival exactly
@@ -84,15 +86,55 @@ def _apply_hints(args, net) -> None:
 
 
 def _workers_spec(value: str):
-    """``--workers`` argument: a positive integer or the literal ``auto``."""
+    """``--workers`` argument: a positive integer or the literal ``auto``.
+
+    Zero and negative widths are rejected here, at the argument parser,
+    instead of being silently clamped to serial deep in the engine.
+    """
     if value == "auto":
         return value
     try:
-        return int(value)
+        workers = int(value)
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"expected an integer or 'auto', got {value!r}"
+            f"expected a positive integer or 'auto', got {value!r}"
         ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        )
+    return workers
+
+
+def _parse_corner_scenarios(args, base_tech):
+    """``--corner`` arguments -> MCMM scenarios.
+
+    Each spec is ``NAME=CORNER`` (``slow``/``typ``/``fast`` of the
+    loaded technology), ``NAME=FILE.json`` (an explicit process file),
+    or a bare corner name as shorthand for ``slow=slow`` etc.
+    """
+    from .core.mcmm import CORNER_NAMES, Scenario
+
+    scenarios = []
+    for spec in args.corner or ():
+        name, _eq, value = spec.partition("=")
+        if not _eq:
+            name = value = spec
+        if not name:
+            raise SystemExit(
+                f"--corner needs name=corner|file, got {spec!r}"
+            )
+        if value in CORNER_NAMES:
+            tech = base_tech.corner(value)
+        elif os.path.exists(value):
+            tech = Technology.from_json(value)
+        else:
+            raise SystemExit(
+                f"--corner {spec!r}: {value!r} is neither a corner "
+                f"({'/'.join(CORNER_NAMES)}) nor a technology file"
+            )
+        scenarios.append(Scenario(name=name, tech=tech))
+    return scenarios
 
 
 def _print_json(payload) -> None:
@@ -112,6 +154,23 @@ def _cmd_analyze(args) -> int:
         trace=trace,
         on_error=args.on_error,
     )
+    scenarios = _parse_corner_scenarios(args, net.tech)
+    if scenarios:
+        mcmm = analyzer.analyze_mcmm(
+            scenarios, arrivals, top_k=args.top_k
+        )
+        if args.json:
+            _print_json(mcmm.to_json())
+        else:
+            print(mcmm.report())
+        if trace is not None:
+            print(trace.summary(), file=sys.stderr)
+        raced = any(
+            result.clock_verification is not None
+            and result.clock_verification.races
+            for result in mcmm.results.values()
+        )
+        return 1 if raced else 0
     result = analyzer.analyze(input_arrivals=arrivals, top_k=args.top_k)
     if args.json:
         _print_json(result.to_json())
@@ -134,6 +193,30 @@ def _cmd_explain(args) -> int:
         run_erc=not args.no_erc,
         on_error=args.on_error,
     )
+    scenarios = _parse_corner_scenarios(args, net.tech)
+    if scenarios:
+        # MCMM explain: each node's chain comes from its *dominant*
+        # corner (the scenario in which it arrives latest), named by the
+        # explanation's `scenario` field.
+        mcmm = analyzer.analyze_mcmm(scenarios, arrivals)
+        dominant = mcmm.result(mcmm.dominant_scenario())
+        nodes = args.node or [
+            path.endpoint for path in dominant.paths[:1]
+        ]
+        if not nodes:
+            print("error: no critical path to explain; name a node",
+                  file=sys.stderr)
+            return 2
+        payloads = []
+        for node in nodes:
+            explanation = mcmm.explain(node, args.transition)
+            if args.json:
+                payloads.append(explanation.to_json())
+            else:
+                print(explanation.format())
+        if args.json:
+            _print_json(payloads if len(payloads) > 1 else payloads[0])
+        return 0
     result = analyzer.analyze(input_arrivals=arrivals)
     nodes = args.node or [
         path.endpoint for path in result.paths[: 1]
@@ -290,6 +373,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "are identical to serial either way (default: 1)")
     p.add_argument("--no-erc", action="store_true",
                    help="skip electrical rules (partial netlists)")
+    p.add_argument("--corner", action="append", metavar="NAME=SPEC",
+                   help="repeatable: add an MCMM scenario named NAME at "
+                        "corner SPEC ('slow'/'typ'/'fast' of the loaded "
+                        "technology, or a process JSON file; a bare "
+                        "corner name works as shorthand).  With corners "
+                        "the report is the merged MCMM view -- worst "
+                        "arrival per node, dominant corner per path -- "
+                        "and structural phases run once for all corners")
     p.add_argument("--input-arrival", action="append", metavar="NAME=NS")
     p.add_argument("--hint", action="append", metavar="PATTERN=DIR")
     p.add_argument("--json", action="store_true",
@@ -323,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("elmore", "lumped", "pr-min", "pr-max"))
     p.add_argument("--no-erc", action="store_true",
                    help="skip electrical rules (partial netlists)")
+    p.add_argument("--corner", action="append", metavar="NAME=SPEC",
+                   help="repeatable: explain against an MCMM sweep over "
+                        "these corners (see `repro analyze --help`); "
+                        "each node's chain comes from its dominant "
+                        "corner, which the explanation names")
     p.add_argument("--input-arrival", action="append", metavar="NAME=NS")
     p.add_argument("--hint", action="append", metavar="PATTERN=DIR")
     p.add_argument("--json", action="store_true",

@@ -11,6 +11,9 @@ Public surface:
   :class:`PhaseResult`, :class:`RaceViolation` -- clock verification
 * provenance: :func:`explain_arrival`, :class:`Explanation`,
   :class:`ProvenanceRecord` -- the causal chain behind any arrival
+* MCMM: :class:`Scenario`, :func:`analyze_mcmm`, :class:`McmmResult`,
+  :func:`corner_scenarios` -- multi-corner multi-mode analysis with
+  shared extraction
 * JSON reports: :data:`REPORT_SCHEMA`, :func:`result_to_json`,
   :func:`validate_report`, :func:`schema_markdown`
 * report helpers: :func:`format_ns`, :func:`design_fingerprint`,
@@ -35,6 +38,7 @@ from .constraints import (
     verify_two_phase,
 )
 from .graph import TimingGraph
+from .mcmm import McmmResult, Scenario, analyze_mcmm, corner_scenarios
 from .mindelay import OverlapMargin, cross_phase_margins, propagate_min
 from .paths import PathStep, TimingPath, critical_paths, trace_path
 from .report import (
@@ -80,6 +84,10 @@ __all__ = [
     "Explanation",
     "ProvenanceRecord",
     "explain_arrival",
+    "Scenario",
+    "McmmResult",
+    "analyze_mcmm",
+    "corner_scenarios",
     "REPORT_SCHEMA",
     "REPORT_SCHEMA_VERSION",
     "result_to_json",

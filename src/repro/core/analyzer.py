@@ -46,6 +46,7 @@ from ..flow import FlowReport, infer_flow
 from ..netlist import Netlist
 from ..netlist.validate import Violation, check, validate
 from ..stages import StageGraph, decompose
+from ..tech import Technology
 from ..trace import NULL_TRACE, Trace
 from .arrival import DEFAULT_INPUT_SLEW, ArrivalMap, propagate
 from .constraints import ClockVerification, verify_two_phase
@@ -169,6 +170,14 @@ class TimingAnalyzer:
         Two-phase schema.  If None and the netlist declares clocks with
         phases ``phi1``/``phi2``, a default schema is assumed; clocks with
         other labels are treated as ordinary inputs.
+    tech:
+        Technology override for the *delay model* -- typically a process
+        corner from :meth:`repro.tech.Technology.corner`.  The netlist
+        keeps its own technology for structure-level checks (ERC ratio
+        rules are corner-invariant: corners scale both sides equally),
+        so two analyzers differing only in ``tech`` share identical
+        structure and differ only in numeric delays.  Default: the
+        netlist's technology.
     workers:
         Arc-extraction fan-out width: a positive int, or ``"auto"`` to
         size the pool from the CPUs actually available.  With more than
@@ -204,6 +213,7 @@ class TimingAnalyzer:
         model: str = "elmore",
         slope: SlopeModel | None = None,
         clock: TwoPhaseClock | None = None,
+        tech: Technology | None = None,
         max_paths: int = 4096,
         run_erc: bool = True,
         workers: int | str = 1,
@@ -224,12 +234,18 @@ class TimingAnalyzer:
             self.flow_report = self._run_flow()
         with self.trace.timer("stages"):
             self.stage_graph: StageGraph = self._run_stages()
+        # One execution of the structural phases (ERC, flow inference,
+        # stage decomposition) just happened; MCMM runs share it across
+        # scenarios, and this counter is how tests and the bench verify
+        # they really did.
+        self.trace.incr("structural_runs")
         self.calculator = StageDelayCalculator(
             netlist,
             self.stage_graph,
             model=model,
             slope=slope,
             max_paths=max_paths,
+            tech=tech,
             workers=workers,
             executor=executor,
             trace=self.trace,
@@ -238,6 +254,7 @@ class TimingAnalyzer:
         if self._erc_errors:
             self._quarantine_erc_errors(self._erc_errors)
         self.workers = self.calculator.workers
+        self.tech = self.calculator.tech
         self.clock = clock or self._default_clock()
         self.trace.incr("devices", len(netlist.devices))
         self.trace.incr("stages", len(self.stage_graph))
@@ -417,6 +434,65 @@ class TimingAnalyzer:
         )
         result.coverage = self._coverage()
         return result
+
+    def analyze_mcmm(
+        self,
+        scenarios,
+        input_arrivals: dict[str, float] | None = None,
+        *,
+        top_k: int = 5,
+        input_slew: float = DEFAULT_INPUT_SLEW,
+    ):
+        """Analyze the design under several (corner × clock) scenarios.
+
+        The structural phases this analyzer already ran -- ERC, flow
+        inference, stage decomposition -- are shared; each scenario only
+        re-evaluates the numeric delay terms at its corner (and clock
+        schema, if it overrides one).  Every scenario's result is
+        byte-identical to a standalone
+        ``TimingAnalyzer(netlist, tech=scenario.tech,
+        clock=scenario.clock)`` analysis.
+
+        Returns a :class:`repro.core.mcmm.McmmResult`; see
+        :func:`repro.core.mcmm.analyze_mcmm` for details.
+        """
+        from .mcmm import analyze_mcmm
+
+        return analyze_mcmm(
+            self,
+            scenarios,
+            input_arrivals,
+            top_k=top_k,
+            input_slew=input_slew,
+        )
+
+    def _scenario_analyzer(self, scenario) -> "TimingAnalyzer":
+        """A sibling analyzer for one MCMM scenario.
+
+        Shares every structural product (netlist, ERC results, flow
+        report, stage graph) with this analyzer and retargets only the
+        delay calculator -- so building one costs no ERC/flow/stage
+        work, and its ``analyze()`` runs the exact same code a
+        standalone analyzer at that corner would.
+        """
+        clone = object.__new__(TimingAnalyzer)
+        clone.trace = self.trace
+        clone.netlist = self.netlist
+        clone.on_error = self.on_error
+        clone.diagnostics = list(self.diagnostics)
+        clone._erc_errors = self._erc_errors
+        clone.erc_warnings = self.erc_warnings
+        clone.flow_report = self.flow_report
+        clone.stage_graph = self.stage_graph
+        clone.calculator = self.calculator.retarget(
+            scenario.tech if scenario.tech is not None else self.tech
+        )
+        clone.workers = clone.calculator.workers
+        clone.tech = clone.calculator.tech
+        clone.clock = (
+            scenario.clock if scenario.clock is not None else self.clock
+        )
+        return clone
 
     def _coverage(self) -> robust.Coverage:
         """Analyzed-vs-quarantined accounting over the stage graph."""

@@ -100,7 +100,8 @@ class Explanation:
     """The full causal chain for one (endpoint, transition) arrival.
 
     ``phase`` names the clock phase the chain was computed under
-    (None for combinational analysis).
+    (None for combinational analysis); ``scenario`` names the MCMM
+    scenario it came from (None for single-scenario analysis).
     """
 
     endpoint: str
@@ -108,6 +109,7 @@ class Explanation:
     arrival: float
     records: tuple[ProvenanceRecord, ...]
     phase: str | None = None
+    scenario: str | None = None
 
     @property
     def total(self) -> float:
@@ -138,6 +140,8 @@ class Explanation:
         header = f"explain {self.endpoint} ({self.transition})"
         if self.phase is not None:
             header += f" during {self.phase}"
+        if self.scenario is not None:
+            header += f" in scenario {self.scenario}"
         lines = [
             f"{header}: {self.arrival / time_unit:.3f} {unit_name}, "
             f"{len(self.records) - 1} hop(s)"
@@ -178,6 +182,7 @@ class Explanation:
             "transition": self.transition,
             "arrival": self.arrival,
             "phase": self.phase,
+            "scenario": self.scenario,
             "exact": self.verify(),
             "records": [record.to_json() for record in self.records],
         }

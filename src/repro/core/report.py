@@ -51,7 +51,11 @@ __all__ = [
 #: Version of the JSON report contract (semver).
 #: 1.1.0 added the ``diagnostics`` section (error policy, typed
 #: diagnostic records, and quarantine coverage).
-REPORT_SCHEMA_VERSION = "1.1.0"
+#: 1.2.0 added the optional ``mcmm`` section (multi-corner multi-mode
+#: merge: per-scenario outcomes, worst arrival per node, dominant
+#: scenario per critical endpoint) and the ``scenario`` field of
+#: ``explanation``.
+REPORT_SCHEMA_VERSION = "1.2.0"
 
 _STEP_SCHEMA = {
     "type": "object",
@@ -199,8 +203,8 @@ _EXPLANATION_SCHEMA = {
     "type": "object",
     "description": "A full provenance chain for one endpoint arrival "
                    "(the payload of `repro explain --json`).",
-    "required": ["endpoint", "transition", "arrival", "phase", "exact",
-                 "records"],
+    "required": ["endpoint", "transition", "arrival", "phase", "scenario",
+                 "exact", "records"],
     "additionalProperties": False,
     "properties": {
         "endpoint": {"type": "string", "description": "Explained node."},
@@ -216,6 +220,11 @@ _EXPLANATION_SCHEMA = {
             "type": ["string", "null"],
             "description": "Clock phase the chain was computed under "
                            "(null for combinational analysis).",
+        },
+        "scenario": {
+            "type": ["string", "null"],
+            "description": "MCMM scenario the chain came from (null for "
+                           "single-scenario analysis).  Added in 1.2.0.",
         },
         "exact": {
             "type": "boolean",
@@ -481,6 +490,145 @@ _DIAGNOSTICS_SECTION_SCHEMA = {
     },
 }
 
+_MCMM_SCENARIO_SCHEMA = {
+    "type": "object",
+    "description": "Outcome of one MCMM scenario (corner x clock mode).",
+    "required": ["name", "technology", "clock", "mode", "max_delay",
+                 "min_cycle", "race_count"],
+    "additionalProperties": False,
+    "properties": {
+        "name": {"type": "string", "description": "Scenario name."},
+        "technology": {
+            "type": ["string", "null"],
+            "description": "Name of the scenario's technology corner "
+                           "(null: the analyzer's base technology).",
+        },
+        "clock": {
+            "type": ["object", "null"],
+            "description": "Scenario clock override (null: the "
+                           "analyzer's schema).",
+            "required": ["phase1", "phase2", "nonoverlap"],
+            "additionalProperties": False,
+            "properties": {
+                "phase1": {"type": "string",
+                           "description": "First phase label."},
+                "phase2": {"type": "string",
+                           "description": "Second phase label."},
+                "nonoverlap": {"type": "number",
+                               "description": "Dead time between phases, "
+                                              "seconds."},
+            },
+        },
+        "mode": {
+            "enum": ["combinational", "two-phase"],
+            "description": "Analysis mode of this scenario.",
+        },
+        "max_delay": {
+            "type": ["number", "null"],
+            "description": "Scenario worst delay (see top-level "
+                           "max_delay), seconds.",
+        },
+        "min_cycle": {
+            "type": ["number", "null"],
+            "description": "Scenario minimum cycle time (two-phase "
+                           "mode; null otherwise), seconds.",
+        },
+        "race_count": {
+            "type": "integer",
+            "description": "Races found in this scenario (0 in "
+                           "combinational mode).",
+        },
+        "analysis_seconds": {
+            "type": "number",
+            "description": "Wall-clock scenario time. OPTIONAL -- only "
+                           "with include_wall_time=True.",
+        },
+    },
+}
+
+_MCMM_NODE_SCHEMA = {
+    "type": "object",
+    "description": "Worst arrival of one node across every scenario.",
+    "required": ["node", "arrival", "scenario"],
+    "additionalProperties": False,
+    "properties": {
+        "node": {"type": "string", "description": "Circuit node name."},
+        "arrival": {
+            "type": "number",
+            "description": "Latest arrival over all scenarios, seconds.",
+        },
+        "scenario": {
+            "type": "string",
+            "description": "Scenario in which the node arrives latest "
+                           "(its dominant corner).",
+        },
+    },
+}
+
+_MCMM_PATH_SCHEMA = {
+    "type": "object",
+    "description": "One critical-path endpoint merged across scenarios.",
+    "required": ["endpoint", "arrival", "scenario"],
+    "additionalProperties": False,
+    "properties": {
+        "endpoint": {"type": "string",
+                     "description": "Path endpoint node."},
+        "arrival": {
+            "type": "number",
+            "description": "Worst arrival over all scenarios, seconds.",
+        },
+        "scenario": {
+            "type": "string",
+            "description": "Dominant scenario for this endpoint.",
+        },
+    },
+}
+
+_MCMM_SCHEMA = {
+    "type": "object",
+    "description": "Multi-corner multi-mode merge.  The enclosing "
+                   "report is the *dominant* scenario's report; this "
+                   "section compares all scenarios.  Every scenario's "
+                   "own report is byte-identical to a standalone "
+                   "single-scenario analysis.",
+    "required": ["scenario_count", "dominant", "scenarios", "nodes",
+                 "paths"],
+    "additionalProperties": False,
+    "properties": {
+        "scenario_count": {
+            "type": "integer",
+            "description": "Number of scenarios analyzed.",
+        },
+        "dominant": {
+            "type": "string",
+            "description": "Scenario with the worst cycle time (or "
+                           "max delay) -- the signoff corner.",
+        },
+        "scenarios": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/mcmm_scenario"},
+            "description": "Per-scenario outcomes, in evaluation order.",
+        },
+        "nodes": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/mcmm_node"},
+            "description": "Worst arrival per node across scenarios, "
+                           "sorted by node name.",
+        },
+        "paths": {
+            "type": "array",
+            "items": {"$ref": "#/$defs/mcmm_path"},
+            "description": "Critical endpoints with their dominant "
+                           "scenario, worst first.",
+        },
+        "analysis_seconds": {
+            "type": "number",
+            "description": "Wall-clock MCMM sweep time. OPTIONAL -- "
+                           "only with include_wall_time=True.",
+        },
+    },
+}
+
 REPORT_SCHEMA = {
     "$id": "repro-timing-report",
     "title": "repro timing analysis report",
@@ -622,6 +770,12 @@ REPORT_SCHEMA = {
                            "deterministic; request it with "
                            "result_to_json(include_wall_time=True).",
         },
+        "mcmm": {
+            "$ref": "#/$defs/mcmm",
+            "description": "Multi-corner multi-mode merge. OPTIONAL -- "
+                           "present only on analyze_mcmm reports.  "
+                           "Added in 1.2.0.",
+        },
     },
     "$defs": {
         "step": _STEP_SCHEMA,
@@ -636,6 +790,10 @@ REPORT_SCHEMA = {
         "diagnostic": _DIAGNOSTIC_SCHEMA,
         "coverage": _COVERAGE_SCHEMA,
         "diagnostics": _DIAGNOSTICS_SECTION_SCHEMA,
+        "mcmm": _MCMM_SCHEMA,
+        "mcmm_scenario": _MCMM_SCENARIO_SCHEMA,
+        "mcmm_node": _MCMM_NODE_SCHEMA,
+        "mcmm_path": _MCMM_PATH_SCHEMA,
     },
 }
 

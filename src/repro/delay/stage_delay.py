@@ -167,15 +167,33 @@ def parallel_crossover(
 
 
 def _validate_workers(spec) -> int | str:
-    """Normalize a ``workers`` spec: positive int or ``"auto"``."""
+    """Validate a ``workers`` spec: positive int or ``"auto"``.
+
+    Rejects -- rather than silently clamping -- zero, negative, and
+    boolean specs.  ``workers=0`` used to mean 1, which hid caller bugs
+    (a miscomputed width quietly became serial), and ``workers=True``
+    is almost always a misplaced ``parallel=True``.
+    """
+    if isinstance(spec, bool):
+        raise StageError(
+            f"workers must be a positive integer or {WORKERS_AUTO!r}, got "
+            f"{spec!r} (did you mean all_arcs(parallel={spec!r})?)"
+        )
     if spec == WORKERS_AUTO:
         return WORKERS_AUTO
     try:
-        return max(1, int(spec))
+        value = int(spec)
     except (TypeError, ValueError):
         raise StageError(
-            f"workers must be an integer or {WORKERS_AUTO!r}, got {spec!r}"
+            f"workers must be a positive integer or {WORKERS_AUTO!r}, "
+            f"got {spec!r}"
         ) from None
+    if value < 1:
+        raise StageError(
+            f"workers must be a positive integer or {WORKERS_AUTO!r}, "
+            f"got {spec!r}"
+        )
+    return value
 
 
 #: Monotonic identity for calculators; with the invalidation epoch it
@@ -494,6 +512,49 @@ class StageDelayCalculator:
                 if key[0] not in stale
             }
 
+    def retarget(self, tech: Technology) -> "StageDelayCalculator":
+        """A calculator evaluating the same structure at ``tech``.
+
+        This is the MCMM re-evaluation hook: the clone shares the
+        netlist, the stage graph, and the (tech-independent) device-fact
+        map, so only the numeric delay terms -- resistances,
+        capacitances, k-factors -- are recomputed at the new corner.
+        Delay caches (``_cap_cache``/``_arc_cache``) start empty because
+        their contents are corner-specific.
+
+        The clone also inherits this calculator's persistent-pool
+        binding: the structural snapshot the forked workers hold is
+        corner-invariant, so a multi-corner sweep reuses **one** fixed
+        pool instead of rebinding per corner -- workers receive the
+        corner with each task and retarget their own snapshot
+        (see :func:`_pool_extract`).
+
+        Because the clone runs the identical extraction code on the
+        identical netlist, its results are byte-identical to a
+        calculator built from scratch with ``tech=tech``.
+        """
+        clone = StageDelayCalculator(
+            self.netlist,
+            self.graph,
+            model=self.model,
+            slope=self.slope,
+            max_paths=self.max_paths,
+            tech=tech,
+            workers=self.workers,
+            executor=self.executor,
+            trace=self.trace,
+            on_error=self.on_error,
+        )
+        clone.task_timeout = self.task_timeout
+        clone.task_retries = self.task_retries
+        clone.retry_backoff = self.retry_backoff
+        clone.quarantined = set(self.quarantined)
+        clone.diagnostics = list(self.diagnostics)
+        clone._device_facts = self._device_fact_map()
+        clone._pool_token = self._pool_token
+        clone._pool_epoch = self._pool_epoch
+        return clone
+
     def quarantine_stage(
         self,
         index: int,
@@ -750,6 +811,7 @@ class StageDelayCalculator:
                     pool.submit(
                         _pool_extract,
                         run_token,
+                        self.tech,
                         active_clocks,
                         open_gates,
                         chunk,
@@ -1887,15 +1949,22 @@ class StageDelayCalculator:
 class _PersistentPool:
     """Owner of the module's single reusable extraction pool.
 
-    ``acquire`` hands back a live executor bound to the requesting
-    calculator's current snapshot, cold-starting (or restarting wider)
-    only when the binding or width no longer fits; ``discard`` poisons
-    the pool -- terminating any live worker -- so hung or crashed
-    workers are never reused and never orphaned.  All mutation happens
-    in the owning parent process: a forked child inherits the
-    bookkeeping by memory copy but the owner-pid guard turns its
-    ``discard`` into a reference drop, so a worker can never tear down
-    its parent's executor.
+    This is a **bounded registry of capacity one**: ``acquire`` hands
+    back a live executor bound to the requesting calculator's current
+    snapshot, and when a *different* calculator (or a wider width)
+    binds, the previous pool is evicted -- shut down and its workers
+    terminated -- before the new one starts, so a sweep over many
+    calculators can never accumulate one forked pool per calculator
+    with only atexit cleanup.  ``discard`` poisons the pool the same
+    way, so hung or crashed workers are never reused and never
+    orphaned.  ``pools_started``/``pools_evicted`` in
+    :meth:`diagnostics` audit this invariant: their difference is the
+    number of live pools, which never exceeds one.
+
+    All mutation happens in the owning parent process: a forked child
+    inherits the bookkeeping by memory copy but the owner-pid guard
+    turns its ``discard`` into a reference drop, so a worker can never
+    tear down its parent's executor.
     """
 
     def __init__(self) -> None:
@@ -1904,6 +1973,8 @@ class _PersistentPool:
         self._max_workers = 0
         self._owner_pid: int | None = None
         self._runs = itertools.count(1)
+        self._started = 0
+        self._evicted = 0
 
     def warm_for(self, calc: "StageDelayCalculator") -> bool:
         """True if a sweep for ``calc`` would reuse live workers."""
@@ -1929,6 +2000,7 @@ class _PersistentPool:
         self._binding = (calc._pool_token, calc._pool_epoch)
         self._max_workers = workers
         self._owner_pid = os.getpid()
+        self._started += 1
         return self._executor, False
 
     def next_run_token(self) -> int:
@@ -1956,14 +2028,23 @@ class _PersistentPool:
         for proc in procs:
             if proc.is_alive():
                 proc.terminate()
+        self._evicted += 1
 
     def diagnostics(self) -> dict:
-        """JSON-friendly snapshot of the pool state (tests, bench)."""
+        """JSON-friendly snapshot of the pool state (tests, bench).
+
+        ``pools_started - pools_evicted`` counts the pools currently
+        alive in this process; the capacity-one registry keeps it at 0
+        or 1 -- a multi-calculator (e.g. multi-corner) sweep can never
+        leave more than one pool behind.
+        """
         return {
             "live": self._executor is not None,
             "max_workers": self._max_workers,
             "owner_pid": self._owner_pid,
             "binding": list(self._binding) if self._binding else None,
+            "pools_started": self._started,
+            "pools_evicted": self._evicted,
         }
 
 
@@ -1989,9 +2070,11 @@ def pool_diagnostics() -> dict:
     return _POOL.diagnostics()
 
 
-#: Worker-side state: the fork-inherited calculator snapshot and the run
-#: token of the sweep the worker last extracted for.
+#: Worker-side state: the fork-inherited calculator snapshot, per-corner
+#: retargeted views of it, and the run token of the sweep the worker
+#: last extracted for.
 _POOL_CALC: "StageDelayCalculator | None" = None
+_POOL_RETARGETED: "dict[Technology, StageDelayCalculator]" = {}
 _POOL_RUN_TOKEN: int | None = None
 
 
@@ -2007,12 +2090,34 @@ def _pool_init(calc: "StageDelayCalculator") -> None:
     """
     global _POOL_CALC, _POOL_RUN_TOKEN
     _POOL_CALC = calc
+    _POOL_RETARGETED.clear()
     _POOL_RUN_TOKEN = None
     _POOL.discard()  # child side: reference drop only (owner-pid guard)
 
 
+def _pool_calc_for(tech: Technology) -> "StageDelayCalculator":
+    """The worker's calculator view for ``tech``.
+
+    An MCMM sweep fans scenarios over one fixed pool; the fork snapshot
+    holds the *base* corner, and other corners are served by retargeted
+    views built on first use (sharing the snapshot's structural facts)
+    and kept for the rest of the pool's life -- each keeps its own
+    corner-specific delay caches warm across sweeps.
+    """
+    calc = _POOL_CALC
+    assert calc is not None
+    if tech == calc.tech:
+        return calc
+    view = _POOL_RETARGETED.get(tech)
+    if view is None:
+        view = calc.retarget(tech)
+        _POOL_RETARGETED[tech] = view
+    return view
+
+
 def _pool_extract(
     run_token: int,
+    tech: Technology,
     active_clocks: frozenset[str] | None,
     open_gates: frozenset[str],
     indices: list[int],
@@ -2021,14 +2126,16 @@ def _pool_extract(
     # them to crash/hang this worker or corrupt its return value (fork
     # workers inherit the installed handler by memory copy).
     global _POOL_RUN_TOKEN
-    calc = _POOL_CALC
-    assert calc is not None
     if run_token != _POOL_RUN_TOKEN:
         # New sweep: drop arcs cached by earlier sweeps so repeated
         # measurements do honest work.  Device facts and node-cap caches
         # persist -- amortizing those is the pool's entire point.
-        calc._arc_cache.clear()
+        assert _POOL_CALC is not None
+        _POOL_CALC._arc_cache.clear()
+        for view in _POOL_RETARGETED.values():
+            view._arc_cache.clear()
         _POOL_RUN_TOKEN = run_token
+    calc = _pool_calc_for(tech)
     out = []
     for index in indices:
         robust.fault_point("worker-task", index)

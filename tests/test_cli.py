@@ -76,7 +76,14 @@ class TestAnalyze:
     def test_workers_flag_rejects_garbage(self, chain_file, capsys):
         with pytest.raises(SystemExit):
             main(["analyze", chain_file, "--workers", "many"])
-        assert "expected an integer or 'auto'" in capsys.readouterr().err
+        assert "expected a positive integer or 'auto'" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["0", "-2"])
+    def test_workers_flag_rejects_non_positive(self, chain_file, bad, capsys):
+        # 0 used to silently mean 1; it is a parse error now.
+        with pytest.raises(SystemExit):
+            main(["analyze", chain_file, "--workers", bad])
+        assert "expected a positive integer or 'auto'" in capsys.readouterr().err
 
     def test_race_sets_exit_code(self, tmp_path, capsys):
         from repro import Netlist
@@ -337,7 +344,7 @@ class TestErrorPolicyFlags:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         validate_report(payload)
-        assert payload["schema_version"] == "1.1.0"
+        assert payload["schema_version"] == "1.2.0"
         assert payload["diagnostics"]["policy"] == "quarantine"
         assert payload["diagnostics"]["records"]
         assert payload["diagnostics"]["coverage"]["complete"] is False

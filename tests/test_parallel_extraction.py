@@ -127,9 +127,17 @@ class TestWorkerConfiguration:
         assert arcs
         assert tv.calculator._arc_cache
 
-    def test_workers_floor_is_one(self):
-        tv = TimingAnalyzer(ripple_adder(4), workers=0)
-        assert tv.workers == 1
+    @pytest.mark.parametrize("bad", [0, -1, -8, "0", "-3", True, False])
+    def test_non_positive_and_bool_workers_rejected(self, bad):
+        # workers=0 used to be silently clamped to 1, hiding caller
+        # bugs; it is a loud StageError now (bools included: True is a
+        # misplaced parallel=True, not a width of 1).
+        with pytest.raises(StageError):
+            TimingAnalyzer(ripple_adder(4), workers=bad)
+
+    def test_workers_one_and_auto_still_accepted(self):
+        assert TimingAnalyzer(ripple_adder(4), workers=1).workers == 1
+        assert TimingAnalyzer(ripple_adder(4), workers="auto").workers == "auto"
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(StageError):

@@ -113,7 +113,7 @@ class TestQuarantinePolicy:
 
         Under ``quarantine`` the analysis completes, the broken stage is
         excised (coverage < 100%), a typed diagnostic names the ERC rule,
-        and the JSON report validates against schema 1.1.0.
+        and the JSON report validates against the current schema.
         """
         net = chain_with_ratio_error(n=4, bad=1)
         tv = TimingAnalyzer(net, on_error=robust.QUARANTINE)
@@ -133,7 +133,7 @@ class TestQuarantinePolicy:
         assert all(d.stage is not None for d in quarantined)
 
         payload = result.to_json()
-        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == "1.1.0"
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == "1.2.0"
         validate_report(payload)
         assert payload["diagnostics"]["policy"] == "quarantine"
         assert payload["diagnostics"]["records"]
