@@ -34,6 +34,7 @@ reconstructed evaluation.
 from .errors import (
     ClockingError,
     ConvergenceError,
+    DeadlineError,
     ElectricalRuleError,
     FlowError,
     NetlistError,
@@ -54,7 +55,26 @@ from .errors import ReportSchemaError
 from .tech import FF, KOHM, NMOS4, NS, PF, PS, UM, Technology
 from .trace import NULL_TRACE, NullTrace, Trace, get_logger
 
-__version__ = "1.0.0"
+def _resolve_version() -> str:
+    """The package version, from installed metadata when available.
+
+    A source checkout run via ``PYTHONPATH=src`` has no installed
+    distribution, so the value falls back to the setup.py version.  The
+    CLI ``--version`` flag and the serve daemon's ``/healthz`` payload
+    both report this, letting clients pin against schema drift.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - python < 3.8
+        return "1.0.0"
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return "1.0.0"
+
+
+__version__ = _resolve_version()
+del _resolve_version
 
 __all__ = [
     "__version__",
@@ -79,6 +99,7 @@ __all__ = [
     "SimFormatError",
     "ElectricalRuleError",
     "StageError",
+    "DeadlineError",
     "FlowError",
     "TimingError",
     "ClockingError",

@@ -55,9 +55,11 @@ def save_result(name: str, text: str) -> None:
             / "benchmarks"
             / "results"
         )
+    from ..core import atomic_write_text
+
     try:
         results_dir.mkdir(parents=True, exist_ok=True)
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(results_dir / f"{name}.txt", text + "\n")
     except OSError as exc:
         print(
             f"warning: could not save {name!r} under {results_dir}: {exc}",

@@ -39,7 +39,7 @@ import sys
 import time
 
 from ..circuits import mips_like_datapath
-from ..core import TimingAnalyzer
+from ..core import TimingAnalyzer, atomic_write_text
 from ..core.mcmm import corner_scenarios
 from ..delay import available_cpus, shutdown_pool
 from ..tech import Technology
@@ -253,7 +253,9 @@ def main(argv: list[str] | None = None) -> int:
     payload, failures = run(
         smoke=args.smoke, repeat=args.repeat, workers=workers
     )
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(
+        OUTPUT_PATH, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:

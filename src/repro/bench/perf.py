@@ -101,7 +101,7 @@ from ..circuits import (
     toy_cpu,
     xor2,
 )
-from ..core import TimingAnalyzer
+from ..core import TimingAnalyzer, atomic_write_json
 from ..core.arrival import propagate
 from ..core.graph import TimingGraph
 from ..delay import FALL, RISE, auto_workers, available_cpus, shutdown_pool
@@ -495,7 +495,7 @@ def run(
         "regressions": failures,
         "pass": not failures,
     }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(output, payload)
     print(f"wrote {output}")
     return payload, failures
 

@@ -345,6 +345,50 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .serve import TimingServer
+
+    server = TimingServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        cache_dir=args.cache_dir,
+        default_deadline=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        default_on_error=args.on_error,
+    )
+    tech = Technology.from_json(args.tech) if args.tech else None
+    for path in args.netlist:
+        with open(path) as fp:
+            sim_text = fp.read()
+        name = os.path.splitext(os.path.basename(path))[0]
+        info = server.load(name, {"sim": sim_text,
+                                  **({"tech": tech.to_dict()} if tech else {})})
+        print(f"loaded {name}: {info['devices']} devices, "
+              f"{info['stages']} stages")
+
+    def _graceful(signum, frame):
+        # Runs on the main thread between serve_forever's polls; stop()
+        # drains in-flight requests and reaps the worker pool, then
+        # serve_forever returns and we exit 0 -- a clean drain, which is
+        # what a container supervisor sending SIGTERM wants.
+        server.stop()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    print(f"repro serve: listening on http://{args.host}:{server.port} "
+          f"(designs: {len(server.sessions)}, workers: {args.workers}, "
+          f"max in-flight: {args.max_inflight})",
+          flush=True)
+    server.serve_forever()
+    server.stop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -455,6 +499,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the hazard list as JSON")
     p.set_defaults(func=_cmd_charge)
+
+    p = sub.add_parser(
+        "serve",
+        help="resident analysis daemon (JSON over HTTP)",
+        description="Hold parsed designs hot and answer "
+                    "analyze/explain/charge/delta queries over HTTP; "
+                    "see docs/cli.md for the endpoint reference.",
+    )
+    p.add_argument("netlist", nargs="*",
+                   help=".sim netlist file(s) to pre-load (the stem "
+                        "names the design); more can be loaded over HTTP")
+    p.add_argument("--tech", help="JSON technology/process file",
+                   default=None)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8731,
+                   help="TCP port (0 picks a free one; default 8731)")
+    p.add_argument("--workers", type=_workers_spec, default=1,
+                   metavar="N|auto",
+                   help="arc-extraction pool width per engine run, as in "
+                        "'analyze' (default: 1)")
+    p.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                   help="admission limit: analysis requests beyond this "
+                        "are refused with 429 + Retry-After (default: 8)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist the content-addressed result cache "
+                        "here (atomic writes; survives restarts)")
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="default per-request extraction deadline; "
+                        "requests may override with their own "
+                        "'deadline_ms'")
+    p.add_argument("--on-error",
+                   choices=("strict", "quarantine", "best-effort"),
+                   default="strict",
+                   help="default error policy for loaded designs "
+                        "(requests may override per call)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("optimize", help="critical-path resizing loop")
     _add_common(p)

@@ -44,6 +44,8 @@ from .paths import PathStep, TimingPath, critical_paths, trace_path
 from .report import (
     REPORT_SCHEMA,
     REPORT_SCHEMA_VERSION,
+    atomic_write_json,
+    atomic_write_text,
     design_fingerprint,
     format_ns,
     format_table,
@@ -93,4 +95,6 @@ __all__ = [
     "result_to_json",
     "schema_markdown",
     "validate_report",
+    "atomic_write_json",
+    "atomic_write_text",
 ]

@@ -24,6 +24,7 @@ device count -- the property benchmarked in experiment R-T3.
 
 from __future__ import annotations
 
+import threading
 import time as _time
 from dataclasses import dataclass, field
 
@@ -204,6 +205,17 @@ class TimingAnalyzer:
         ``"best-effort"`` additionally downgrades recoverable flow/timing
         errors (e.g. a netlist with no primary inputs) to diagnostics on
         a degraded result.
+
+    Thread safety
+    -------------
+    One analyzer may be shared by several threads: :meth:`analyze`,
+    :meth:`notify_changed`, and :meth:`explain` serialize on an internal
+    reentrant engine lock, so an analysis always sees either all or none
+    of a concurrent edit, never a half-invalidated cache.  The lock is
+    what the serve daemon's per-design sessions rely on; it is reentrant
+    so ``explain()`` may call ``analyze()`` under it.  Distinct analyzers
+    never share mutable state (scenario siblings from
+    :meth:`analyze_mcmm` share the parent's lock).
     """
 
     def __init__(
@@ -223,6 +235,9 @@ class TimingAnalyzer:
     ):
         self.trace = NULL_TRACE if trace is None else trace
         self.netlist = netlist
+        #: Serializes analyze/notify_changed/explain across threads (see
+        #: "Thread safety" in the class docstring).  Reentrant.
+        self._engine_lock = threading.RLock()
         self.on_error = robust.validate_policy(on_error)
         #: Analyzer-level diagnostics (ERC skips, downgraded flow/timing
         #: errors); stage quarantines live on ``calculator.diagnostics``.
@@ -404,8 +419,10 @@ class TimingAnalyzer:
         """Invalidate cached timing for edited devices (e.g. after a
         resize), so the next :meth:`analyze` recomputes only the affected
         stages.  Topology changes (added/removed devices or nodes) need a
-        fresh analyzer; this hook covers parameter edits only."""
-        self.calculator.invalidate_devices(device_names)
+        fresh analyzer; this hook covers parameter edits only.  Atomic
+        with respect to concurrent :meth:`analyze` calls."""
+        with self._engine_lock:
+            self.calculator.invalidate_devices(device_names)
 
     # ------------------------------------------------------------------
     def analyze(
@@ -414,26 +431,45 @@ class TimingAnalyzer:
         *,
         top_k: int = 5,
         input_slew: float = DEFAULT_INPUT_SLEW,
+        deadline: float | None = None,
     ) -> AnalysisResult:
         """Run the full analysis and return an :class:`AnalysisResult`.
 
         ``input_arrivals`` maps primary-input names to their availability
         times (seconds); unlisted inputs default to time 0.
+
+        ``deadline`` is an optional wall-clock budget in seconds for this
+        call's arc extraction.  When it runs out, behaviour follows the
+        error policy: ``strict`` raises
+        :class:`~repro.errors.DeadlineError`; ``quarantine`` /
+        ``best-effort`` skip the not-yet-extracted stages and return a
+        degraded result whose ``diagnostics`` carry a
+        ``deadline-exceeded`` record and whose ``coverage`` counts the
+        skips.  Deadline skips never persist: the next call starts with
+        full coverage again (cached stages are always served, so a warm
+        design loses nothing).
         """
-        started = _time.perf_counter()
-        if self.clock is not None and self.netlist.clocks:
-            result = self._analyze_two_phase(input_arrivals, top_k)
-        else:
-            result = self._analyze_combinational(
-                input_arrivals, top_k, input_slew
-            )
-        result.analysis_seconds = _time.perf_counter() - started
-        result.policy = self.on_error
-        result.diagnostics = list(self.diagnostics) + list(
-            self.calculator.diagnostics
-        )
-        result.coverage = self._coverage()
-        return result
+        with self._engine_lock:
+            started = _time.perf_counter()
+            self.calculator.set_deadline(deadline)
+            try:
+                if self.clock is not None and self.netlist.clocks:
+                    result = self._analyze_two_phase(input_arrivals, top_k)
+                else:
+                    result = self._analyze_combinational(
+                        input_arrivals, top_k, input_slew
+                    )
+                result.analysis_seconds = _time.perf_counter() - started
+                result.policy = self.on_error
+                result.diagnostics = (
+                    list(self.diagnostics)
+                    + list(self.calculator.diagnostics)
+                    + list(self.calculator.deadline_diagnostics)
+                )
+                result.coverage = self._coverage()
+                return result
+            finally:
+                self.calculator.deadline = None
 
     def analyze_mcmm(
         self,
@@ -478,6 +514,7 @@ class TimingAnalyzer:
         clone = object.__new__(TimingAnalyzer)
         clone.trace = self.trace
         clone.netlist = self.netlist
+        clone._engine_lock = self._engine_lock
         clone.on_error = self.on_error
         clone.diagnostics = list(self.diagnostics)
         clone._erc_errors = self._erc_errors
@@ -495,8 +532,15 @@ class TimingAnalyzer:
         return clone
 
     def _coverage(self) -> robust.Coverage:
-        """Analyzed-vs-quarantined accounting over the stage graph."""
-        quarantined = self.calculator.quarantined
+        """Analyzed-vs-quarantined accounting over the stage graph.
+
+        Deadline-skipped stages count as unanalyzed alongside the
+        quarantined ones (they were not, after all, analyzed) -- but only
+        for the run that skipped them.
+        """
+        quarantined = (
+            self.calculator.quarantined | self.calculator.deadline_skipped
+        )
         q_devices: set[str] = set()
         q_nodes: set[str] = set()
         for index in quarantined:
@@ -535,6 +579,15 @@ class TimingAnalyzer:
 
         Raises :class:`TimingError` if the node has no recorded arrival.
         """
+        with self._engine_lock:
+            return self._explain_locked(node, transition, result)
+
+    def _explain_locked(
+        self,
+        node: str,
+        transition: str | None,
+        result: AnalysisResult | None,
+    ) -> Explanation:
         if result is None:
             result = self.analyze()
         slope = self.calculator.slope

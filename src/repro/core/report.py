@@ -30,6 +30,8 @@ Regenerate the schema reference with::
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 from ..errors import ReportSchemaError
 from ..netlist import Netlist
@@ -46,6 +48,8 @@ __all__ = [
     "design_fingerprint",
     "slack_histogram",
     "format_table",
+    "atomic_write_text",
+    "atomic_write_json",
 ]
 
 #: Version of the JSON report contract (semver).
@@ -1123,6 +1127,43 @@ def schema_markdown() -> str:
         lines.extend(_object_table(sub))
     lines.append("")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Atomic file emission.
+# ----------------------------------------------------------------------
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader never observes a half-written file and a SIGKILL mid-write
+    leaves the previous contents intact: the text lands in a uniquely
+    named temporary sibling, is fsync'd, and is renamed over the target
+    in one atomic step.  Used for every JSON artifact the package
+    persists -- bench results, the serve result cache -- where a torn
+    file would poison later runs.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path, payload, *, indent: int = 2) -> None:
+    """Serialize ``payload`` and :func:`atomic_write_text` it to ``path``."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
 
 
 # ----------------------------------------------------------------------

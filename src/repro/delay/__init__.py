@@ -32,6 +32,7 @@ from .stage_delay import (
     auto_workers,
     available_cpus,
     parallel_crossover,
+    install_sigterm_cleanup,
     pool_diagnostics,
     shutdown_pool,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "auto_workers",
     "available_cpus",
     "parallel_crossover",
+    "install_sigterm_cleanup",
     "pool_diagnostics",
     "shutdown_pool",
 ]

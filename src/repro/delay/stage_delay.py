@@ -69,12 +69,14 @@ import itertools
 import math
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, replace
 
 from .. import robust
-from ..errors import ReproError, StageError
+from ..errors import DeadlineError, ReproError, StageError
 from ..trace import NULL_TRACE
 from ..netlist import DeviceKind, FlowDirection, Netlist, Transistor
 from ..stages import Stage, StageGraph
@@ -435,6 +437,20 @@ class StageDelayCalculator:
         self.task_timeout = 60.0
         self.task_retries = 2
         self.retry_backoff = 0.05
+        #: Optional absolute ``time.monotonic()`` extraction deadline,
+        #: armed per run via :meth:`set_deadline`.  Once it passes,
+        #: uncached stages raise :class:`~repro.errors.DeadlineError`
+        #: under ``strict`` and are skipped (with a ``deadline-exceeded``
+        #: diagnostic) under the degraded policies; cached stages are
+        #: always served -- a cache hit is free.
+        self.deadline: float | None = None
+        #: Transient per-run accounting: stages skipped because the
+        #: deadline passed, and the diagnostics describing the skips.
+        #: Unlike ``quarantined``/``diagnostics`` these never persist --
+        #: the next :meth:`set_deadline` clears them, so one run that
+        #: timed out cannot poison the next.
+        self.deadline_skipped: set[int] = set()
+        self.deadline_diagnostics: list[robust.Diagnostic] = []
         self._cap_cache: dict[str, float] = {}
         self._arc_cache: dict[tuple, list[StageArc]] = {}
         # name -> (gate, group, source, out_of_source, out_of_drain,
@@ -548,12 +564,30 @@ class StageDelayCalculator:
         clone.task_timeout = self.task_timeout
         clone.task_retries = self.task_retries
         clone.retry_backoff = self.retry_backoff
+        clone.deadline = self.deadline
         clone.quarantined = set(self.quarantined)
         clone.diagnostics = list(self.diagnostics)
         clone._device_facts = self._device_fact_map()
         clone._pool_token = self._pool_token
         clone._pool_epoch = self._pool_epoch
         return clone
+
+    def set_deadline(self, budget: float | None) -> None:
+        """Arm (``budget`` seconds from now) or clear the run deadline.
+
+        Always resets the transient deadline accounting of the previous
+        run (``deadline_skipped``/``deadline_diagnostics``): deadline
+        skips are per-run by design, so a request that ran out of time
+        never shrinks the coverage of the next one.
+        """
+        self.deadline = (
+            None if budget is None else time.monotonic() + budget
+        )
+        self.deadline_skipped.clear()
+        self.deadline_diagnostics.clear()
+
+    def _deadline_expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
 
     def quarantine_stage(
         self,
@@ -637,8 +671,32 @@ class StageDelayCalculator:
         if use_pool:
             self._extract_parallel(active_clocks, open_gates, resolved)
         result: list[StageArc] = []
+        expired = False
+        skipped = 0
         for stage in self.graph:
-            if stage.index in self.quarantined:
+            if (
+                stage.index in self.quarantined
+                or stage.index in self.deadline_skipped
+            ):
+                continue
+            cached = self._arc_cache.get(
+                (stage.index, active_clocks, open_gates)
+            )
+            if cached is not None:
+                # A cache hit costs nothing; serve it even past the
+                # deadline so a warm design degrades as little as possible.
+                result.extend(cached)
+                continue
+            if not expired and self._deadline_expired():
+                expired = True
+            if expired:
+                if self.on_error == robust.STRICT:
+                    raise DeadlineError(
+                        "extraction deadline exceeded at stage "
+                        f"{stage.index} of {len(self.graph)}"
+                    )
+                self.deadline_skipped.add(stage.index)
+                skipped += 1
                 continue
             try:
                 robust.fault_point("stage-arcs", stage.index)
@@ -659,6 +717,21 @@ class StageDelayCalculator:
                 )
                 continue
             result.extend(stage_arcs)
+        if skipped:
+            self.trace.incr("extract_deadline_skips", skipped)
+            self.deadline_diagnostics.append(
+                robust.Diagnostic(
+                    code="deadline-exceeded",
+                    severity="error",
+                    subject=self.netlist.name,
+                    stage=None,
+                    action="skipped",
+                    message=(
+                        f"extraction deadline passed; {skipped} stage(s) "
+                        "left unanalyzed this run"
+                    ),
+                )
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -750,6 +823,10 @@ class StageDelayCalculator:
             for attempt in range(self.task_retries + 1):
                 if not pending:
                     return
+                if self._deadline_expired():
+                    # No time left for another pool attempt; the serial
+                    # walk will apply the deadline policy stage by stage.
+                    break
                 if attempt:
                     self.trace.incr("extract_retries", len(pending))
                     time.sleep(backoff)
@@ -821,8 +898,23 @@ class StageDelayCalculator:
                 for chunk in chunks
             ]
             for future, chunk in futures:
+                timeout = self.task_timeout
+                if self.deadline is not None:
+                    remaining = self.deadline - time.monotonic()
+                    if remaining <= 0:
+                        # The request deadline passed mid-sweep: cancel
+                        # the pooled extraction instead of waiting it
+                        # out.  Unstarted tasks are dropped; a task
+                        # already running poisons the pool so its worker
+                        # is terminated, never orphaned.
+                        if not future.cancel():
+                            future.add_done_callback(_swallow_result)
+                            poisoned = True
+                        failed.append(chunk)
+                        continue
+                    timeout = min(timeout, remaining)
                 try:
-                    extracted = future.result(timeout=self.task_timeout)
+                    extracted = future.result(timeout=timeout)
                 except concurrent.futures.TimeoutError:
                     self.trace.incr("extract_timeouts")
                     future.add_done_callback(_swallow_result)
@@ -2063,6 +2155,48 @@ def shutdown_pool() -> None:
 
 
 atexit.register(shutdown_pool)
+
+
+def install_sigterm_cleanup() -> bool:
+    """Make SIGTERM reap the persistent pool before the process dies.
+
+    atexit covers normal interpreter exit and ``KeyboardInterrupt``, but a
+    containerized run is stopped with SIGTERM, whose default disposition
+    kills the process *without* running atexit hooks -- leaking fork-pool
+    workers as orphans.  This installs a handler that shuts the pool down,
+    restores the default disposition, and re-raises the signal against the
+    process itself so the observed exit status stays ``128 + SIGTERM``.
+
+    Installed at import time, but only when it cannot stomp on anyone
+    else: the handler goes in solely if the current disposition is the
+    default one and we are on the main thread (signal handlers cannot be
+    set elsewhere).  Returns ``True`` if the handler was installed.
+    Applications that set their own SIGTERM handler (e.g. ``repro
+    serve``) are responsible for calling :func:`shutdown_pool` in it.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    try:
+        current = signal.getsignal(signal.SIGTERM)
+    except (ValueError, AttributeError):  # pragma: no cover - exotic host
+        return False
+    if current is not signal.SIG_DFL:
+        return False
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - exercised in a
+        # subprocess by tests/test_serve_faults.py (coverage can't see it)
+        shutdown_pool()
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # pragma: no cover - non-main interp
+        return False
+    return True
+
+
+install_sigterm_cleanup()
 
 
 def pool_diagnostics() -> dict:

@@ -55,6 +55,18 @@ class StageError(ReproError):
     """Stage decomposition or node classification failed."""
 
 
+class DeadlineError(StageError):
+    """An analysis deadline expired under the ``strict`` error policy.
+
+    Raised by arc extraction when a per-run deadline (see
+    ``TimingAnalyzer.analyze(deadline=...)``) passes before every stage
+    is extracted.  The degraded policies (``quarantine``/``best-effort``)
+    never raise this: they skip the remaining stages and report a
+    ``deadline-exceeded`` diagnostic instead.  The serve daemon maps this
+    to HTTP 504.
+    """
+
+
 class FlowError(ReproError):
     """Signal-flow direction inference failed or was contradictory."""
 

@@ -1,0 +1,45 @@
+"""Timing-as-a-service: the resident incremental analysis daemon.
+
+The paper's pitch is that static timing analysis is cheap enough to run
+*constantly* during design iteration.  This package is the serving
+surface that makes the claim operational: a long-lived daemon holding
+parsed designs hot, answering analyze/explain/charge queries over
+JSON-HTTP against the versioned report schema, accepting netlist deltas
+that re-run only invalidated stages, and degrading -- never crashing --
+under worker faults, deadlines, and overload.
+
+Layers (each usable on its own):
+
+* :class:`~repro.serve.rwlock.RWLock` -- writer-preferring
+  readers-writer lock;
+* :class:`~repro.serve.cache.ResultCache` / ``cache_key`` --
+  content-addressed report cache (memory LRU + atomic on-disk layer);
+* :class:`~repro.serve.session.DesignSession` -- one hot design: the
+  engine, its edit epoch, locking, and memoization;
+* :class:`~repro.serve.server.TimingServer` -- the HTTP daemon:
+  routing, admission control, graceful drain.
+
+Start one from Python::
+
+    from repro.serve import TimingServer
+
+    server = TimingServer(port=0).start()   # port=0: pick a free port
+    ...                                      # requests go to server.port
+    server.stop()
+
+or from the shell: ``repro serve --port 8731 --workers auto``.
+"""
+
+from .cache import ResultCache, cache_key
+from .rwlock import RWLock
+from .server import HttpError, TimingServer
+from .session import DesignSession
+
+__all__ = [
+    "RWLock",
+    "ResultCache",
+    "cache_key",
+    "DesignSession",
+    "TimingServer",
+    "HttpError",
+]

@@ -1,0 +1,134 @@
+"""Content-addressed result cache for the serve daemon.
+
+A timing report is a pure function of (netlist text, technology,
+analysis options), so the daemon caches reports under the SHA-256 of
+exactly that triple.  Two layers:
+
+* an in-memory LRU (bounded, per-process) serving warm queries with a
+  dict lookup;
+* an optional on-disk layer (``<dir>/<sha>.json``) surviving restarts,
+  written with :func:`repro.core.report.atomic_write_json` -- a SIGKILL
+  mid-write leaves either the old file or no file, never a torn one.
+
+A disk entry that fails to parse (however it got damaged) is treated as
+a miss and deleted.  Degraded reports whose coverage was cut short by a
+*deadline* are never stored: a later query with more time budget must
+be able to do better.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+
+from ..core.report import atomic_write_json
+
+__all__ = ["ResultCache", "cache_key"]
+
+
+def cache_key(sim_text: str, tech_json: dict, options: dict) -> str:
+    """SHA-256 over the canonical (netlist, technology, options) triple.
+
+    ``options`` must be JSON-serializable; keys are sorted so dict
+    construction order never changes the hash.
+    """
+    blob = json.dumps(
+        {"sim": sim_text, "tech": tech_json, "options": options},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU of report payloads, optionally persisted to a directory.
+
+    Thread-safe: the daemon's handler threads share one instance.
+    ``memory_limit`` bounds only the in-memory layer; the disk layer
+    keeps everything it is given (reports are a few kilobytes each).
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike | None = None, memory_limit: int = 256
+    ) -> None:
+        if memory_limit < 1:
+            raise ValueError("memory_limit must be >= 1")
+        self.directory = os.fspath(directory) if directory is not None else None
+        self.memory_limit = memory_limit
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.corrupt_evictions = 0
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, key + ".json")
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload for ``key``, or None."""
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return payload
+        if self.directory is not None:
+            try:
+                with open(self._path(key)) as handle:
+                    payload = json.load(handle)
+            except FileNotFoundError:
+                payload = None
+            except (OSError, ValueError):
+                # Damaged entry: drop it and report a miss.
+                try:
+                    os.unlink(self._path(key))
+                except OSError:
+                    pass
+                with self._lock:
+                    self.corrupt_evictions += 1
+                payload = None
+            if payload is not None:
+                with self._lock:
+                    self._remember(key, payload)
+                    self.hits += 1
+                    self.disk_hits += 1
+                return payload
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` in memory and (if configured) on disk."""
+        with self._lock:
+            self._remember(key, payload)
+        if self.directory is not None:
+            try:
+                atomic_write_json(self._path(key), payload)
+            except OSError:
+                pass  # a read-only disk layer degrades to memory-only
+
+    def _remember(self, key: str, payload: dict) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_limit:
+            self._memory.popitem(last=False)
+
+    def stats(self) -> dict:
+        """Hit/miss counters and sizes for ``/stats``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries_memory": len(self._memory),
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "corrupt_evictions": self.corrupt_evictions,
+                "hit_rate": (self.hits / total) if total else None,
+                "persistent": self.directory is not None,
+            }

@@ -1,0 +1,98 @@
+"""A writer-preferring readers-writer lock for per-design sessions.
+
+The serve daemon lets any number of clients *read* one design
+concurrently (cache-hit queries, charge checks, stats) while edits --
+netlist deltas, engine runs that mutate analyzer caches -- take the
+exclusive write side.  Writer preference keeps a steady stream of cheap
+reads from starving a delta: once a writer is waiting, new readers
+queue behind it.
+
+The lock is not reentrant and read->write upgrades deadlock by design
+(two upgraders would wait on each other); callers decide the side up
+front, which the :class:`~repro.serve.session.DesignSession` methods
+do.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """Readers-writer lock, writer-preferring, context-manager based.
+
+    Use :meth:`read_locked` / :meth:`write_locked`::
+
+        lock = RWLock()
+        with lock.read_locked():
+            ...  # shared with other readers
+        with lock.write_locked():
+            ...  # exclusive
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Block until no writer holds or awaits the lock, then share it."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Drop a shared hold; wakes waiting writers at zero readers."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until the lock is exclusively ours."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        """Drop the exclusive hold; wakes all waiters."""
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        """Context manager holding the shared (read) side."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """Context manager holding the exclusive (write) side."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def stats(self) -> dict:
+        """Instantaneous holder counts (for ``/stats`` introspection)."""
+        with self._cond:
+            return {
+                "readers": self._readers,
+                "writer": self._writer,
+                "writers_waiting": self._writers_waiting,
+            }

@@ -1,0 +1,343 @@
+"""Per-design sessions: the serving side of the session/engine split.
+
+A :class:`DesignSession` owns everything the daemon keeps hot for one
+loaded design: the parsed netlist, a :class:`~repro.core.TimingAnalyzer`
+(the *engine* -- structural products and warm arc caches), an edit
+epoch, and a writer-preferring :class:`~repro.serve.rwlock.RWLock`
+coordinating concurrent clients.  Reads (cache-hit queries, charge
+checks) share the lock; engine runs and netlist deltas take the write
+side.  The analyzer's own internal lock (see ``TimingAnalyzer``
+"Thread safety") is the second line of defence; the session lock exists
+so *reads can be concurrent*, which an exclusive engine lock alone
+cannot give.
+
+Reports are memoized two ways:
+
+* JSON payloads in the shared content-addressed
+  :class:`~repro.serve.cache.ResultCache` -- keyed on the hash of
+  (current ``.sim`` text, technology, options), so a delta automatically
+  misses and an edit toggled back automatically hits again;
+* live :class:`~repro.core.AnalysisResult` objects (a tiny per-session
+  LRU) so ``explain`` can reuse the arrival maps of the analysis it is
+  explaining instead of re-running it.
+
+Per-request error policies: ``on_error`` may be overridden per call
+(e.g. a best-effort query against a strictly-loaded design).  The
+override applies to *extraction and analysis*; ERC ran once at load
+time under the session policy, so load-time quarantines are part of the
+session, not the request.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+
+from .. import robust
+from ..core import TimingAnalyzer, charge_sharing_report
+from ..errors import NetlistError
+from ..netlist import sim_dumps, sim_loads
+from ..tech import NMOS4, Technology
+from .cache import ResultCache, cache_key
+from .rwlock import RWLock
+
+__all__ = ["DesignSession"]
+
+#: Live AnalysisResult objects kept per session for explain reuse.
+_RESULT_MEMO_LIMIT = 4
+
+
+class DesignSession:
+    """One loaded design plus the machinery to query and edit it safely."""
+
+    def __init__(
+        self,
+        name: str,
+        sim_text: str,
+        *,
+        tech: Technology | None = None,
+        model: str = "elmore",
+        on_error: str = robust.STRICT,
+        workers: int | str = 1,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.name = name
+        self.netlist = sim_loads(sim_text, name=name, tech=tech or NMOS4)
+        self.model = model
+        self.analyzer = TimingAnalyzer(
+            self.netlist,
+            model=model,
+            workers=workers,
+            on_error=on_error,
+        )
+        self.cache = cache if cache is not None else ResultCache()
+        self.lock = RWLock()
+        #: Bumped by every applied delta; clients use it to detect edits.
+        self.epoch = 0
+        self.loaded_at = time.time()
+        self.analyses = 0
+        self.deltas = 0
+        self.last_coverage: str | None = None
+        self._sim_text: str | None = sim_text
+        self._results: OrderedDict[str, object] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Option plumbing.
+    # ------------------------------------------------------------------
+    def _policy_for(self, on_error: str | None) -> str:
+        if on_error is None:
+            return self.analyzer.on_error
+        return robust.validate_policy(on_error)
+
+    @contextmanager
+    def _policy(self, policy: str):
+        """Temporarily run the engine under ``policy``.
+
+        Only ever entered under the write lock, so no concurrent request
+        can observe the swapped policy.
+        """
+        analyzer = self.analyzer
+        if policy == analyzer.on_error:
+            yield
+            return
+        old = (analyzer.on_error, analyzer.calculator.on_error)
+        analyzer.on_error = policy
+        analyzer.calculator.on_error = policy
+        try:
+            yield
+        finally:
+            analyzer.on_error, analyzer.calculator.on_error = old
+
+    def current_sim_text(self) -> str:
+        """The design's current ``.sim`` text (tracks deltas)."""
+        if self._sim_text is None:
+            self._sim_text = sim_dumps(self.netlist)
+        return self._sim_text
+
+    def _key(
+        self,
+        policy: str,
+        top_k: int,
+        input_arrivals: dict[str, float] | None,
+    ) -> str:
+        options = {
+            "model": self.model,
+            "policy": policy,
+            "top_k": top_k,
+            "input_arrivals": input_arrivals or {},
+        }
+        return cache_key(
+            self.current_sim_text(), self.netlist.tech.to_dict(), options
+        )
+
+    @staticmethod
+    def _cacheable(result) -> bool:
+        """Deadline-cut results must not be cached (more time may do better)."""
+        return not any(
+            d.code == "deadline-exceeded" for d in result.diagnostics
+        )
+
+    def _remember(self, key: str, result) -> None:
+        self._results[key] = result
+        self._results.move_to_end(key)
+        while len(self._results) > _RESULT_MEMO_LIMIT:
+            self._results.popitem(last=False)
+
+    def _run(
+        self,
+        key: str,
+        policy: str,
+        input_arrivals: dict[str, float] | None,
+        top_k: int,
+        deadline: float | None,
+    ):
+        """Engine run under the write lock; returns the AnalysisResult."""
+        with self._policy(policy):
+            result = self.analyzer.analyze(
+                input_arrivals=input_arrivals,
+                top_k=top_k,
+                deadline=deadline,
+            )
+        self.analyses += 1
+        self.last_coverage = (
+            result.coverage.summary() if result.coverage is not None else None
+        )
+        self._remember(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        *,
+        input_arrivals: dict[str, float] | None = None,
+        top_k: int = 5,
+        on_error: str | None = None,
+        deadline: float | None = None,
+        use_cache: bool = True,
+    ) -> tuple[dict, bool, int]:
+        """Full analysis; returns ``(report payload, cached, epoch)``.
+
+        The fast path holds only the read lock: hash the current design
+        state, look the report up in the content-addressed cache.  On a
+        miss the write lock is taken, the cache re-checked (another
+        client may have just filled it), and the engine run.  ``deadline``
+        is the per-request extraction budget in seconds (see
+        ``TimingAnalyzer.analyze``); under the ``strict`` policy an
+        overrun raises :class:`~repro.errors.DeadlineError`.
+        """
+        policy = self._policy_for(on_error)
+        if use_cache:
+            with self.lock.read_locked():
+                key = self._key(policy, top_k, input_arrivals)
+                payload = self.cache.get(key)
+                if payload is not None:
+                    return payload, True, self.epoch
+        with self.lock.write_locked():
+            key = self._key(policy, top_k, input_arrivals)
+            if use_cache:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    return payload, True, self.epoch
+            result = self._run(key, policy, input_arrivals, top_k, deadline)
+            payload = result.to_json()
+            if use_cache and self._cacheable(result):
+                self.cache.put(key, payload)
+            return payload, False, self.epoch
+
+    def explain(
+        self,
+        node: str | None = None,
+        transition: str | None = None,
+        *,
+        input_arrivals: dict[str, float] | None = None,
+        top_k: int = 5,
+        on_error: str | None = None,
+        deadline: float | None = None,
+    ) -> tuple[dict, int]:
+        """Causal chain behind a node's worst arrival, as JSON.
+
+        Reuses the memoized analysis for the same options when one
+        exists (the common "analyze, then explain the critical path"
+        flow costs one engine run, not two).  ``node=None`` explains the
+        critical-path endpoint.
+        """
+        policy = self._policy_for(on_error)
+        with self.lock.write_locked():
+            key = self._key(policy, top_k, input_arrivals)
+            result = self._results.get(key)
+            if result is None:
+                result = self._run(
+                    key, policy, input_arrivals, top_k, deadline
+                )
+            else:
+                self._results.move_to_end(key)
+            if node is None:
+                if not result.paths:
+                    raise NetlistError(
+                        f"design {self.name!r} has no critical path to "
+                        "explain; name a node"
+                    )
+                node = result.paths[0].endpoint
+            with self._policy(policy):
+                explanation = self.analyzer.explain(
+                    node, transition, result=result
+                )
+            return explanation.to_json(), self.epoch
+
+    def charge(self, *, threshold: float = 0.5) -> tuple[dict, int]:
+        """Charge-sharing hazard check (read-only; shares the lock)."""
+        with self.lock.read_locked():
+            hazards = charge_sharing_report(
+                self.netlist, self.analyzer.stage_graph, threshold=threshold
+            )
+            payload = {
+                "schema": "repro-charge-report",
+                "netlist": self.netlist.name,
+                "threshold": threshold,
+                "hazards": [
+                    {
+                        "node": h.node,
+                        "node_class": h.node_class,
+                        "c_store": h.c_store,
+                        "c_shared": h.c_shared,
+                        "retention": h.ratio,
+                        "via": list(h.via),
+                    }
+                    for h in hazards
+                ],
+            }
+            return payload, self.epoch
+
+    # ------------------------------------------------------------------
+    # Edits.
+    # ------------------------------------------------------------------
+    def delta(
+        self,
+        edits: list[dict],
+        *,
+        input_arrivals: dict[str, float] | None = None,
+        top_k: int = 5,
+        on_error: str | None = None,
+        deadline: float | None = None,
+        use_cache: bool = True,
+    ) -> tuple[dict, bool, int]:
+        """Apply device edits and re-analyze incrementally.
+
+        Each edit is ``{"device": name, "w": metres?, "l": metres?}``.
+        The edits route through ``notify_changed``, so only the stages
+        touching an edited device are re-extracted -- every other
+        stage's arcs stay cached in the engine.  Atomic: the write lock
+        spans edit + re-analysis, so no client ever reads a half-edited
+        design, and the returned epoch identifies the new state.
+        """
+        policy = self._policy_for(on_error)
+        with self.lock.write_locked():
+            changed: list[str] = []
+            for edit in edits:
+                if not isinstance(edit, dict) or "device" not in edit:
+                    raise NetlistError(
+                        "each edit must be an object with a 'device' field"
+                    )
+                dev = self.netlist.device(str(edit["device"]))
+                if "w" not in edit and "l" not in edit:
+                    raise NetlistError(
+                        f"edit for {dev.name!r} changes neither 'w' nor 'l'"
+                    )
+                if "w" in edit:
+                    dev.w = float(edit["w"])
+                if "l" in edit:
+                    dev.l = float(edit["l"])
+                changed.append(dev.name)
+            self.analyzer.notify_changed(changed)
+            self.epoch += 1
+            self.deltas += 1
+            self._sim_text = None
+            self._results.clear()
+            key = self._key(policy, top_k, input_arrivals)
+            if use_cache:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    return payload, True, self.epoch
+            result = self._run(key, policy, input_arrivals, top_k, deadline)
+            payload = result.to_json()
+            if use_cache and self._cacheable(result):
+                self.cache.put(key, payload)
+            return payload, False, self.epoch
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Per-design introspection for ``/stats``."""
+        return {
+            "devices": len(self.netlist.devices),
+            "stages": len(self.analyzer.stage_graph),
+            "epoch": self.epoch,
+            "policy": self.analyzer.on_error,
+            "model": self.model,
+            "analyses": self.analyses,
+            "deltas": self.deltas,
+            "coverage": self.last_coverage,
+            "lock": self.lock.stats(),
+        }

@@ -1,0 +1,162 @@
+"""Thread-safety of one shared TimingAnalyzer (the serve-layer contract).
+
+``TimingAnalyzer`` documents (class docstring, "Thread safety") that
+``analyze`` / ``notify_changed`` / ``explain`` serialize on an internal
+reentrant engine lock, so a single analyzer may be shared across
+threads -- the daemon's ``DesignSession`` relies on exactly this as its
+second line of defence.  The tests drive one analyzer hard from many
+threads and check the only things that matter:
+
+* no exception ever escapes, and nothing deadlocks;
+* results are never torn: every concurrent ``analyze`` returns a report
+  byte-identical to some quiescent state of the netlist, never a blend
+  of two edits;
+* after the storm, a fresh analyzer over the same netlist agrees with
+  the shared one exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro import TimingAnalyzer
+from repro.circuits import inverter_chain
+
+THREADS = 6
+ROUNDS = 8
+
+
+def report_json(analyzer) -> str:
+    return json.dumps(analyzer.analyze().to_json(), sort_keys=True)
+
+
+class TestConcurrentAnalyze:
+    def test_parallel_analyze_is_consistent(self):
+        net = inverter_chain(8)
+        analyzer = TimingAnalyzer(net)
+        expected = report_json(analyzer)
+        results: list[str] = []
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(THREADS, timeout=30)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(ROUNDS):
+                    results.append(report_json(analyzer))
+            except BaseException as exc:  # noqa: BLE001 - recorded
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert not any(t.is_alive() for t in threads)
+        assert len(results) == THREADS * ROUNDS
+        assert set(results) == {expected}
+
+    def test_explain_races_analyze_safely(self):
+        net = inverter_chain(8)
+        analyzer = TimingAnalyzer(net)
+        result = analyzer.analyze()
+        endpoint = result.paths[0].endpoint
+        errors: list[BaseException] = []
+
+        def explainer():
+            try:
+                for _ in range(ROUNDS):
+                    analyzer.explain(endpoint)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def analyzer_loop():
+            try:
+                for _ in range(ROUNDS):
+                    analyzer.analyze()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=explainer),
+            threading.Thread(target=analyzer_loop),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert not any(t.is_alive() for t in threads)
+
+
+class TestConcurrentEdits:
+    def test_edits_never_tear_a_result(self):
+        """Readers racing a writer only ever see whole states.
+
+        The writer toggles one device between two widths, re-running
+        ``notify_changed`` + ``analyze`` each time; readers hammer
+        ``analyze`` concurrently.  Every observed report must equal the
+        quiescent report of *one* of the two widths -- a third value
+        would mean a read overlapped a half-applied edit.
+        """
+        net = inverter_chain(8)
+        analyzer = TimingAnalyzer(net)
+        device = sorted(net.devices)[0]
+        base_w = net.device(device).w
+
+        legal = set()
+        for w in (base_w, base_w * 1.5):
+            net.device(device).w = w
+            analyzer.notify_changed([device])
+            legal.add(report_json(analyzer))
+        assert len(legal) == 2
+
+        observed: set[str] = set()
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    observed.add(report_json(analyzer))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def writer():
+            try:
+                for i in range(ROUNDS):
+                    net.device(device).w = base_w if i % 2 else base_w * 1.5
+                    analyzer.notify_changed([device])
+                    analyzer.analyze()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert not any(t.is_alive() for t in threads)
+        assert observed <= legal
+
+        # The storm left the engine coherent: a fresh analyzer over the
+        # same netlist state agrees exactly.
+        fresh = TimingAnalyzer(net)
+        assert report_json(analyzer) == report_json(fresh)
+
+    def test_scenario_analyzer_shares_the_engine_lock(self):
+        from repro.core.mcmm import Scenario
+
+        net = inverter_chain(8)
+        analyzer = TimingAnalyzer(net)
+        sibling = analyzer._scenario_analyzer(Scenario("typ"))
+        assert sibling._engine_lock is analyzer._engine_lock
+
+    def test_thread_safety_is_documented(self):
+        assert "Thread safety" in TimingAnalyzer.__doc__

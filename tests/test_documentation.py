@@ -84,6 +84,12 @@ MODULES = [
     "repro.opt.advisor",
     "repro.bench",
     "repro.bench.harness",
+    "repro.bench.serve",
+    "repro.serve",
+    "repro.serve.rwlock",
+    "repro.serve.cache",
+    "repro.serve.session",
+    "repro.serve.server",
     "repro.testing",
     "repro.testing.faults",
     "repro.cli",

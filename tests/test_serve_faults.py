@@ -1,0 +1,294 @@
+"""Fault injection against the running daemon (repro.serve).
+
+The robustness contract, end to end over real HTTP:
+
+* injected stage crashes degrade by policy -- a quarantine-loaded
+  design answers 200 with a schema-valid partial report (diagnostics
+  and coverage tell the truth), a strict-loaded design answers 422 --
+  and the daemon survives either way;
+* injected *pool* faults (worker crash, hard kill, hang, corrupt
+  return) are invisible to clients: the supervised pool only pre-fills
+  a cache and the serial walk is authoritative, so the report is
+  byte-identical to a serial run and no worker process is orphaned;
+* a client that hangs up mid-exchange is counted and survived;
+* SIGTERM to a daemon subprocess drains, reaps its forked workers, and
+  exits 0 -- zero orphan processes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import multiprocessing
+import os
+import re
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import TimingAnalyzer, robust
+from repro.circuits import inverter_chain, random_logic
+from repro.core import validate_report
+from repro.delay import shutdown_pool, stage_delay
+from repro.netlist import sim_dumps, sim_loads
+from repro.serve import TimingServer
+from repro.testing import FaultPlan
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        data = None if body is None else json.dumps(body)
+        conn.request(method, path, body=data)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_handler():
+    robust.clear_fault_handler()
+    yield
+    robust.clear_fault_handler()
+
+
+@pytest.fixture
+def server():
+    server = TimingServer(port=0).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def chain_sim():
+    return sim_dumps(inverter_chain(8))
+
+
+def _workers_reaped(timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Serial-path faults, by policy.
+# ----------------------------------------------------------------------
+class TestStageFaultsOverHttp:
+    def test_quarantine_design_degrades_to_partial_report(
+        self, server, chain_sim
+    ):
+        port = server.port
+        request(port, "POST", "/designs/q",
+                {"sim": chain_sim, "on_error": "quarantine"})
+        plan = FaultPlan().crash("stage-arcs", times=1)
+        with plan.installed():
+            status, payload = request(
+                port, "POST", "/designs/q/analyze", {"cache": "bypass"}
+            )
+        assert status == 200
+        report = payload["report"]
+        validate_report(report)
+        records = report["diagnostics"]["records"]
+        assert any(r["action"] == "quarantined" for r in records)
+        assert report["diagnostics"]["coverage"]["complete"] is False
+        # The daemon is unharmed: liveness and further queries both work.
+        status, health = request(port, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, _ = request(
+            port, "POST", "/designs/q/analyze", {"cache": "bypass"}
+        )
+        assert status == 200
+
+    def test_strict_design_maps_fault_to_422(self, server, chain_sim):
+        port = server.port
+        request(port, "POST", "/designs/s", {"sim": chain_sim})
+        plan = FaultPlan().crash("stage-arcs", times=1)
+        with plan.installed():
+            status, payload = request(
+                port, "POST", "/designs/s/analyze", {"cache": "bypass"}
+            )
+            assert status == 422
+            assert payload["ok"] is False
+        # Fault budget spent: the design recovers, the daemon never died.
+        status, payload = request(
+            port, "POST", "/designs/s/analyze", {"cache": "bypass"}
+        )
+        assert status == 200
+        validate_report(payload["report"])
+
+
+# ----------------------------------------------------------------------
+# Pool faults: the client must not be able to tell.
+# ----------------------------------------------------------------------
+class TestPoolFaultsOverHttp:
+    """Worker crash / kill / hang / corrupt-return behind the daemon."""
+
+    @pytest.fixture(autouse=True)
+    def _force_pool(self, monkeypatch):
+        # Let a tiny circuit on any host cross the parallel-extraction
+        # gate so the fork pool actually engages, then reap it after.
+        monkeypatch.setattr(stage_delay, "available_cpus", lambda: 4)
+        monkeypatch.setattr(stage_delay, "PARALLEL_MIN_DEVICES", 1)
+        monkeypatch.setattr(stage_delay, "PARALLEL_COLD_MIN_DEVICES", 1)
+        yield
+        shutdown_pool()
+        assert _workers_reaped()
+
+    @pytest.mark.parametrize(
+        "mode",
+        ["crash", "hard_crash", "delay", "corrupt"],
+    )
+    def test_worker_fault_is_invisible_over_http(self, mode, chain_sim):
+        # Serial ground truth, same engine options the session uses.
+        baseline = TimingAnalyzer(
+            sim_loads(chain_sim, name="pooled"), workers=1
+        ).analyze(top_k=5).to_json()
+
+        if mode == "crash":
+            plan = FaultPlan().crash("worker-task", times=None,
+                                     exc_type=ValueError)
+        elif mode == "hard_crash":
+            plan = FaultPlan().hard_crash("worker-task", times=None)
+        elif mode == "delay":
+            plan = FaultPlan().delay("worker-task", 5.0, times=None)
+        else:
+            plan = FaultPlan().corrupt("worker-result", times=None)
+
+        server = TimingServer(port=0, workers=2).start()
+        try:
+            with plan.installed():
+                # Load *inside* the plan so the pool forks with the
+                # faults scripted in worker memory.
+                request(server.port, "POST", "/designs/pooled",
+                        {"sim": chain_sim})
+                session = server.sessions["pooled"]
+                calc = session.analyzer.calculator
+                calc.retry_backoff = 0.01
+                if mode == "delay":
+                    calc.task_timeout = 0.2
+                    calc.task_retries = 0
+                status, payload = request(
+                    server.port, "POST", "/designs/pooled/analyze",
+                    {"cache": "bypass"},
+                )
+            assert status == 200
+            assert payload["report"] == baseline
+            status, health = request(server.port, "GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Client misbehaviour.
+# ----------------------------------------------------------------------
+class TestClientDisconnect:
+    def test_hangup_mid_exchange_is_counted_and_survived(self, server):
+        port = server.port
+        sim = sim_dumps(random_logic(120, seed=3))
+        request(port, "POST", "/designs/d", {"sim": sim})
+
+        body = json.dumps({"cache": "bypass"}).encode()
+        head = (
+            f"POST /designs/d/analyze HTTP/1.1\r\n"
+            f"Host: 127.0.0.1\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        sock.sendall(head + body)
+        # SO_LINGER(on, 0): close sends RST, so the daemon's read or
+        # write on this connection fails like a real mid-flight hangup.
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        sock.close()
+
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if server.client_disconnects >= 1:
+                break
+            time.sleep(0.05)
+        assert server.client_disconnects >= 1
+        # Everyone else is unaffected.
+        status, payload = request(port, "POST", "/designs/d/analyze", {})
+        assert status == 200
+        validate_report(payload["report"])
+
+
+# ----------------------------------------------------------------------
+# SIGTERM to a real daemon process.
+# ----------------------------------------------------------------------
+class TestSigtermSubprocess:
+    def _children_of(self, pid: int) -> list[int]:
+        out = subprocess.run(
+            ["ps", "-o", "pid=", "--ppid", str(pid)],
+            capture_output=True, text=True,
+        ).stdout
+        return [int(tok) for tok in out.split()]
+
+    def test_sigterm_drains_reaps_and_exits_zero(self, tmp_path):
+        # Big enough to cross the cold parallel gate: the daemon forks
+        # real pool workers, which SIGTERM must reap.
+        sim_path = tmp_path / "big.sim"
+        sim_path.write_text(sim_dumps(random_logic(4500, seed=1)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(sim_path),
+             "--port", "0", "--workers", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env, cwd=os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__))),
+        )
+        try:
+            # Skip the per-design "loaded ..." lines to the listen line.
+            match = None
+            for _ in range(10):
+                line = proc.stdout.readline()
+                match = re.search(r"http://[\w.]+:(\d+)", line)
+                if match:
+                    break
+            assert match, f"no listen line: {line!r}"
+            port = int(match.group(1))
+
+            status, health = request(port, "GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            status, payload = request(port, "POST", "/designs/big/analyze", {})
+            assert status == 200
+            validate_report(payload["report"])
+
+            workers = self._children_of(proc.pid)
+            # On a multi-CPU host the analysis crossed the cold parallel
+            # gate, so forked pool workers must exist (and must die with
+            # the daemon).  A 1-CPU host stays serial; the shutdown path
+            # is still exercised, there is just nothing to orphan.
+            if stage_delay.available_cpus() >= 2:
+                assert workers, "parallel extraction spawned no pool workers"
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+
+            deadline = time.monotonic() + 10
+            leftover = workers
+            while time.monotonic() < deadline:
+                leftover = [
+                    pid for pid in workers
+                    if os.path.exists(f"/proc/{pid}")
+                ]
+                if not leftover:
+                    break
+                time.sleep(0.1)
+            assert not leftover, f"orphaned pool workers: {leftover}"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
