@@ -13,6 +13,13 @@ What is measured and gated (written to ``BENCH_mcmm.json``):
   divided by one N-corner ``analyze_mcmm``.  Gated ``> 1.0`` on hosts
   with at least 2 usable CPUs; a 1-CPU host records the measurement and
   an explicit skip (matching ``repro.bench.perf``'s convention).
+* **symbolic_speedup** -- the PR 7 retarget sweep (``parametric=False``:
+  every corner re-extracts concretely) divided by the parametric sweep
+  (``parametric=True``: one symbolic extraction, N term evaluations; see
+  :mod:`repro.delay.parametric`).  Gated ``>= 1.0`` across the 3-corner
+  set under the same CPU convention, and the symbolic run must show
+  ``parametric_stage_evals`` ticks proving term evaluation actually
+  served the arcs.
 * **structural sharing** -- hard gate via :mod:`repro.trace` counters: a
   traced MCMM run must show ``structural_runs == 1`` and one
   ``mcmm_scenarios`` tick per corner, while the traced independent runs
@@ -75,10 +82,12 @@ def _independent_run(shape, corners, workers, trace=None) -> dict:
     return results
 
 
-def _mcmm_run(shape, corners, workers, trace=None):
+def _mcmm_run(shape, corners, workers, trace=None, parametric=None):
     net = _fresh_net(shape)
     tv = TimingAnalyzer(net, workers=workers, trace=trace)
-    return tv.analyze_mcmm(corner_scenarios(net.tech))
+    return tv.analyze_mcmm(
+        corner_scenarios(net.tech), parametric=parametric
+    )
 
 
 def _signoff_gates(results: dict, failures: list[str]) -> dict:
@@ -141,6 +150,19 @@ def run(*, smoke: bool = False, repeat: int = 3, workers: int | str = 1):
     mcmm_s = _best_of(repeat, lambda: _mcmm_run(shape, corners, workers))
     speedup = independent_s / mcmm_s if mcmm_s > 0 else float("inf")
 
+    # -- timing: retarget sweep vs symbolic term evaluation --------------
+    retarget_s = _best_of(
+        repeat,
+        lambda: _mcmm_run(shape, corners, workers, parametric=False),
+    )
+    symbolic_s = _best_of(
+        repeat,
+        lambda: _mcmm_run(shape, corners, workers, parametric=True),
+    )
+    symbolic_speedup = (
+        retarget_s / symbolic_s if symbolic_s > 0 else float("inf")
+    )
+
     # -- structural sharing, observable via trace counters --------------
     mcmm_trace = Trace()
     mcmm = _mcmm_run(shape, corners, workers, trace=mcmm_trace)
@@ -151,10 +173,18 @@ def run(*, smoke: bool = False, repeat: int = 3, workers: int | str = 1):
     structural = {
         "mcmm_structural_runs": mcmm_trace.counters.get("structural_runs", 0),
         "mcmm_scenarios": mcmm_trace.counters.get("mcmm_scenarios", 0),
+        "mcmm_parametric_stage_evals": mcmm_trace.counters.get(
+            "parametric_stage_evals", 0
+        ),
         "independent_structural_runs": independent_trace.counters.get(
             "structural_runs", 0
         ),
     }
+    if structural["mcmm_parametric_stage_evals"] == 0:
+        failures.append(
+            "the default MCMM sweep served no stage from parametric term "
+            "evaluation; the symbolic path is not being exercised"
+        )
     if structural["mcmm_structural_runs"] != 1:
         failures.append(
             "MCMM must run the structural phases exactly once, got "
@@ -209,6 +239,20 @@ def run(*, smoke: bool = False, repeat: int = 3, workers: int | str = 1):
             "independent baseline; shared extraction must win (> 1.0x)"
         )
 
+    # -- the symbolic-vs-retarget gate -----------------------------------
+    symbolic_gate = {
+        "applied": gate_applies,
+        "required": 1.0,
+        "measured": symbolic_speedup,
+        "skip_reason": speedup_gate["skip_reason"],
+    }
+    if gate_applies and symbolic_speedup < 1.0:
+        failures.append(
+            f"symbolic {len(corners)}-corner evaluation is "
+            f"{symbolic_speedup:.2f}x the retarget sweep; term "
+            "evaluation must not lose (>= 1.0x)"
+        )
+
     shutdown_pool()
     payload = {
         "schema": "repro-bench-mcmm",
@@ -219,7 +263,11 @@ def run(*, smoke: bool = False, repeat: int = 3, workers: int | str = 1):
         "independent_seconds": independent_s,
         "mcmm_seconds": mcmm_s,
         "mcmm_speedup": speedup,
+        "retarget_seconds": retarget_s,
+        "symbolic_seconds": symbolic_s,
+        "symbolic_speedup": symbolic_speedup,
         "speedup_gate": speedup_gate,
+        "symbolic_gate": symbolic_gate,
         "structural": structural,
         "parity": parity_rows,
         "signoff": signoff,
@@ -261,8 +309,9 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(
             f"MCMM bench ({payload['circuit']}): "
-            f"{payload['mcmm_speedup']:.2f}x vs independent runs "
-            f"(gate {'applied' if payload['speedup_gate']['applied'] else 'skipped'}), "
+            f"{payload['mcmm_speedup']:.2f}x vs independent runs, "
+            f"symbolic {payload['symbolic_speedup']:.2f}x vs retarget "
+            f"(gates {'applied' if payload['speedup_gate']['applied'] else 'skipped'}), "
             f"dominant corner: {payload['dominant']}"
         )
         print(f"wrote {OUTPUT_PATH}")

@@ -209,7 +209,9 @@ def _cmd_explain(args) -> int:
             return 2
         payloads = []
         for node in nodes:
-            explanation = mcmm.explain(node, args.transition)
+            explanation = mcmm.explain(
+                node, args.transition, sensitivity=args.sensitivity
+            )
             if args.json:
                 payloads.append(explanation.to_json())
             else:
@@ -228,7 +230,8 @@ def _cmd_explain(args) -> int:
     payloads = []
     for node in nodes:
         explanation = analyzer.explain(
-            node, args.transition, result=result
+            node, args.transition, result=result,
+            sensitivity=args.sensitivity,
         )
         if args.json:
             payloads.append(explanation.to_json())
@@ -454,6 +457,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="node(s) to explain (default: critical endpoint)")
     p.add_argument("--transition", choices=("rise", "fall"), default=None,
                    help="explain this transition (default: the worst one)")
+    p.add_argument("--sensitivity", action="store_true",
+                   help="attach per-parameter arrival slopes: which "
+                        "technology parameter moves this path most "
+                        "(parametric delay layer)")
     p.add_argument("--model", default="elmore",
                    choices=("elmore", "lumped", "pr-min", "pr-max"))
     p.add_argument("--no-erc", action="store_true",

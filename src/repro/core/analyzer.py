@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 
 from .. import robust
 from ..clocks import TwoPhaseClock
@@ -478,6 +478,7 @@ class TimingAnalyzer:
         *,
         top_k: int = 5,
         input_slew: float = DEFAULT_INPUT_SLEW,
+        parametric: bool | None = None,
     ):
         """Analyze the design under several (corner × clock) scenarios.
 
@@ -488,6 +489,13 @@ class TimingAnalyzer:
         byte-identical to a standalone
         ``TimingAnalyzer(netlist, tech=scenario.tech,
         clock=scenario.clock)`` analysis.
+
+        ``parametric`` selects the symbolic sweep path: the delay terms
+        are extracted once as analytic recipes
+        (:mod:`repro.delay.parametric`) and each scenario merely
+        *evaluates* them at its corner instead of re-walking the stage
+        trees.  The default (``None``) turns it on automatically when it
+        is exact -- Elmore model under the strict error policy.
 
         Returns a :class:`repro.core.mcmm.McmmResult`; see
         :func:`repro.core.mcmm.analyze_mcmm` for details.
@@ -500,9 +508,10 @@ class TimingAnalyzer:
             input_arrivals,
             top_k=top_k,
             input_slew=input_slew,
+            parametric=parametric,
         )
 
-    def _scenario_analyzer(self, scenario) -> "TimingAnalyzer":
+    def _scenario_analyzer(self, scenario, term_source=None) -> "TimingAnalyzer":
         """A sibling analyzer for one MCMM scenario.
 
         Shares every structural product (netlist, ERC results, flow
@@ -510,6 +519,11 @@ class TimingAnalyzer:
         delay calculator -- so building one costs no ERC/flow/stage
         work, and its ``analyze()`` runs the exact same code a
         standalone analyzer at that corner would.
+
+        ``term_source`` (a parametric
+        :class:`~repro.delay.stage_delay.StageDelayCalculator`) makes the
+        sibling evaluate the source's analytic terms at its corner
+        instead of re-extracting; see :mod:`repro.delay.parametric`.
         """
         clone = object.__new__(TimingAnalyzer)
         clone.trace = self.trace
@@ -524,6 +538,7 @@ class TimingAnalyzer:
         clone.calculator = self.calculator.retarget(
             scenario.tech if scenario.tech is not None else self.tech
         )
+        clone.calculator._term_source = term_source
         clone.workers = clone.calculator.workers
         clone.tech = clone.calculator.tech
         clone.clock = (
@@ -563,6 +578,7 @@ class TimingAnalyzer:
         transition: str | None = None,
         *,
         result: AnalysisResult | None = None,
+        sensitivity: bool = False,
     ) -> Explanation:
         """Build the causal chain behind a node's worst arrival time.
 
@@ -577,10 +593,98 @@ class TimingAnalyzer:
         from the phase in which the node arrives latest, and the
         explanation's ``phase`` attribute names it.
 
+        ``sensitivity=True`` additionally attaches per-parameter arrival
+        slopes (the explanation's ``sensitivities``): each technology
+        parameter the delay model reads
+        (:data:`repro.delay.parametric.PARAMETERS`) is perturbed a few
+        percent either way and the endpoint's arrival re-evaluated via a
+        parametric MCMM sweep -- one symbolic extraction, two cheap
+        evaluations per parameter.  The slopes describe the nominal
+        worst path's neighbourhood; at a distant parameter point a
+        different path may dominate.
+
         Raises :class:`TimingError` if the node has no recorded arrival.
         """
         with self._engine_lock:
-            return self._explain_locked(node, transition, result)
+            explanation = self._explain_locked(node, transition, result)
+            if sensitivity:
+                explanation = _dc_replace(
+                    explanation,
+                    sensitivities=self._sensitivities(node, explanation),
+                )
+            return explanation
+
+    def _sensitivities(self, node: str, explanation: Explanation):
+        """Central-difference arrival slopes for every delay parameter.
+
+        One parametric MCMM sweep evaluates the whole plus/minus scenario
+        family; the arrival lookup pins the explanation's transition so
+        the slopes describe the explained arrival, not whichever
+        transition happens to be worst at the perturbed point.
+        """
+        from ..delay.parametric import (
+            PARAMETERS,
+            SENSITIVITY_REL_STEP,
+            perturbed,
+        )
+        from .mcmm import Scenario
+        from .provenance import SensitivityRecord
+
+        transition = explanation.transition
+        active = [
+            p for p in PARAMETERS if getattr(self.tech, p) != 0.0
+        ]
+        scenarios = []
+        for param in active:
+            for sign, step in (("-", -SENSITIVITY_REL_STEP),
+                               ("+", SENSITIVITY_REL_STEP)):
+                scenarios.append(
+                    Scenario(
+                        name=f"{param}{sign}",
+                        tech=perturbed(self.tech, param, step),
+                    )
+                )
+        if not scenarios:
+            return ()
+        mcmm = self.analyze_mcmm(scenarios)
+        records = []
+        for param in active:
+            minus = self._arrival_for(
+                mcmm.results[f"{param}-"], node, transition
+            )
+            plus = self._arrival_for(
+                mcmm.results[f"{param}+"], node, transition
+            )
+            if minus is None or plus is None:
+                continue
+            records.append(
+                SensitivityRecord(
+                    parameter=param,
+                    nominal=getattr(self.tech, param),
+                    sensitivity=(plus - minus) / (2.0 * SENSITIVITY_REL_STEP),
+                )
+            )
+        records.sort(key=lambda rec: (-abs(rec.sensitivity), rec.parameter))
+        return tuple(records)
+
+    @staticmethod
+    def _arrival_for(
+        result: AnalysisResult, node: str, transition: str
+    ) -> float | None:
+        """The arrival of ``(node, transition)`` in one result -- the
+        same worst-over-phases view :meth:`explain` uses."""
+        if result.arrivals is not None:
+            arrival = result.arrivals.get(node, transition)
+            return None if arrival is None else arrival.time
+        verification = result.clock_verification
+        if verification is None:  # pragma: no cover - defensive
+            return None
+        best = None
+        for phase_result in verification.phases.values():
+            arrival = phase_result.arrivals.get(node, transition)
+            if arrival is not None and (best is None or arrival.time > best):
+                best = arrival.time
+        return best
 
     def _explain_locked(
         self,

@@ -42,6 +42,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass, field, replace
 
+from .. import robust
 from ..clocks import TwoPhaseClock
 from ..errors import TimingError
 from ..tech import Technology
@@ -174,13 +175,24 @@ class McmmResult:
             )
         return held[1]
 
-    def explain(self, node: str, transition: str | None = None) -> Explanation:
+    def explain(
+        self,
+        node: str,
+        transition: str | None = None,
+        *,
+        sensitivity: bool = False,
+    ) -> Explanation:
         """The causal chain behind ``node``'s worst arrival, taken from
         its dominant scenario; the explanation's ``scenario`` attribute
-        names that scenario."""
+        names that scenario.  ``sensitivity=True`` attaches per-parameter
+        arrival slopes around that scenario's corner (see
+        :meth:`TimingAnalyzer.explain`)."""
         name = self.dominant_corner(node)
         explanation = self._analyzers[name].explain(
-            node, transition, result=self.results[name]
+            node,
+            transition,
+            result=self.results[name],
+            sensitivity=sensitivity,
         )
         return replace(explanation, scenario=name)
 
@@ -324,6 +336,7 @@ def analyze_mcmm(
     *,
     top_k: int = 5,
     input_slew: float | None = None,
+    parametric: bool | None = None,
 ) -> McmmResult:
     """Analyze ``analyzer``'s netlist under every scenario in one run.
 
@@ -339,10 +352,23 @@ def analyze_mcmm(
     names ``"slow"``/``"typ"``/``"fast"`` as shorthand for corners of
     the analyzer's technology); names must be unique.
 
+    ``parametric`` selects the symbolic sweep: the hosting analyzer's
+    calculator extracts each arc once as an analytic term over the
+    technology parameter vector (:mod:`repro.delay.parametric`), and
+    every scenario *evaluates* the terms at its corner instead of
+    re-walking the stage trees -- N corners cost one structural
+    extraction plus N evaluation passes.  ``None`` (the default)
+    enables it exactly when it is bit-exact: the Elmore delay model
+    under the strict error policy (the slope/lumped variants and the
+    quarantine paths never build terms).  Forcing ``parametric=True``
+    outside that envelope silently falls back to concrete extraction
+    per scenario (term evaluation returns no arcs).
+
     Trace counters: ``mcmm_scenarios`` counts evaluated scenarios while
     ``structural_runs`` stays at the hosting analyzer's single
     construction -- the observable proof that the structural phases ran
-    once for the whole sweep.
+    once for the whole sweep; ``parametric_stage_evals`` counts stages
+    served by term evaluation.
     """
     from .arrival import DEFAULT_INPUT_SLEW
 
@@ -355,11 +381,19 @@ def analyze_mcmm(
     names = [scen.name for scen in coerced]
     if len(set(names)) != len(names):
         raise TimingError(f"duplicate scenario names in {names}")
+    if parametric is None:
+        parametric = (
+            analyzer.calculator.model == "elmore"
+            and analyzer.on_error == robust.STRICT
+        )
+    term_source = (
+        analyzer.calculator.parametric_source() if parametric else None
+    )
     mcmm = McmmResult(
         netlist_name=analyzer.netlist.name, scenarios=coerced
     )
     for scen in coerced:
-        sibling = analyzer._scenario_analyzer(scen)
+        sibling = analyzer._scenario_analyzer(scen, term_source=term_source)
         analyzer.trace.incr("mcmm_scenarios")
         mcmm.results[scen.name] = sibling.analyze(
             input_arrivals, top_k=top_k, input_slew=input_slew

@@ -41,7 +41,12 @@ from ..delay import SlopeModel
 from ..errors import TimingError
 from .arrival import ArrivalMap
 
-__all__ = ["ProvenanceRecord", "Explanation", "explain_arrival"]
+__all__ = [
+    "ProvenanceRecord",
+    "SensitivityRecord",
+    "Explanation",
+    "explain_arrival",
+]
 
 #: Every ``ProvenanceRecord.kind`` value, in pipeline order.
 ARC_FAMILIES = ("source", "gate", "transfer", "channel")
@@ -96,12 +101,42 @@ class ProvenanceRecord:
 
 
 @dataclass(frozen=True)
+class SensitivityRecord:
+    """One parameter's leverage on an explained arrival.
+
+    ``sensitivity`` is the central-difference slope of the endpoint's
+    arrival with respect to a *relative* change of the parameter, in
+    seconds per unit relative change: a sensitivity of ``2e-9`` means a
+    +1% parameter move adds ~0.02 ns to the arrival.  Expressing it per
+    relative change makes parameters with different units (ohms/square,
+    farads, dimensionless derates) directly comparable -- the ranking
+    answers "which parameter moves this path most?".
+    """
+
+    parameter: str
+    nominal: float
+    sensitivity: float
+
+    def to_json(self) -> dict:
+        """JSON-serializable form (schema: see ``repro.core.report``)."""
+        return {
+            "parameter": self.parameter,
+            "nominal": self.nominal,
+            "sensitivity": self.sensitivity,
+        }
+
+
+@dataclass(frozen=True)
 class Explanation:
     """The full causal chain for one (endpoint, transition) arrival.
 
     ``phase`` names the clock phase the chain was computed under
     (None for combinational analysis); ``scenario`` names the MCMM
     scenario it came from (None for single-scenario analysis).
+    ``sensitivities`` is populated only when the explanation was built
+    with ``sensitivity=True``: per-parameter arrival slopes of this
+    endpoint, largest magnitude first (see
+    :class:`SensitivityRecord` and :data:`repro.delay.parametric.PARAMETERS`).
     """
 
     endpoint: str
@@ -110,6 +145,7 @@ class Explanation:
     records: tuple[ProvenanceRecord, ...]
     phase: str | None = None
     scenario: str | None = None
+    sensitivities: tuple[SensitivityRecord, ...] | None = None
 
     @property
     def total(self) -> float:
@@ -173,6 +209,14 @@ class Explanation:
             f"  sum of terms = {self.total / time_unit:.3f} {unit_name} "
             f"({'exact' if self.verify() else 'MISMATCH'})"
         )
+        if self.sensitivities is not None:
+            lines.append("sensitivities (d arrival / d relative change):")
+            for rec in self.sensitivities:
+                lines.append(
+                    f"  {rec.parameter:<20} "
+                    f"{rec.sensitivity / time_unit:+8.4f} {unit_name}/1.0  "
+                    f"(nominal {rec.nominal:g})"
+                )
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -185,6 +229,11 @@ class Explanation:
             "scenario": self.scenario,
             "exact": self.verify(),
             "records": [record.to_json() for record in self.records],
+            "sensitivities": (
+                None
+                if self.sensitivities is None
+                else [rec.to_json() for rec in self.sensitivities]
+            ),
         }
 
 

@@ -59,7 +59,10 @@ __all__ = [
 #: merge: per-scenario outcomes, worst arrival per node, dominant
 #: scenario per critical endpoint) and the ``scenario`` field of
 #: ``explanation``.
-REPORT_SCHEMA_VERSION = "1.2.0"
+#: 1.3.0 added the ``sensitivities`` field of ``explanation``
+#: (per-parameter arrival slopes from the parametric delay layer,
+#: populated by ``repro explain --sensitivity``).
+REPORT_SCHEMA_VERSION = "1.3.0"
 
 _STEP_SCHEMA = {
     "type": "object",
@@ -208,7 +211,7 @@ _EXPLANATION_SCHEMA = {
     "description": "A full provenance chain for one endpoint arrival "
                    "(the payload of `repro explain --json`).",
     "required": ["endpoint", "transition", "arrival", "phase", "scenario",
-                 "exact", "records"],
+                 "exact", "records", "sensitivities"],
     "additionalProperties": False,
     "properties": {
         "endpoint": {"type": "string", "description": "Explained node."},
@@ -239,6 +242,40 @@ _EXPLANATION_SCHEMA = {
             "type": "array",
             "items": {"$ref": "#/$defs/provenance_record"},
             "description": "Causal chain from source to endpoint.",
+        },
+        "sensitivities": {
+            "type": ["array", "null"],
+            "items": {"$ref": "#/$defs/sensitivity_record"},
+            "description": "Per-parameter arrival slopes of this "
+                           "endpoint, largest magnitude first (null "
+                           "unless the explanation was built with "
+                           "sensitivity=True).  Added in 1.3.0.",
+        },
+    },
+}
+
+_SENSITIVITY_RECORD_SCHEMA = {
+    "type": "object",
+    "description": "One technology parameter's leverage on an explained "
+                   "arrival (central-difference estimate from the "
+                   "parametric delay layer).",
+    "required": ["parameter", "nominal", "sensitivity"],
+    "additionalProperties": False,
+    "properties": {
+        "parameter": {
+            "type": "string",
+            "description": "Technology field name (one of "
+                           "repro.delay.parametric.PARAMETERS).",
+        },
+        "nominal": {
+            "type": "number",
+            "description": "The parameter's value at the analyzed corner.",
+        },
+        "sensitivity": {
+            "type": "number",
+            "description": "d(arrival)/d(relative parameter change), "
+                           "seconds per unit relative change: +2e-9 "
+                           "means a +1% parameter move adds ~0.02 ns.",
         },
     },
 }
@@ -786,6 +823,7 @@ REPORT_SCHEMA = {
         "path": _PATH_SCHEMA,
         "provenance_record": _PROVENANCE_RECORD_SCHEMA,
         "explanation": _EXPLANATION_SCHEMA,
+        "sensitivity_record": _SENSITIVITY_RECORD_SCHEMA,
         "phase": _PHASE_SCHEMA,
         "clock": _CLOCK_SCHEMA,
         "race": _RACE_SCHEMA,

@@ -13,9 +13,18 @@ Public surface:
 * :func:`auto_workers`, :func:`parallel_crossover`,
   :func:`shutdown_pool`, :func:`pool_diagnostics`,
   :data:`WORKERS_AUTO` -- persistent extraction-pool controls
+* :data:`PARAMETERS`, :func:`perturbed`, :func:`evaluate_arcs`,
+  :func:`evaluate_timing` -- the parametric (symbolic) delay layer
 """
 
 from .effective_res import FALL, RISE, device_resistance
+from .parametric import (
+    PARAMETERS,
+    SENSITIVITY_REL_STEP,
+    evaluate_arcs,
+    evaluate_timing,
+    perturbed,
+)
 from .elmore import elmore_delay, lumped_delay
 from .penfield import PRBounds, pr_bounds, pr_moments
 from .rctree import RCTree
@@ -63,4 +72,9 @@ __all__ = [
     "install_sigterm_cleanup",
     "pool_diagnostics",
     "shutdown_pool",
+    "PARAMETERS",
+    "SENSITIVITY_REL_STEP",
+    "perturbed",
+    "evaluate_arcs",
+    "evaluate_timing",
 ]

@@ -212,12 +212,19 @@ class ArcTiming:
     time constant (used for slew estimation); ``path`` names the devices on
     the worst resistive path; ``truncated`` is set if path enumeration hit
     its cap.
+
+    ``term`` is the optional parametric recipe behind the floats (see
+    :mod:`repro.delay.parametric`): a plain nested tuple that replays
+    this timing's arithmetic at any technology point.  ``None`` (the
+    default) in concrete mode; populated when the calculator extracts
+    with ``parametric`` enabled.
     """
 
     delay: float
     tau: float
     path: tuple[str, ...] = ()
     truncated: bool = False
+    term: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -457,6 +464,16 @@ class StageDelayCalculator:
         #          source_is_boundary, drain_is_boundary); see
         # _device_fact_map.
         self._device_facts: dict[str, tuple] | None = None
+        #: When True, extracted ArcTimings carry parametric terms (see
+        #: repro.delay.parametric).  Off by default: term building costs
+        #: a little per spine, and concrete mode must stay byte-stable.
+        self.parametric = False
+        #: Symbolic sibling serving term-carrying arcs for this
+        #: structure, built lazily by :meth:`parametric_source`.
+        self._parametric_source: "StageDelayCalculator | None" = None
+        #: When set, :meth:`arcs` evaluates this source's terms at our
+        #: tech instead of extracting (see :meth:`_arcs_from_terms`).
+        self._term_source: "StageDelayCalculator | None" = None
 
     # ------------------------------------------------------------------
     # Public API.
@@ -485,6 +502,13 @@ class StageDelayCalculator:
         cached = self._arc_cache.get(cache_key)
         if cached is not None:
             return cached
+        if self._term_source is not None:
+            evaluated = self._arcs_from_terms(
+                stage, active_clocks, open_gates
+            )
+            if evaluated is not None:
+                self._arc_cache[cache_key] = evaluated
+                return evaluated
         ctx = StageContext(self, stage, active_clocks, open_gates)
         raw: list[StageArc] = []
         raw.extend(self._gate_arcs(ctx))
@@ -496,6 +520,47 @@ class StageDelayCalculator:
         merged = _merge_arcs(raw)
         self._arc_cache[cache_key] = merged
         return merged
+
+    def _arcs_from_terms(
+        self,
+        stage: Stage,
+        active_clocks: frozenset[str] | None,
+        open_gates: frozenset[str],
+    ) -> list[StageArc] | None:
+        """Evaluate the term source's arcs for ``stage`` at our tech.
+
+        The source extracts (and caches) term-carrying arcs once; this
+        calculator instantiates them at its own parameter point -- an
+        evaluation pass, no path search.  Returns ``None`` when any
+        timing lacks a term, in which case the caller falls back to full
+        concrete extraction for the stage.
+        """
+        from .parametric import evaluate_arcs
+
+        source = self._term_source
+        src_arcs = source.arcs(stage, active_clocks, open_gates)
+        evaluated = evaluate_arcs(self, stage, src_arcs)
+        if evaluated is not None:
+            self.trace.incr("parametric_stage_evals")
+        return evaluated
+
+    def parametric_source(self) -> "StageDelayCalculator":
+        """The memoized symbolic sibling of this calculator.
+
+        A :meth:`retarget` clone at this calculator's own technology
+        with ``parametric`` enabled: its extractions emit term-carrying
+        arcs that corner clones evaluate instead of re-extracting (see
+        ``TimingAnalyzer.analyze_mcmm``).  It shares this calculator's
+        pool binding, so pooled symbolic sweeps reuse the same
+        persistent pool, and :meth:`invalidate_devices` keeps its caches
+        in lockstep with ours.
+        """
+        source = self._parametric_source
+        if source is None:
+            source = self.retarget(self.tech)
+            source.parametric = True
+            self._parametric_source = source
+        return source
 
     def invalidate_devices(self, device_names) -> None:
         """Drop cached results touched by edited devices (e.g. resizing).
@@ -527,6 +592,10 @@ class StageDelayCalculator:
                 for key, arcs in self._arc_cache.items()
                 if key[0] not in stale
             }
+        if self._parametric_source is not None:
+            # The symbolic sibling shares our pool binding and serves
+            # corner clones; its terms predate the edit too.
+            self._parametric_source.invalidate_devices(device_names)
 
     def retarget(self, tech: Technology) -> "StageDelayCalculator":
         """A calculator evaluating the same structure at ``tech``.
@@ -570,6 +639,7 @@ class StageDelayCalculator:
         clone._device_facts = self._device_fact_map()
         clone._pool_token = self._pool_token
         clone._pool_epoch = self._pool_epoch
+        clone.parametric = self.parametric
         return clone
 
     def set_deadline(self, budget: float | None) -> None:
@@ -665,6 +735,15 @@ class StageDelayCalculator:
             use_pool = bool(parallel)
             if use_pool and resolved < 2:
                 resolved = max(2, available_cpus())
+        if self._term_source is not None and use_pool:
+            # Pooled symbolic sweep: the *source* extracts on the pool
+            # (terms travel back over the wire); this calculator then
+            # evaluates the terms serially in the walk below -- per-stage
+            # evaluation is far too cheap to be worth pool traffic.
+            self._term_source.all_arcs(
+                active_clocks, open_gates, parallel=parallel, workers=workers
+            )
+            use_pool = False
         self.trace.incr(
             "extract_parallel_sweeps" if use_pool else "extract_serial_sweeps"
         )
@@ -889,6 +968,7 @@ class StageDelayCalculator:
                         _pool_extract,
                         run_token,
                         self.tech,
+                        self.parametric,
                         active_clocks,
                         open_gates,
                         chunk,
@@ -1097,10 +1177,14 @@ class StageDelayCalculator:
                     for (a, b, r, name) in reversed(path_edges)
                 ]
                 timing = self._timing_from_spine(
-                    spine, output, fall_edges, adjacency=adjacency
+                    spine,
+                    output,
+                    fall_edges,
+                    adjacency=adjacency,
+                    transition=FALL,
                 )
                 if truncated and not timing.truncated:
-                    timing = replace(timing, truncated=True)
+                    timing = _mark_truncated(timing)
                 timing_cache[key] = timing
             result[gate] = timing
         return result
@@ -1208,6 +1292,7 @@ class StageDelayCalculator:
                     edges=pass_rise,
                     must_include={dev.name},
                     adjacency=rise_adjacency,
+                    transition=RISE,
                 )
                 fall = self._worst_tree_delay(
                     start=output,
@@ -1215,6 +1300,7 @@ class StageDelayCalculator:
                     edges=pass_fall,
                     must_include={dev.name},
                     adjacency=fall_adjacency,
+                    transition=FALL,
                 )
                 if rise is None and fall is None:
                     continue
@@ -1296,6 +1382,7 @@ class StageDelayCalculator:
                     output,
                     ctx.conduction_edges(RISE),
                     adjacency=ctx.conduction_adjacency(RISE),
+                    transition=RISE,
                 )
                 arcs.append(
                     StageArc(
@@ -1348,7 +1435,8 @@ class StageDelayCalculator:
                         for (a, b, r, name) in reversed(path_edges)
                     )
                 timing = self._timing_from_spine(
-                    spine, output, pass_rise, adjacency=rise_adjacency
+                    spine, output, pass_rise, adjacency=rise_adjacency,
+                    transition=RISE,
                 )
                 arcs.append(
                     StageArc(
@@ -1418,6 +1506,7 @@ class StageDelayCalculator:
                     edges=pass_rise,
                     must_include=gated,
                     adjacency=rise_adjacency,
+                    transition=RISE,
                 )
                 fall = self._worst_tree_delay(
                     start=output,
@@ -1425,6 +1514,7 @@ class StageDelayCalculator:
                     edges=pass_fall,
                     must_include=gated,
                     adjacency=fall_adjacency,
+                    transition=FALL,
                 )
                 if rise is None and fall is None:
                     continue
@@ -1467,6 +1557,7 @@ class StageDelayCalculator:
                     edges=pass_rise,
                     must_include=set(),
                     adjacency=rise_adjacency,
+                    transition=RISE,
                 )
                 fall = self._worst_tree_delay(
                     start=output,
@@ -1474,6 +1565,7 @@ class StageDelayCalculator:
                     edges=pass_fall,
                     must_include=set(),
                     adjacency=fall_adjacency,
+                    transition=FALL,
                 )
                 if rise is None and fall is None:
                     continue
@@ -1755,12 +1847,14 @@ class StageDelayCalculator:
         must_include: set[str],
         *,
         adjacency: dict | None = None,
+        transition: str | None = None,
     ) -> ArcTiming | None:
         """Worst path from ``start`` back to a target, evaluated as a tree.
 
         The tree root is the reached target (the driving point, i.e. the
         first node of the reversed spine); the path is the spine, and every
-        other conducting edge hangs capacitive branches.
+        other conducting edge hangs capacitive branches.  ``transition``
+        names the edge set's transition for parametric term building.
         """
         found = self._worst_path(
             start, targets, edges, must_include, adjacency=adjacency
@@ -1773,10 +1867,10 @@ class StageDelayCalculator:
             (b, a, r, name) for (a, b, r, name) in reversed(path_edges)
         ]
         timing = self._timing_from_spine(
-            spine, start, edges, adjacency=adjacency
+            spine, start, edges, adjacency=adjacency, transition=transition
         )
         if truncated and not timing.truncated:
-            timing = replace(timing, truncated=True)
+            timing = _mark_truncated(timing)
         return timing
 
     def _spine_groups(
@@ -1794,6 +1888,31 @@ class StageDelayCalculator:
                     spine_groups[group] = dev.gate
         return spine_groups
 
+    def _edge_recipe(
+        self, parent: str, child: str, name: str, transition: str
+    ) -> tuple:
+        """Symbolic atom reproducing one spine edge's resistance.
+
+        Derived structurally, mirroring how the edge builders assign
+        roles: a synthetic ``load@node`` head is the pull-up combine; a
+        real device from vdd is a follower pull-up (DEP) or precharge
+        (ENH); a rail-touching enhancement device is a pulldown; all
+        other edges are pass transfers (conduction and pass edge lists
+        both exclude the remaining cases).
+        """
+        dev = self.netlist.devices.get(name)
+        if dev is None:
+            # _rise_via_pullup's synthetic "load@node" head.
+            return ("load", child)
+        vdd = self.netlist.vdd
+        if parent == vdd:
+            if dev.kind is DeviceKind.DEP:
+                return ("res", name, "pullup", RISE)
+            return ("res", name, "precharge", RISE)
+        if self.netlist.gnd in (dev.source, dev.drain):
+            return ("res", name, "pulldown", transition)
+        return ("res", name, "pass", transition)
+
     def _timing_from_spine(
         self,
         spine: list[tuple[str, str, float, str]],
@@ -1801,6 +1920,7 @@ class StageDelayCalculator:
         branch_edges: list[tuple[str, str, float, str]],
         *,
         adjacency: dict | None = None,
+        transition: str | None = None,
     ) -> ArcTiming:
         """Evaluate the configured delay metric for a spine's RC tree.
 
@@ -1818,11 +1938,20 @@ class StageDelayCalculator:
         accumulation visits nodes in the same order as the explicit
         :class:`RCTree` path below, so the two produce bit-identical
         delays.
+
+        With ``self.parametric`` set (and ``transition`` provided by the
+        caller -- the transition of the edge set the spine came from),
+        the walk additionally records a replayable term: the spine
+        resistances as symbolic atoms (:meth:`_edge_recipe`) and every
+        visited node's prefix index, in visit order, so
+        :mod:`repro.delay.parametric` can re-run the identical
+        arithmetic at any technology point.
         """
         if self.model != "elmore":
             return self._timing_from_spine_tree(
                 spine, output, branch_edges, adjacency=adjacency
             )
+        build_term = self.parametric and transition is not None
         root = spine[0][0]
         node_cap = self._node_cap
         used_devices = []
@@ -1831,9 +1960,21 @@ class StageDelayCalculator:
         # paths; doubles as the visited set.
         shared: dict[str, float] = {root: 0.0}
         tau = 0.0
+        if build_term:
+            recipes = []
+            contribs = []
+            # idx_of[k]: index into the replayed prefix-resistance list
+            # whose entry equals shared[k] (root is prefix 0).
+            idx_of = {root: 0}
         for _parent, child, r, name in spine:
             r_root += r
             shared[child] = r_root
+            if build_term:
+                recipes.append(
+                    self._edge_recipe(_parent, child, name, transition)
+                )
+                idx_of[child] = len(recipes)
+                contribs.append((len(recipes), child))
             cap = node_cap(child)
             if cap != 0.0:
                 tau += r_root * cap
@@ -1864,6 +2005,10 @@ class StageDelayCalculator:
                 if group is not None and spine_groups.get(group, gate) != gate:
                     continue
                 shared[neighbor] = current_shared
+                if build_term:
+                    idx = idx_of[current]
+                    idx_of[neighbor] = idx
+                    contribs.append((idx, neighbor))
                 cap = node_cap(neighbor)
                 if cap != 0.0:
                     tau += current_shared * cap
@@ -1873,7 +2018,19 @@ class StageDelayCalculator:
         if root == self.netlist.gnd:
             # Ratioed fight: see _timing_from_spine_tree.
             k *= self._ratio_derate(output, r_output)
-        return ArcTiming(delay=k * tau, tau=tau, path=tuple(used_devices))
+        path = tuple(used_devices)
+        term = None
+        if build_term:
+            term = (
+                "spine",
+                tuple(recipes),
+                tuple(contribs),
+                root,
+                output,
+                path,
+                False,
+            )
+        return ArcTiming(delay=k * tau, tau=tau, path=path, term=term)
 
     def _timing_from_spine_tree(
         self,
@@ -2002,10 +2159,13 @@ class StageDelayCalculator:
                     (b, a, r, name) for (a, b, r, name) in reversed(path_edges)
                 )
             timing = self._timing_from_spine(
-                spine, output, pass_edges, adjacency=adjacency
+                spine, output, pass_edges, adjacency=adjacency,
+                transition=RISE,
             )
-            if best is None or timing.delay > best.delay:
-                best = timing
+            # _worse keeps the incumbent on ties, exactly like the
+            # strict `>` comparison this replaces, and wraps the terms
+            # in a "max" node so corners re-decide the winner.
+            best = timing if best is None else _worse(best, timing)
         return best
 
     def _driving_terminal(self, dev: Transistor) -> str | None:
@@ -2208,7 +2368,7 @@ def pool_diagnostics() -> dict:
 #: retargeted views of it, and the run token of the sweep the worker
 #: last extracted for.
 _POOL_CALC: "StageDelayCalculator | None" = None
-_POOL_RETARGETED: "dict[Technology, StageDelayCalculator]" = {}
+_POOL_RETARGETED: "dict[tuple[Technology, bool], StageDelayCalculator]" = {}
 _POOL_RUN_TOKEN: int | None = None
 
 
@@ -2229,29 +2389,35 @@ def _pool_init(calc: "StageDelayCalculator") -> None:
     _POOL.discard()  # child side: reference drop only (owner-pid guard)
 
 
-def _pool_calc_for(tech: Technology) -> "StageDelayCalculator":
-    """The worker's calculator view for ``tech``.
+def _pool_calc_for(
+    tech: Technology, parametric: bool
+) -> "StageDelayCalculator":
+    """The worker's calculator view for ``(tech, parametric)``.
 
     An MCMM sweep fans scenarios over one fixed pool; the fork snapshot
-    holds the *base* corner, and other corners are served by retargeted
-    views built on first use (sharing the snapshot's structural facts)
-    and kept for the rest of the pool's life -- each keeps its own
-    corner-specific delay caches warm across sweeps.
+    holds the *base* corner, and other corners (or the symbolic flavour
+    of the base corner) are served by retargeted views built on first
+    use (sharing the snapshot's structural facts) and kept for the rest
+    of the pool's life -- each keeps its own corner-specific delay
+    caches warm across sweeps.
     """
     calc = _POOL_CALC
     assert calc is not None
-    if tech == calc.tech:
+    if tech == calc.tech and parametric == calc.parametric:
         return calc
-    view = _POOL_RETARGETED.get(tech)
+    key = (tech, parametric)
+    view = _POOL_RETARGETED.get(key)
     if view is None:
         view = calc.retarget(tech)
-        _POOL_RETARGETED[tech] = view
+        view.parametric = parametric
+        _POOL_RETARGETED[key] = view
     return view
 
 
 def _pool_extract(
     run_token: int,
     tech: Technology,
+    parametric: bool,
     active_clocks: frozenset[str] | None,
     open_gates: frozenset[str],
     indices: list[int],
@@ -2269,7 +2435,7 @@ def _pool_extract(
         for view in _POOL_RETARGETED.values():
             view._arc_cache.clear()
         _POOL_RUN_TOKEN = run_token
-    calc = _pool_calc_for(tech)
+    calc = _pool_calc_for(tech, parametric)
     out = []
     for index in indices:
         robust.fault_point("worker-task", index)
@@ -2282,15 +2448,23 @@ def _timing_to_wire(timing: ArcTiming | None) -> tuple | None:
     return (
         None
         if timing is None
-        else (timing.delay, timing.tau, timing.path, timing.truncated)
+        else (
+            timing.delay,
+            timing.tau,
+            timing.path,
+            timing.truncated,
+            timing.term,
+        )
     )
 
 
 def _timing_from_wire(wire: tuple | None) -> ArcTiming | None:
     if wire is None:
         return None
-    delay, tau, path, truncated = wire
-    return ArcTiming(delay=delay, tau=tau, path=path, truncated=truncated)
+    delay, tau, path, truncated, term = wire
+    return ArcTiming(
+        delay=delay, tau=tau, path=path, truncated=truncated, term=term
+    )
 
 
 def _arcs_to_wire(arcs: list[StageArc]) -> list[tuple]:
@@ -2385,4 +2559,19 @@ def _worse(a: ArcTiming | None, b: ArcTiming | None) -> ArcTiming | None:
         return b
     if b is None:
         return a
-    return a if a.delay >= b.delay else b
+    winner = a if a.delay >= b.delay else b
+    if a.term is not None and b.term is not None and a.term is not b.term:
+        # Parametric mode: record the contest, not just today's winner --
+        # another corner may decide it the other way.  The incumbent
+        # (a) goes first so evaluation replays the same tie rule.
+        return replace(winner, term=("max", a.term, b.term))
+    return winner
+
+
+def _mark_truncated(timing: ArcTiming) -> ArcTiming:
+    """Set ``truncated`` on a timing and inside its spine term, if any."""
+    term = timing.term
+    if term is not None and term[0] == "spine":
+        term = term[:6] + (True,)
+        return replace(timing, truncated=True, term=term)
+    return replace(timing, truncated=True)

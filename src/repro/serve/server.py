@@ -310,6 +310,15 @@ def _analysis_options(server: TimingServer, body: dict) -> dict:
                 400, f"unknown error policy {body['on_error']!r}"
             )
         options["on_error"] = body["on_error"]
+    if "corner" in body and body["corner"] is not None:
+        corner = body["corner"]
+        if not isinstance(corner, (str, dict)):
+            raise HttpError(
+                400,
+                "'corner' must be a corner name or a technology "
+                "parameter object",
+            )
+        options["corner"] = corner
     deadline_ms = body.get("deadline_ms")
     if deadline_ms is None and server.default_deadline is not None:
         options["deadline"] = server.default_deadline
@@ -497,8 +506,12 @@ def _bind_handler(server: TimingServer):
                 transition = body.get("transition")
                 if transition not in (None, "rise", "fall"):
                     raise HttpError(400, "'transition' must be rise or fall")
+                sensitivity = body.get("sensitivity", False)
+                if not isinstance(sensitivity, bool):
+                    raise HttpError(400, "'sensitivity' must be a boolean")
                 explanation, epoch = session.explain(
-                    node if node is None else str(node), transition, **options
+                    node if node is None else str(node), transition,
+                    sensitivity=sensitivity, **options
                 )
                 payload = {
                     "ok": True,

@@ -26,6 +26,14 @@ Per-request error policies: ``on_error`` may be overridden per call
 override applies to *extraction and analysis*; ERC ran once at load
 time under the session policy, so load-time quarantines are part of the
 session, not the request.
+
+Per-request corners: ``corner`` retargets a query to another technology
+point (a corner shorthand like ``"slow"`` or a full parameter dict)
+without reloading the design.  Cache keys include the resolved
+parameter point, and under the strict Elmore configuration the corner
+run *evaluates* the session's parametric delay terms
+(:mod:`repro.delay.parametric`) instead of re-extracting -- a warm
+what-if costs one evaluation pass.
 """
 
 from __future__ import annotations
@@ -115,17 +123,39 @@ class DesignSession:
             self._sim_text = sim_dumps(self.netlist)
         return self._sim_text
 
+    def _resolve_corner(self, corner) -> Technology | None:
+        """Per-request technology override: a corner shorthand name or a
+        full parameter dict (``Technology.to_dict`` shape)."""
+        if corner is None:
+            return None
+        try:
+            if isinstance(corner, str):
+                return self.netlist.tech.corner(corner)
+            if isinstance(corner, dict):
+                return Technology.from_dict(corner)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise NetlistError(f"bad corner: {exc}") from exc
+        raise NetlistError(
+            "corner must be a name ('slow'/'typ'/'fast') or a "
+            "technology parameter object"
+        )
+
     def _key(
         self,
         policy: str,
         top_k: int,
         input_arrivals: dict[str, float] | None,
+        corner: Technology | None = None,
     ) -> str:
         options = {
             "model": self.model,
             "policy": policy,
             "top_k": top_k,
             "input_arrivals": input_arrivals or {},
+            # The resolved parameter point, so two shorthand spellings of
+            # the same corner share an entry and a custom point never
+            # collides with the base tech.
+            "corner": None if corner is None else corner.to_dict(),
         }
         return cache_key(
             self.current_sim_text(), self.netlist.tech.to_dict(), options
@@ -151,10 +181,35 @@ class DesignSession:
         input_arrivals: dict[str, float] | None,
         top_k: int,
         deadline: float | None,
+        corner: Technology | None = None,
     ):
-        """Engine run under the write lock; returns the AnalysisResult."""
+        """Engine run under the write lock.
+
+        Returns ``(engine, result)`` -- the engine is the session
+        analyzer, or a corner sibling when ``corner`` is given, and is
+        memoized alongside the result so a later ``explain`` against the
+        same options uses the analyzer that actually produced it.
+        """
         with self._policy(policy):
-            result = self.analyzer.analyze(
+            engine = self.analyzer
+            if corner is not None:
+                from ..core.mcmm import Scenario
+
+                # Strict Elmore with no deadline is the envelope in which
+                # parametric term evaluation is exact; elsewhere the
+                # sibling extracts concretely at its corner.
+                term_source = None
+                if (
+                    deadline is None
+                    and engine.on_error == robust.STRICT
+                    and self.model == "elmore"
+                ):
+                    term_source = engine.calculator.parametric_source()
+                engine = self.analyzer._scenario_analyzer(
+                    Scenario(name="corner", tech=corner),
+                    term_source=term_source,
+                )
+            result = engine.analyze(
                 input_arrivals=input_arrivals,
                 top_k=top_k,
                 deadline=deadline,
@@ -163,8 +218,8 @@ class DesignSession:
         self.last_coverage = (
             result.coverage.summary() if result.coverage is not None else None
         )
-        self._remember(key, result)
-        return result
+        self._remember(key, (engine, result))
+        return engine, result
 
     # ------------------------------------------------------------------
     # Queries.
@@ -176,6 +231,7 @@ class DesignSession:
         top_k: int = 5,
         on_error: str | None = None,
         deadline: float | None = None,
+        corner=None,
         use_cache: bool = True,
     ) -> tuple[dict, bool, int]:
         """Full analysis; returns ``(report payload, cached, epoch)``.
@@ -186,22 +242,27 @@ class DesignSession:
         client may have just filled it), and the engine run.  ``deadline``
         is the per-request extraction budget in seconds (see
         ``TimingAnalyzer.analyze``); under the ``strict`` policy an
-        overrun raises :class:`~repro.errors.DeadlineError`.
+        overrun raises :class:`~repro.errors.DeadlineError`.  ``corner``
+        retargets this one request to another technology point (see the
+        module docstring); results are cached per parameter point.
         """
         policy = self._policy_for(on_error)
+        tech = self._resolve_corner(corner)
         if use_cache:
             with self.lock.read_locked():
-                key = self._key(policy, top_k, input_arrivals)
+                key = self._key(policy, top_k, input_arrivals, tech)
                 payload = self.cache.get(key)
                 if payload is not None:
                     return payload, True, self.epoch
         with self.lock.write_locked():
-            key = self._key(policy, top_k, input_arrivals)
+            key = self._key(policy, top_k, input_arrivals, tech)
             if use_cache:
                 payload = self.cache.get(key)
                 if payload is not None:
                     return payload, True, self.epoch
-            result = self._run(key, policy, input_arrivals, top_k, deadline)
+            _engine, result = self._run(
+                key, policy, input_arrivals, top_k, deadline, tech
+            )
             payload = result.to_json()
             if use_cache and self._cacheable(result):
                 self.cache.put(key, payload)
@@ -216,24 +277,30 @@ class DesignSession:
         top_k: int = 5,
         on_error: str | None = None,
         deadline: float | None = None,
+        corner=None,
+        sensitivity: bool = False,
     ) -> tuple[dict, int]:
         """Causal chain behind a node's worst arrival, as JSON.
 
         Reuses the memoized analysis for the same options when one
         exists (the common "analyze, then explain the critical path"
         flow costs one engine run, not two).  ``node=None`` explains the
-        critical-path endpoint.
+        critical-path endpoint.  ``corner`` explains the design at
+        another technology point; ``sensitivity=True`` attaches
+        per-parameter arrival slopes (see ``TimingAnalyzer.explain``).
         """
         policy = self._policy_for(on_error)
+        tech = self._resolve_corner(corner)
         with self.lock.write_locked():
-            key = self._key(policy, top_k, input_arrivals)
-            result = self._results.get(key)
-            if result is None:
-                result = self._run(
-                    key, policy, input_arrivals, top_k, deadline
+            key = self._key(policy, top_k, input_arrivals, tech)
+            held = self._results.get(key)
+            if held is None:
+                engine, result = self._run(
+                    key, policy, input_arrivals, top_k, deadline, tech
                 )
             else:
                 self._results.move_to_end(key)
+                engine, result = held
             if node is None:
                 if not result.paths:
                     raise NetlistError(
@@ -242,8 +309,11 @@ class DesignSession:
                     )
                 node = result.paths[0].endpoint
             with self._policy(policy):
-                explanation = self.analyzer.explain(
-                    node, transition, result=result
+                explanation = engine.explain(
+                    node,
+                    transition,
+                    result=result,
+                    sensitivity=sensitivity,
                 )
             return explanation.to_json(), self.epoch
 
@@ -282,6 +352,7 @@ class DesignSession:
         top_k: int = 5,
         on_error: str | None = None,
         deadline: float | None = None,
+        corner=None,
         use_cache: bool = True,
     ) -> tuple[dict, bool, int]:
         """Apply device edits and re-analyze incrementally.
@@ -294,6 +365,7 @@ class DesignSession:
         design, and the returned epoch identifies the new state.
         """
         policy = self._policy_for(on_error)
+        tech = self._resolve_corner(corner)
         with self.lock.write_locked():
             changed: list[str] = []
             for edit in edits:
@@ -316,12 +388,14 @@ class DesignSession:
             self.deltas += 1
             self._sim_text = None
             self._results.clear()
-            key = self._key(policy, top_k, input_arrivals)
+            key = self._key(policy, top_k, input_arrivals, tech)
             if use_cache:
                 payload = self.cache.get(key)
                 if payload is not None:
                     return payload, True, self.epoch
-            result = self._run(key, policy, input_arrivals, top_k, deadline)
+            _engine, result = self._run(
+                key, policy, input_arrivals, top_k, deadline, tech
+            )
             payload = result.to_json()
             if use_cache and self._cacheable(result):
                 self.cache.put(key, payload)

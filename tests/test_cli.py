@@ -344,7 +344,7 @@ class TestErrorPolicyFlags:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         validate_report(payload)
-        assert payload["schema_version"] == "1.2.0"
+        assert payload["schema_version"] == "1.3.0"
         assert payload["diagnostics"]["policy"] == "quarantine"
         assert payload["diagnostics"]["records"]
         assert payload["diagnostics"]["coverage"]["complete"] is False

@@ -133,7 +133,7 @@ class TestQuarantinePolicy:
         assert all(d.stage is not None for d in quarantined)
 
         payload = result.to_json()
-        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == "1.2.0"
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION == "1.3.0"
         validate_report(payload)
         assert payload["diagnostics"]["policy"] == "quarantine"
         assert payload["diagnostics"]["records"]
