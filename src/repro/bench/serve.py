@@ -16,6 +16,12 @@ circuits, and gates on it (written to ``BENCH_serve.json``):
   + fresh analysis, what a CLI re-run pays) over an incremental
   ``/delta`` request (surgical ``notify_changed`` invalidation, every
   untouched stage's arcs stay cached).  Gated ``> 1.0``.
+* **recovery_overhead** -- daemon startup with a journal to replay
+  (snapshot + delta records rebuilt into a live session) over a cold
+  reload of the same design from ``.sim`` text.  Both pay the same
+  dominant parse + session build; the gate (``<= 1.5x``) holds the
+  durability layer to "replay costs no more than reloading", so crash
+  recovery never becomes the slow path.
 
 Latencies are wall-clock through the loopback HTTP stack, so the gates
 hold the *service*, not just the engine, to the claim.  Environment
@@ -31,8 +37,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
+import tempfile
 import time
 import urllib.request
 
@@ -57,6 +65,9 @@ WARM_SPEEDUP_GATE = 10.0
 #: cold engine work towers over it.
 WARM_GATE_MIN_DEVICES = 500
 DELTA_SPEEDUP_GATE = 1.0
+#: Journal replay at startup may cost at most this multiple of a cold
+#: reload of the same design.
+RECOVERY_OVERHEAD_GATE = 1.5
 
 
 class _Client:
@@ -146,6 +157,45 @@ def _bench_size(client: _Client, size: int, repeat: int) -> dict:
     }
 
 
+def _bench_recovery(size: int, repeat: int) -> dict:
+    """Time journal-replay startup against a cold reload, same design."""
+    net = random_logic(size, seed=7)
+    sim_text = sim_dumps(net)
+    name = f"rt3_{size}"
+    loaded = sim_loads(sim_text, name=name)
+    device = sorted(loaded.devices)[0]
+    base_w = loaded.device(device).w
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_dir = os.path.join(tmp, "journal")
+        seeded = TimingServer(port=0, journal_dir=journal_dir)
+        seeded.load(name, {"sim": sim_text})
+        seeded.sessions[name].delta([{"device": device, "w": base_w * 1.05}])
+        seeded.stop()
+
+        def replay() -> None:
+            revived = TimingServer(port=0, journal_dir=journal_dir)
+            assert revived.recovered_designs == [name]
+            revived.stop()
+
+        recovery_s = _best_of(repeat, replay)
+
+        def cold_reload() -> None:
+            fresh = TimingServer(port=0)
+            fresh.load(name, {"sim": sim_text})
+            fresh.stop()
+
+        cold_s = _best_of(repeat, cold_reload)
+
+    return {
+        "size": size,
+        "devices": len(net.devices),
+        "recovery_s": recovery_s,
+        "cold_reload_s": cold_s,
+        "recovery_overhead": recovery_s / cold_s,
+    }
+
+
 def run(*, smoke: bool = False, repeat: int | None = None) -> tuple[dict, list]:
     """Run the serve bench; returns ``(payload, failures)``."""
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
@@ -158,6 +208,7 @@ def run(*, smoke: bool = False, repeat: int | None = None) -> tuple[dict, list]:
     finally:
         server.stop()
         shutdown_pool()
+    recovery_rows = [_bench_recovery(size, repeat) for size in sizes]
 
     failures: list[str] = []
     for row in rows:
@@ -176,6 +227,13 @@ def run(*, smoke: bool = False, repeat: int | None = None) -> tuple[dict, list]:
                 f"{row['delta_speedup']:.2f}x vs full re-analysis "
                 f"(gate: > {DELTA_SPEEDUP_GATE:g}x)"
             )
+    for row in recovery_rows:
+        if row["recovery_overhead"] > RECOVERY_OVERHEAD_GATE:
+            failures.append(
+                f"size {row['size']}: journal-replay startup "
+                f"{row['recovery_overhead']:.2f}x slower than a cold "
+                f"reload (gate: <= {RECOVERY_OVERHEAD_GATE:g}x)"
+            )
 
     payload = {
         "bench": "serve",
@@ -185,10 +243,12 @@ def run(*, smoke: bool = False, repeat: int | None = None) -> tuple[dict, list]:
         "server": stats["server"],
         "cache": stats["cache"],
         "results": rows,
+        "recovery": recovery_rows,
         "gates": {
             "warm_speedup_min": WARM_SPEEDUP_GATE,
             "warm_gate_min_devices": WARM_GATE_MIN_DEVICES,
             "delta_speedup_min": DELTA_SPEEDUP_GATE,
+            "recovery_overhead_max": RECOVERY_OVERHEAD_GATE,
         },
         "regressions": failures,
         "pass": not failures,
@@ -221,6 +281,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"delta {row['delta_reanalysis_s']*1e3:8.2f} ms vs "
                 f"full {row['full_reanalysis_s']*1e3:8.2f} ms "
                 f"({row['delta_speedup']:.2f}x)"
+            )
+        for row in payload["recovery"]:
+            print(
+                f"size {row['size']:>5}: recovery "
+                f"{row['recovery_s']*1e3:8.2f} ms vs cold reload "
+                f"{row['cold_reload_s']*1e3:8.2f} ms "
+                f"({row['recovery_overhead']:.2f}x)"
             )
     print(f"wrote {OUTPUT_PATH}")
     if failures:

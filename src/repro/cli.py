@@ -352,23 +352,36 @@ def _cmd_serve(args) -> int:
     import signal
 
     from .serve import TimingServer
+    from .testing.faults import FAULT_PLAN_ENV, install_plan_from_env
 
+    if os.environ.get(FAULT_PLAN_ENV):
+        # Chaos-test hook: arm a scripted fault plan (crash/torn-write/
+        # hang at named fault points) from the environment.  Production
+        # runs never set this variable.
+        install_plan_from_env()
     server = TimingServer(
         host=args.host,
         port=args.port,
         workers=args.workers,
         max_inflight=args.max_inflight,
         cache_dir=args.cache_dir,
+        journal_dir=(None if args.no_journal else args.journal_dir),
         default_deadline=(
             args.deadline_ms / 1000.0 if args.deadline_ms else None
         ),
         default_on_error=args.on_error,
     )
+    for name in server.recovered_designs:
+        print(f"recovered {name}: journal replay")
     tech = Technology.from_json(args.tech) if args.tech else None
     for path in args.netlist:
+        name = os.path.splitext(os.path.basename(path))[0]
+        if name in server.sessions:
+            # Already rebuilt from its journal; the durable state (which
+            # includes every applied delta) wins over the on-disk file.
+            continue
         with open(path) as fp:
             sim_text = fp.read()
-        name = os.path.splitext(os.path.basename(path))[0]
         info = server.load(name, {"sim": sim_text,
                                   **({"tech": tech.to_dict()} if tech else {})})
         print(f"loaded {name}: {info['devices']} devices, "
@@ -532,6 +545,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persist the content-addressed result cache "
                         "here (atomic writes; survives restarts)")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="write-ahead journal + snapshots here; on "
+                        "restart, designs found in DIR are recovered "
+                        "byte-identically before any preload")
+    p.add_argument("--no-journal", action="store_true",
+                   help="disable the durability layer even if "
+                        "--journal-dir is given (sessions are "
+                        "memory-only)")
     p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
                    help="default per-request extraction deadline; "
                         "requests may override with their own "

@@ -212,6 +212,12 @@ FAULT_SITES = (
     "worker-task",    # start of one extraction task inside a pool worker
     "worker-result",  # a pool worker's return value (may be substituted)
     "stage-arcs",     # authoritative serial extraction of one stage
+    # Durability sites (repro.serve.journal): the chaos harness tears
+    # and SIGKILLs here to prove crash recovery.
+    "journal-append",    # framed journal record bytes (substitutable)
+    "journal-fsync",     # after the append write, before its fsync
+    "snapshot-write",    # snapshot payload about to be persisted
+    "journal-truncate",  # after the snapshot, before journal truncation
 )
 
 

@@ -13,11 +13,17 @@ Layers (each usable on its own):
 * :class:`~repro.serve.rwlock.RWLock` -- writer-preferring
   readers-writer lock;
 * :class:`~repro.serve.cache.ResultCache` / ``cache_key`` --
-  content-addressed report cache (memory LRU + atomic on-disk layer);
+  content-addressed report cache (memory LRU + atomic on-disk layer),
+  keyed per report-schema version;
+* :class:`~repro.serve.journal.DesignJournal` / ``JournalStore`` --
+  per-design write-ahead journal + atomic snapshots, with torn-tail
+  tolerant crash recovery;
 * :class:`~repro.serve.session.DesignSession` -- one hot design: the
-  engine, its edit epoch, locking, and memoization;
+  engine, its edit epoch, locking, memoization, and idempotency window;
 * :class:`~repro.serve.server.TimingServer` -- the HTTP daemon:
-  routing, admission control, graceful drain.
+  routing, admission control, graceful drain, startup recovery;
+* :class:`~repro.serve.client.TimingClient` -- stdlib client with
+  bounded retry, backoff + jitter, Retry-After, and idempotent deltas.
 
 Start one from Python::
 
@@ -31,6 +37,8 @@ or from the shell: ``repro serve --port 8731 --workers auto``.
 """
 
 from .cache import ResultCache, cache_key
+from .client import ClientError, TimingClient
+from .journal import DesignJournal, JournalStore
 from .rwlock import RWLock
 from .server import HttpError, TimingServer
 from .session import DesignSession
@@ -39,7 +47,11 @@ __all__ = [
     "RWLock",
     "ResultCache",
     "cache_key",
+    "DesignJournal",
+    "JournalStore",
     "DesignSession",
     "TimingServer",
     "HttpError",
+    "TimingClient",
+    "ClientError",
 ]

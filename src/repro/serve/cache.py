@@ -14,6 +14,13 @@ A disk entry that fails to parse (however it got damaged) is treated as
 a miss and deleted.  Degraded reports whose coverage was cut short by a
 *deadline* are never stored: a later query with more time budget must
 be able to do better.
+
+Keys mix in the report schema version: a report is a function of the
+schema that shapes it, so after a schema bump a persistent cache
+directory can never serve stale-schema payloads -- old entries live
+under old-version keys and are simply never addressed again.  Belt and
+braces, a disk entry whose recorded ``schema_version`` disagrees with
+the running one is evicted on read.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ import os
 import threading
 from collections import OrderedDict
 
-from ..core.report import atomic_write_json
+from ..core.report import REPORT_SCHEMA_VERSION, atomic_write_json
 
 __all__ = ["ResultCache", "cache_key"]
 
@@ -33,10 +40,17 @@ def cache_key(sim_text: str, tech_json: dict, options: dict) -> str:
     """SHA-256 over the canonical (netlist, technology, options) triple.
 
     ``options`` must be JSON-serializable; keys are sorted so dict
-    construction order never changes the hash.
+    construction order never changes the hash.  The report schema
+    version is part of the hashed state: bumping the schema retires
+    every previously cached payload at once.
     """
     blob = json.dumps(
-        {"sim": sim_text, "tech": tech_json, "options": options},
+        {
+            "sim": sim_text,
+            "tech": tech_json,
+            "options": options,
+            "schema": REPORT_SCHEMA_VERSION,
+        },
         sort_keys=True,
     )
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -63,6 +77,7 @@ class ResultCache:
         self.misses = 0
         self.disk_hits = 0
         self.corrupt_evictions = 0
+        self.stale_evictions = 0
         if self.directory is not None:
             os.makedirs(self.directory, exist_ok=True)
 
@@ -93,6 +108,16 @@ class ResultCache:
                 with self._lock:
                     self.corrupt_evictions += 1
                 payload = None
+            if payload is not None and self._stale(payload):
+                # Written by a different schema version (keys normally
+                # prevent this; a hand-copied or legacy entry cannot).
+                try:
+                    os.unlink(self._path(key))
+                except OSError:
+                    pass
+                with self._lock:
+                    self.stale_evictions += 1
+                payload = None
             if payload is not None:
                 with self._lock:
                     self._remember(key, payload)
@@ -102,6 +127,14 @@ class ResultCache:
         with self._lock:
             self.misses += 1
         return None
+
+    @staticmethod
+    def _stale(payload) -> bool:
+        """True for a disk entry stamped with a different schema version."""
+        if not isinstance(payload, dict):
+            return False
+        version = payload.get("schema_version")
+        return version is not None and version != REPORT_SCHEMA_VERSION
 
     def put(self, key: str, payload: dict) -> None:
         """Store ``payload`` in memory and (if configured) on disk."""
@@ -129,6 +162,7 @@ class ResultCache:
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
                 "corrupt_evictions": self.corrupt_evictions,
+                "stale_evictions": self.stale_evictions,
                 "hit_rate": (self.hits / total) if total else None,
                 "persistent": self.directory is not None,
             }

@@ -1,0 +1,281 @@
+"""Stdlib client for the timing daemon, with retries that are safe.
+
+:class:`TimingClient` wraps the daemon's JSON-over-HTTP surface in
+plain ``http.client`` -- no dependencies -- and layers on the retry
+discipline a production caller needs:
+
+* **bounded retry** with exponential backoff and full jitter on
+  transient failures: connection refused/reset, timeouts, and the
+  daemon's own backpressure statuses (429 at capacity, 503 draining);
+* **Retry-After honored** -- when a 429/503 carries the header, the
+  client waits at least that long before the next attempt;
+* **idempotency keys on delta** -- each :meth:`delta` call draws one
+  ``request_id`` and sends it on every retry of that call, and the
+  server deduplicates, so an at-least-once retry never applies an edit
+  twice -- even when the first attempt's *response* was lost, or the
+  daemon crashed after journaling the edit and recovered.
+
+Definite failures (400/404/422/504, and any unexpected status) raise
+:class:`ClientError` immediately, carrying the HTTP status and decoded
+error payload; retries are only spent on failures that retrying can fix.
+
+Example::
+
+    from repro.serve.client import TimingClient
+
+    client = TimingClient(port=8731, retries=5)
+    client.load("chip", sim_text)
+    report = client.analyze("chip")["report"]
+    client.delta("chip", [{"device": "m1", "w": 2e-5}])  # exactly-once
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+import uuid
+
+from ..errors import ReproError
+
+__all__ = ["TimingClient", "ClientError"]
+
+#: HTTP statuses that signal "try again shortly", not "you are wrong".
+RETRY_STATUSES = (429, 503)
+
+
+class ClientError(ReproError):
+    """A definite request failure (or retries exhausted).
+
+    ``status`` is the final HTTP status (``None`` when the transport
+    never got a response); ``payload`` is the decoded error body when
+    one was received; ``attempts`` counts tries made.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        payload: dict | None = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+        self.attempts = attempts
+
+
+class TimingClient:
+    """One daemon endpoint plus a retry policy.
+
+    ``retries`` is the number of *extra* attempts after the first (so
+    ``retries=0`` disables retrying).  Backoff for attempt ``n`` (0-based)
+    is ``min(backoff_cap, backoff * 2**n)`` scaled by full jitter
+    (a uniform draw in ``[0.5, 1.5]``); a ``Retry-After`` header, when
+    present, sets the floor instead.  ``rng`` and ``sleep`` are
+    injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8731,
+        *,
+        timeout: float = 60.0,
+        retries: int = 5,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0 or backoff_cap < 0:
+            raise ValueError("backoff and backoff_cap must be >= 0")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        #: Counters for introspection/tests.
+        self.attempts = 0
+        self.retried = 0
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+    def _attempt(self, method: str, path: str, body: dict | None):
+        """One HTTP exchange; returns ``(status, payload, retry_after)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            data = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if data else {}
+            conn.request(method, path, body=data, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            retry_after = response.getheader("Retry-After")
+            try:
+                payload = json.loads(raw) if raw else {}
+            except ValueError:
+                payload = {"raw": raw.decode(errors="replace")}
+            return response.status, payload, retry_after
+        finally:
+            conn.close()
+
+    def _delay(self, attempt: int, retry_after: str | None) -> float:
+        """Backoff before retry ``attempt`` (0-based), honoring Retry-After."""
+        delay = min(self.backoff_cap, self.backoff * (2 ** attempt))
+        delay *= 0.5 + self._rng.random()  # full jitter, never herding
+        if retry_after is not None:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass
+        return delay
+
+    def request(self, method: str, path: str, body: dict | None = None) -> dict:
+        """Perform one logical request with the retry policy applied.
+
+        Transient transport errors and 429/503 are retried up to
+        ``retries`` times; anything else raises :class:`ClientError`
+        with the decoded server error.
+        """
+        last_exc: Exception | None = None
+        last_status: int | None = None
+        last_payload: dict | None = None
+        retry_after: str | None = None
+        attempts = 0
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._sleep(self._delay(attempt - 1, retry_after))
+                self.retried += 1
+            attempts += 1
+            self.attempts += 1
+            try:
+                status, payload, retry_after = self._attempt(
+                    method, path, body
+                )
+            except (OSError, socket.timeout, http.client.HTTPException) as exc:
+                last_exc, last_status, last_payload = exc, None, None
+                retry_after = None
+                continue
+            if status in RETRY_STATUSES:
+                last_exc = None
+                last_status, last_payload = status, payload
+                continue
+            if status >= 400:
+                message = f"status {status}"
+                error = payload.get("error") if isinstance(payload, dict) else None
+                if isinstance(error, dict) and "message" in error:
+                    message = error["message"]
+                raise ClientError(
+                    f"{method} {path} failed with HTTP {status}: {message}",
+                    status=status,
+                    payload=payload,
+                    attempts=attempts,
+                )
+            return payload
+        if last_exc is not None:
+            raise ClientError(
+                f"{method} {path} failed after {attempts} attempt(s): "
+                f"{last_exc}",
+                attempts=attempts,
+            ) from last_exc
+        raise ClientError(
+            f"{method} {path} still refused (HTTP {last_status}) after "
+            f"{attempts} attempt(s)",
+            status=last_status,
+            payload=last_payload,
+            attempts=attempts,
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Daemon liveness/identity payload."""
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """Daemon operational counters."""
+        return self.request("GET", "/stats")
+
+    def designs(self) -> list[str]:
+        """Names of the loaded designs."""
+        return self.request("GET", "/designs")["designs"]
+
+    def load(
+        self,
+        name: str,
+        sim_text: str,
+        *,
+        tech: dict | None = None,
+        model: str | None = None,
+        on_error: str | None = None,
+    ) -> dict:
+        """Load (or re-load) a design from ``.sim`` text."""
+        body: dict = {"sim": sim_text}
+        if tech is not None:
+            body["tech"] = tech
+        if model is not None:
+            body["model"] = model
+        if on_error is not None:
+            body["on_error"] = on_error
+        return self.request("POST", f"/designs/{name}", body)
+
+    def unload(self, name: str) -> dict:
+        """Unload a design (and its durable journal state, if any)."""
+        return self.request("DELETE", f"/designs/{name}")
+
+    def analyze(self, name: str, **options) -> dict:
+        """Full (or cached) analysis; returns the daemon's reply payload."""
+        return self.request("POST", f"/designs/{name}/analyze", options)
+
+    def explain(
+        self,
+        name: str,
+        node: str | None = None,
+        transition: str | None = None,
+        **options,
+    ) -> dict:
+        """Provenance chain for ``node`` (default: critical endpoint)."""
+        body = dict(options)
+        if node is not None:
+            body["node"] = node
+        if transition is not None:
+            body["transition"] = transition
+        return self.request("POST", f"/designs/{name}/explain", body)
+
+    def charge(self, name: str, *, threshold: float | None = None) -> dict:
+        """Charge-sharing hazard check."""
+        body = {} if threshold is None else {"threshold": threshold}
+        return self.request("POST", f"/designs/{name}/charge", body)
+
+    def delta(
+        self,
+        name: str,
+        edits: list[dict],
+        *,
+        request_id: str | None = None,
+        **options,
+    ) -> dict:
+        """Apply device edits exactly once, retries notwithstanding.
+
+        One idempotency key is drawn per *call* and reused verbatim on
+        every retry of that call, so the server (which remembers the key
+        in memory, in its journal, and across crash recovery) applies
+        the edit at most once no matter how many attempts it takes to
+        get a response through.
+        """
+        if request_id is None:
+            request_id = uuid.uuid4().hex
+        body = dict(options, edits=edits, request_id=request_id)
+        return self.request("POST", f"/designs/{name}/delta", body)

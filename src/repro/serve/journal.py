@@ -1,0 +1,579 @@
+"""Durability for the serve daemon: write-ahead journal + snapshots.
+
+The daemon's sessions are all in-memory state: a crash or restart drops
+every loaded design and every ``delta`` applied since load.  This module
+makes that state durable with the classic two-piece recipe:
+
+* a per-design **write-ahead journal** -- length-prefixed, CRC-32
+  checksummed JSON records (``load`` / ``delta`` / ``unload``), appended
+  and ``fsync``'d *before* the response that acknowledges the mutation
+  leaves the daemon;
+* an **atomic snapshot** written once the journal grows past a
+  threshold: the design's load-time ``.sim`` text, the exact dimensions
+  of every edited device, the edit epoch, and the recent idempotency-key
+  window, written with ``atomic_write_json`` (temp file + rename) and
+  followed by a journal truncation.
+
+Recovery (:func:`recover_design`) replays snapshot + journal into a
+:class:`RecoveredState` whose netlist state is *bit-identical* to the
+pre-crash session: the snapshot carries the original load text verbatim
+plus exact edited ``w``/``l`` floats (JSON round-trips ``float`` via
+``repr``), never a re-serialized netlist -- ``sim_dumps`` formats at 12
+significant digits, which is not a lossless round trip.
+
+Failure tolerance is absolute: a torn tail (the crash landed mid-append)
+or a corrupt record (bit rot, a partial ``fsync``) ends replay at the
+longest valid prefix; everything after it is quarantined as typed
+:class:`~repro.robust.Diagnostic` records the daemon surfaces in
+``/healthz`` and ``/stats``.  Recovery never refuses to start the
+daemon.
+
+Crash-ordering windows, and why each is safe:
+
+* crash before the journal append -- the edit was applied in memory but
+  never acknowledged; recovery lacks it, and the client's retried
+  ``delta`` (same idempotency key) applies it exactly once;
+* crash after the append, before the response -- recovery replays the
+  edit and remembers its request id, so the retry deduplicates;
+* crash after the snapshot write, before the journal truncation --
+  journal records at or below the snapshot epoch are skipped on replay;
+* ``unload`` appends its record first, then removes the snapshot, then
+  the journal -- a crash anywhere in that sequence still recovers to
+  "not loaded".
+
+The chaos harness (:mod:`repro.testing.faults`) can tear and kill at
+the ``journal-append`` / ``journal-fsync`` / ``snapshot-write`` /
+``journal-truncate`` fault sites; ``tests/test_serve_faults.py`` SIGKILLs
+a live daemon at each one and asserts byte-identical recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import urllib.parse
+import zlib
+from dataclasses import dataclass, field
+
+from ..core.report import atomic_write_json
+from ..robust import Diagnostic, fault_point
+
+__all__ = [
+    "DesignJournal",
+    "JournalStore",
+    "RecoveredState",
+    "read_journal",
+    "recover_design",
+]
+
+#: Record framing: little-endian (payload byte length, CRC-32 of payload).
+_FRAME = struct.Struct("<II")
+
+#: A declared record length beyond this is treated as corruption, not a
+#: real record (the largest legal record is a load carrying _MAX_BODY).
+_MAX_RECORD = 256 * 1024 * 1024
+
+#: Journal size that triggers snapshot compaction on the next append.
+DEFAULT_COMPACT_BYTES = 4 * 1024 * 1024
+
+#: Snapshot payload format version.
+SNAPSHOT_VERSION = 1
+
+#: Idempotency-key window carried through snapshots and recovery.
+REQUEST_WINDOW = 64
+
+
+def _design_filename(name: str) -> str:
+    """Filesystem-safe stem for a design name (reversible quoting)."""
+    return urllib.parse.quote(name, safe="")
+
+
+def _design_name(stem: str) -> str:
+    return urllib.parse.unquote(stem)
+
+
+def _fsync_dir(directory: str) -> None:
+    """Flush directory metadata (renames, creates) to stable storage."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class DesignJournal:
+    """Append-only, checksummed, ``fsync``'d journal for one design.
+
+    Appends are framed ``(length, crc32, payload)`` so recovery can
+    detect a torn tail without any out-of-band state.  The companion
+    snapshot file is written atomically by :meth:`compact`.  All calls
+    must be serialized by the owning session's write lock.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        name: str,
+        *,
+        compact_bytes: int | None = None,
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self.name = name
+        stem = _design_filename(name)
+        self.path = os.path.join(self.directory, stem + ".journal")
+        self.snapshot_path = os.path.join(
+            self.directory, stem + ".snapshot.json"
+        )
+        if compact_bytes is None:
+            compact_bytes = int(
+                os.environ.get(
+                    "REPRO_JOURNAL_COMPACT_BYTES", DEFAULT_COMPACT_BYTES
+                )
+            )
+        self.compact_bytes = compact_bytes
+        self._fd: int | None = None
+        self.appends = 0
+        self.compactions = 0
+
+    # -- plumbing ------------------------------------------------------
+    def _file(self) -> int:
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        return self._fd
+
+    def close(self) -> None:
+        """Release the journal file descriptor (idempotent)."""
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            finally:
+                self._fd = None
+
+    def size(self) -> int:
+        """Current journal size in bytes (0 if it does not exist yet)."""
+        try:
+            return os.stat(self.path).st_size
+        except OSError:
+            return 0
+
+    # -- the write path ------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Frame, append, and ``fsync`` one record.
+
+        The record is durable when this returns; the daemon only
+        acknowledges a mutation after its journal append returns.
+        """
+        payload = json.dumps(record, sort_keys=True).encode()
+        framed = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        # Chaos harness hook: a handler may substitute a torn prefix
+        # (simulating a crash mid-write) before killing the process.
+        framed = fault_point("journal-append", framed)
+        fd = self._file()
+        os.write(fd, framed)
+        fault_point("journal-fsync")
+        os.fsync(fd)
+        self.appends += 1
+
+    def maybe_compact(self, state: dict) -> bool:
+        """Snapshot + truncate once the journal outgrows the threshold."""
+        if self.size() < self.compact_bytes:
+            return False
+        self.compact(state)
+        return True
+
+    def compact(self, state: dict) -> None:
+        """Atomically persist ``state`` and truncate the journal.
+
+        A crash after the snapshot lands but before the truncation is
+        benign: replay skips journal records at or below the snapshot's
+        epoch.
+        """
+        state = fault_point("snapshot-write", state)
+        atomic_write_json(self.snapshot_path, state)
+        _fsync_dir(self.directory)
+        fault_point("journal-truncate")
+        fd = self._file()
+        os.ftruncate(fd, 0)
+        os.fsync(fd)
+        self.compactions += 1
+
+    def remove(self) -> None:
+        """Remove this design's durable state (the unload path).
+
+        Order matters: the caller appends the ``unload`` record first,
+        then this removes the snapshot *before* the journal, so a crash
+        at any point still recovers to "not loaded".
+        """
+        self.close()
+        for path in (self.snapshot_path, self.path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        _fsync_dir(self.directory)
+
+    def stats(self) -> dict:
+        """Per-design journal introspection for ``/stats``."""
+        return {
+            "journal_bytes": self.size(),
+            "appends": self.appends,
+            "compactions": self.compactions,
+            "snapshot": os.path.exists(self.snapshot_path),
+        }
+
+
+# ----------------------------------------------------------------------
+# Recovery.
+# ----------------------------------------------------------------------
+@dataclass
+class RecoveredState:
+    """Everything needed to rebuild one ``DesignSession`` exactly.
+
+    ``dims`` maps edited device names to their exact final ``w``/``l``
+    (only the fields a delta actually set); ``requests`` is the recent
+    idempotency-key window as ``(request_id, epoch)`` pairs, oldest
+    first, so retried deltas deduplicate across the crash.
+    """
+
+    name: str
+    sim_text: str
+    tech: dict | None
+    model: str
+    on_error: str
+    epoch: int = 0
+    dims: dict[str, dict] = field(default_factory=dict)
+    requests: list[tuple[str, int]] = field(default_factory=list)
+
+    def apply_delta(self, record: dict) -> None:
+        """Fold one journal ``delta`` record into the state."""
+        for edit in record.get("edits", ()):
+            dims = self.dims.setdefault(str(edit["device"]), {})
+            if "w" in edit:
+                dims["w"] = float(edit["w"])
+            if "l" in edit:
+                dims["l"] = float(edit["l"])
+        self.epoch = int(record["epoch"])
+        request_id = record.get("request_id")
+        if request_id is not None:
+            self.requests.append((str(request_id), self.epoch))
+            del self.requests[:-REQUEST_WINDOW]
+
+
+def _diag(code: str, severity: str, subject: str, message: str) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        subject=subject,
+        stage=None,
+        action="quarantined",
+        message=message,
+    )
+
+
+def read_journal(
+    path: str, subject: str
+) -> tuple[list[dict], list[Diagnostic]]:
+    """Decode the longest valid record prefix of a journal file.
+
+    Returns the decoded records plus diagnostics for whatever follows
+    the valid prefix: ``journal-torn-tail`` for a record the crash cut
+    short (expected after a kill mid-append) or ``journal-corrupt-record``
+    for a checksum/decode failure (bit rot).  Never raises on damaged
+    content; an unreadable file yields zero records and a diagnostic.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        return [], []
+    except OSError as exc:
+        return [], [
+            _diag(
+                "journal-unreadable", "error", subject,
+                f"cannot read journal {path!r}: {exc}",
+            )
+        ]
+    records: list[dict] = []
+    offset = 0
+    total = len(blob)
+    while offset < total:
+        header = blob[offset:offset + _FRAME.size]
+        if len(header) < _FRAME.size:
+            return records, [
+                _diag(
+                    "journal-torn-tail", "warning", subject,
+                    f"torn record header at byte {offset}: "
+                    f"{total - offset} trailing byte(s) quarantined",
+                )
+            ]
+        length, crc = _FRAME.unpack(header)
+        if length > _MAX_RECORD:
+            return records, [
+                _diag(
+                    "journal-corrupt-record", "error", subject,
+                    f"implausible record length {length} at byte "
+                    f"{offset}: {total - offset} byte(s) quarantined",
+                )
+            ]
+        payload = blob[offset + _FRAME.size:offset + _FRAME.size + length]
+        if len(payload) < length:
+            return records, [
+                _diag(
+                    "journal-torn-tail", "warning", subject,
+                    f"torn record payload at byte {offset} (expected "
+                    f"{length} byte(s), found {len(payload)}): "
+                    f"{total - offset} trailing byte(s) quarantined",
+                )
+            ]
+        if zlib.crc32(payload) != crc:
+            return records, [
+                _diag(
+                    "journal-corrupt-record", "error", subject,
+                    f"checksum mismatch at byte {offset}: "
+                    f"{total - offset} byte(s) quarantined",
+                )
+            ]
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            record = None
+        if not isinstance(record, dict) or "type" not in record:
+            return records, [
+                _diag(
+                    "journal-corrupt-record", "error", subject,
+                    f"checksummed record at byte {offset} is not a "
+                    f"journal record: {total - offset} byte(s) quarantined",
+                )
+            ]
+        records.append(record)
+        offset += _FRAME.size + length
+    return records, []
+
+
+def _load_snapshot(
+    path: str, subject: str
+) -> tuple[RecoveredState | None, list[Diagnostic]]:
+    """Decode a snapshot file; a damaged one is a diagnostic, not an error."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None, []
+    except (OSError, ValueError) as exc:
+        return None, [
+            _diag(
+                "snapshot-corrupt", "error", subject,
+                f"snapshot {path!r} is unreadable ({exc}); falling back "
+                "to journal replay",
+            )
+        ]
+    try:
+        state = RecoveredState(
+            name=str(payload["design"]),
+            sim_text=str(payload["sim"]),
+            tech=payload.get("tech"),
+            model=str(payload["model"]),
+            on_error=str(payload["on_error"]),
+            epoch=int(payload["epoch"]),
+            dims={
+                str(dev): {
+                    key: float(value) for key, value in dims.items()
+                }
+                for dev, dims in payload.get("dims", {}).items()
+            },
+            requests=[
+                (str(rid), int(epoch))
+                for rid, epoch in payload.get("requests", [])
+            ],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        return None, [
+            _diag(
+                "snapshot-corrupt", "error", subject,
+                f"snapshot {path!r} has an invalid shape ({exc}); "
+                "falling back to journal replay",
+            )
+        ]
+    return state, []
+
+
+def recover_design(
+    directory: str, name: str
+) -> tuple[RecoveredState | None, list[Diagnostic]]:
+    """Rebuild one design's state from its snapshot + journal.
+
+    Returns ``(state, diagnostics)``; ``state`` is ``None`` when the
+    design was unloaded, or when nothing recoverable remains (in which
+    case a diagnostic says so).  Damage never raises.
+    """
+    stem = _design_filename(name)
+    snapshot_path = os.path.join(directory, stem + ".snapshot.json")
+    journal_path = os.path.join(directory, stem + ".journal")
+    state, diagnostics = _load_snapshot(snapshot_path, name)
+    had_snapshot_damage = bool(diagnostics)
+    records, journal_diags = read_journal(journal_path, name)
+    diagnostics.extend(journal_diags)
+    unloaded = False
+    for record in records:
+        kind = record.get("type")
+        if kind == "load":
+            try:
+                state = RecoveredState(
+                    name=name,
+                    sim_text=str(record["sim"]),
+                    tech=record.get("tech"),
+                    model=str(record.get("model", "elmore")),
+                    on_error=str(record.get("on_error", "strict")),
+                )
+                unloaded = False
+            except (KeyError, TypeError, ValueError) as exc:
+                diagnostics.append(
+                    _diag(
+                        "journal-corrupt-record", "error", name,
+                        f"load record is invalid ({exc}); skipped",
+                    )
+                )
+        elif kind == "delta":
+            if state is None:
+                diagnostics.append(
+                    _diag(
+                        "journal-orphan-record", "warning", name,
+                        "delta record precedes any load/snapshot; skipped",
+                    )
+                )
+                continue
+            try:
+                epoch = int(record["epoch"])
+            except (KeyError, TypeError, ValueError):
+                diagnostics.append(
+                    _diag(
+                        "journal-corrupt-record", "error", name,
+                        "delta record carries no epoch; skipped",
+                    )
+                )
+                continue
+            if epoch <= state.epoch:
+                continue  # compacted into the snapshot already
+            state.apply_delta(record)
+        elif kind == "unload":
+            state = None
+            unloaded = True
+        else:
+            diagnostics.append(
+                _diag(
+                    "journal-unknown-record", "warning", name,
+                    f"unknown record type {kind!r}; skipped",
+                )
+            )
+    if state is None and not unloaded:
+        if records or had_snapshot_damage or os.path.exists(snapshot_path):
+            diagnostics.append(
+                _diag(
+                    "journal-unrecoverable", "error", name,
+                    "no usable snapshot or load record survives; the "
+                    "design was not recovered (files left in place)",
+                )
+            )
+    return state, diagnostics
+
+
+class JournalStore:
+    """All designs' durable state under one ``--journal-dir``."""
+
+    def __init__(
+        self, directory: str, *, compact_bytes: int | None = None
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self.compact_bytes = compact_bytes
+        os.makedirs(self.directory, exist_ok=True)
+        self._journals: dict[str, DesignJournal] = {}
+
+    def journal(self, name: str) -> DesignJournal:
+        """The (cached) journal handle for one design."""
+        journal = self._journals.get(name)
+        if journal is None:
+            journal = DesignJournal(
+                self.directory, name, compact_bytes=self.compact_bytes
+            )
+            self._journals[name] = journal
+        return journal
+
+    def begin(self, name: str, load_record: dict) -> DesignJournal:
+        """Start a fresh journal for a (re)loaded design.
+
+        Any previous durable state for the name is discarded first --
+        an explicit re-load supersedes the old session entirely.
+        """
+        journal = self.journal(name)
+        journal.remove()
+        journal.append(dict(load_record, type="load"))
+        return journal
+
+    def unload(self, name: str) -> None:
+        """Durably forget a design (record first, then remove files)."""
+        journal = self._journals.pop(name, None)
+        if journal is None:
+            journal = DesignJournal(
+                self.directory, name, compact_bytes=self.compact_bytes
+            )
+        try:
+            journal.append({"type": "unload"})
+        except OSError:
+            pass
+        journal.remove()
+
+    def design_names(self) -> list[str]:
+        """Design names with any durable state in the directory."""
+        names = set()
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:
+            return []
+        for entry in entries:
+            if entry.endswith(".journal"):
+                names.add(_design_name(entry[: -len(".journal")]))
+            elif entry.endswith(".snapshot.json"):
+                names.add(_design_name(entry[: -len(".snapshot.json")]))
+        return sorted(names)
+
+    def recover(
+        self,
+    ) -> tuple[dict[str, RecoveredState], list[Diagnostic]]:
+        """Replay every design in the store.
+
+        Returns recovered states plus every quarantine diagnostic.
+        Designs whose journals end in ``unload`` have their leftover
+        files cleaned up.
+        """
+        states: dict[str, RecoveredState] = {}
+        diagnostics: list[Diagnostic] = []
+        for name in self.design_names():
+            state, diags = recover_design(self.directory, name)
+            diagnostics.extend(diags)
+            if state is not None:
+                states[name] = state
+            elif not diags:
+                # A clean unload interrupted mid-cleanup: finish the job.
+                self.journal(name).remove()
+                self._journals.pop(name, None)
+        return states, diagnostics
+
+    def close(self) -> None:
+        """Release every open journal descriptor."""
+        for journal in self._journals.values():
+            journal.close()
+
+    def stats(self) -> dict:
+        """Store-level introspection for ``/stats``."""
+        return {
+            "directory": self.directory,
+            "designs": self.design_names(),
+        }

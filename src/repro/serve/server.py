@@ -34,6 +34,13 @@ Robustness contract:
   stop admissions with 503, drain in-flight requests, then tear down the
   persistent extraction pool (``shutdown_pool``) so no worker process
   outlives the daemon.
+* **Durability** -- with ``journal_dir`` set, loads and deltas are
+  journaled (:mod:`repro.serve.journal`) before they are acknowledged,
+  and a restarted daemon replays snapshot + journal to rebuild every
+  session bit-identically; torn or corrupt journal tails are quarantined
+  as typed diagnostics in ``/healthz``/``/stats``, never a refusal to
+  start.  Deltas accept a client ``request_id`` idempotency key so
+  at-least-once retries apply exactly once, crash or no crash.
 """
 
 from __future__ import annotations
@@ -47,9 +54,10 @@ from .. import __version__
 from ..core import REPORT_SCHEMA_VERSION
 from ..delay import pool_diagnostics, shutdown_pool
 from ..errors import DeadlineError, ReproError, TimingError
-from ..robust import ERROR_POLICIES
+from ..robust import ERROR_POLICIES, Diagnostic
 from ..tech import Technology
 from .cache import ResultCache
+from .journal import JournalStore
 from .session import DesignSession
 
 __all__ = ["TimingServer", "HttpError"]
@@ -83,6 +91,7 @@ class TimingServer:
         workers: int | str = 1,
         max_inflight: int = 8,
         cache_dir: str | None = None,
+        journal_dir: str | None = None,
         default_deadline: float | None = None,
         default_on_error: str = "strict",
     ) -> None:
@@ -97,6 +106,13 @@ class TimingServer:
         self.cache = ResultCache(cache_dir)
         self.sessions: dict[str, DesignSession] = {}
         self._sessions_lock = threading.Lock()
+        self.journal_store = (
+            JournalStore(journal_dir) if journal_dir is not None else None
+        )
+        self.recovered_designs: list[str] = []
+        self.recovery_diagnostics: list = []
+        if self.journal_store is not None:
+            self._recover_sessions()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._draining = threading.Event()
@@ -111,6 +127,7 @@ class TimingServer:
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
+        self._serving = False
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -121,6 +138,7 @@ class TimingServer:
 
     def start(self) -> "TimingServer":
         """Serve on a background thread; returns once accepting."""
+        self._serving = True
         self._thread = threading.Thread(
             target=self.httpd.serve_forever, daemon=True
         )
@@ -129,6 +147,7 @@ class TimingServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`stop` is called."""
+        self._serving = True
         self.httpd.serve_forever()
 
     def stop(self, drain_timeout: float = 10.0) -> None:
@@ -153,12 +172,63 @@ class TimingServer:
         if self._thread is not None:
             self.httpd.shutdown()
             self._thread.join(timeout=drain_timeout)
-        else:
-            shutdown_thread = threading.Thread(target=self.httpd.shutdown)
+        elif self._serving:
+            shutdown_thread = threading.Thread(
+                target=self.httpd.shutdown, daemon=True
+            )
             shutdown_thread.start()
             shutdown_thread.join(timeout=drain_timeout)
+        # If serve_forever() never ran there is nothing to shut down --
+        # shutdown() would block forever on socketserver's is-shut-down
+        # event, which only serve_forever() ever sets.
         self.httpd.server_close()
+        if self.journal_store is not None:
+            self.journal_store.close()
         shutdown_pool()
+
+    # ------------------------------------------------------------------
+    # Recovery.
+    # ------------------------------------------------------------------
+    def _recover_sessions(self) -> None:
+        """Rebuild every journaled design at startup.
+
+        Replay failures (a snapshot whose netlist no longer parses, say)
+        are quarantined as diagnostics; the daemon always starts.
+        """
+        states, diagnostics = self.journal_store.recover()
+        self.recovery_diagnostics.extend(diagnostics)
+        for name, state in sorted(states.items()):
+            try:
+                tech = (
+                    Technology.from_dict(state.tech)
+                    if state.tech is not None
+                    else None
+                )
+                session = DesignSession(
+                    name,
+                    state.sim_text,
+                    tech=tech,
+                    model=state.model,
+                    on_error=state.on_error,
+                    workers=self.workers,
+                    cache=self.cache,
+                    journal=self.journal_store.journal(name),
+                )
+                session.restore(state.dims, state.epoch, state.requests)
+            except Exception as exc:  # noqa: BLE001 - never refuse to start
+                self.recovery_diagnostics.append(
+                    Diagnostic(
+                        code="journal-recovery-failed",
+                        severity="error",
+                        subject=name,
+                        stage=None,
+                        action="quarantined",
+                        message=f"recovered state does not rebuild: {exc}",
+                    )
+                )
+                continue
+            self.sessions[name] = session
+            self.recovered_designs.append(name)
 
     # ------------------------------------------------------------------
     # Admission.
@@ -221,6 +291,21 @@ class TimingServer:
             workers=self.workers,
             cache=self.cache,
         )
+        if self.journal_store is not None:
+            # Journal only once the design actually loads, so a parse
+            # failure never leaves a load record that cannot replay.
+            try:
+                session.journal = self.journal_store.begin(
+                    name,
+                    {
+                        "sim": sim_text,
+                        "tech": None if tech is None else tech.to_dict(),
+                        "model": model,
+                        "on_error": on_error,
+                    },
+                )
+            except OSError as exc:
+                session.journal_error = str(exc)
         with self._sessions_lock:
             self.sessions[name] = session
         return {
@@ -237,6 +322,8 @@ class TimingServer:
             if name not in self.sessions:
                 raise HttpError(404, f"no design {name!r} is loaded")
             del self.sessions[name]
+        if self.journal_store is not None:
+            self.journal_store.unload(name)
         return {"design": name, "unloaded": True}
 
     # ------------------------------------------------------------------
@@ -252,12 +339,19 @@ class TimingServer:
 
     def healthz(self) -> dict:
         """Liveness payload: status, identity, uptime, design count."""
-        return {
+        payload = {
             "status": "draining" if self._draining.is_set() else "ok",
             "server": self.server_identity(),
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "designs": len(self.sessions),
         }
+        if self.journal_store is not None:
+            payload["journal"] = {
+                "enabled": True,
+                "recovered_designs": len(self.recovered_designs),
+                "recovery_diagnostics": len(self.recovery_diagnostics),
+            }
+        return payload
 
     def stats(self) -> dict:
         """Operational counters: admission, cache, pool, per-design."""
@@ -268,7 +362,7 @@ class TimingServer:
             }
         with self._inflight_lock:
             inflight = self._inflight
-        return {
+        payload = {
             "server": self.server_identity(),
             "uptime_seconds": time.monotonic() - self.started_monotonic,
             "requests": self.requests,
@@ -282,6 +376,15 @@ class TimingServer:
             "pool": pool_diagnostics(),
             "designs": designs,
         }
+        if self.journal_store is not None:
+            payload["journal"] = {
+                **self.journal_store.stats(),
+                "recovered_designs": list(self.recovered_designs),
+                "recovery_diagnostics": [
+                    diag.to_json() for diag in self.recovery_diagnostics
+                ],
+            }
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -493,12 +596,28 @@ def _bind_handler(server: TimingServer):
                     raise HttpError(
                         400, "'edits' must be a non-empty list of objects"
                     )
+                request_id = body.get("request_id")
+                if request_id is not None:
+                    if (
+                        not isinstance(request_id, str)
+                        or not request_id
+                        or len(request_id) > 200
+                    ):
+                        raise HttpError(
+                            400,
+                            "'request_id' must be a non-empty string of "
+                            "at most 200 characters",
+                        )
                 options = _analysis_options(server, body)
-                report, cached, epoch = session.delta(
-                    edits, use_cache=_cache_mode(body), **options
+                report, cached, epoch, deduplicated = session.delta(
+                    edits,
+                    use_cache=_cache_mode(body),
+                    request_id=request_id,
+                    **options,
                 )
                 return self._analysis_reply(
-                    session, report, cached, epoch, started
+                    session, report, cached, epoch, started,
+                    deduplicated=deduplicated,
                 )
             if action == "explain":
                 options = _analysis_options(server, body)
@@ -537,7 +656,8 @@ def _bind_handler(server: TimingServer):
             }
             return payload, 200, ()
 
-        def _analysis_reply(self, session, report, cached, epoch, started):
+        def _analysis_reply(self, session, report, cached, epoch, started,
+                            deduplicated=None):
             payload = {
                 "ok": True,
                 "design": session.name,
@@ -546,6 +666,8 @@ def _bind_handler(server: TimingServer):
                 "elapsed_ms": (time.perf_counter() - started) * 1e3,
                 "report": report,
             }
+            if deduplicated is not None:
+                payload["deduplicated"] = deduplicated
             return payload, 200, ()
 
         # ------------------------------------------------------------

@@ -34,6 +34,16 @@ parameter point, and under the strict Elmore configuration the corner
 run *evaluates* the session's parametric delay terms
 (:mod:`repro.delay.parametric`) instead of re-extracting -- a warm
 what-if costs one evaluation pass.
+
+Durability: with a :class:`~repro.serve.journal.DesignJournal` attached,
+every applied delta is appended (checksummed, ``fsync``'d) *before* the
+response acknowledging it is produced, and the journal compacts into an
+atomic snapshot once it outgrows its threshold.  Deltas may carry a
+client-supplied **idempotency key** (``request_id``): a replayed
+duplicate returns the original epoch and payload instead of re-editing,
+so an at-least-once retrying client (:class:`~repro.serve.client.
+TimingClient`) never double-applies an edit -- including across a crash,
+because the key window rides the journal and snapshot.
 """
 
 from __future__ import annotations
@@ -55,6 +65,9 @@ __all__ = ["DesignSession"]
 #: Live AnalysisResult objects kept per session for explain reuse.
 _RESULT_MEMO_LIMIT = 4
 
+#: Recent delta idempotency keys remembered for dedupe (per design).
+_REQUEST_WINDOW = 64
+
 
 class DesignSession:
     """One loaded design plus the machinery to query and edit it safely."""
@@ -69,6 +82,7 @@ class DesignSession:
         on_error: str = robust.STRICT,
         workers: int | str = 1,
         cache: ResultCache | None = None,
+        journal=None,
     ) -> None:
         self.name = name
         self.netlist = sim_loads(sim_text, name=name, tech=tech or NMOS4)
@@ -80,15 +94,29 @@ class DesignSession:
             on_error=on_error,
         )
         self.cache = cache if cache is not None else ResultCache()
+        #: Optional DesignJournal making edits durable (see repro.serve.journal).
+        self.journal = journal
+        self.journal_error: str | None = None
         self.lock = RWLock()
         #: Bumped by every applied delta; clients use it to detect edits.
         self.epoch = 0
         self.loaded_at = time.time()
         self.analyses = 0
         self.deltas = 0
+        self.deduplicated = 0
         self.last_coverage: str | None = None
+        #: The .sim text as loaded, kept verbatim: snapshots persist this
+        #: plus exact edited dimensions, because re-serializing through
+        #: sim_dumps rounds floats to 12 significant digits.
+        self._load_sim_text = sim_text
         self._sim_text: str | None = sim_text
         self._results: OrderedDict[str, object] = OrderedDict()
+        #: Exact final w/l of every device edited since load.
+        self._edited_dims: dict[str, dict] = {}
+        #: request_id -> (epoch, payload | None), oldest first.
+        self._applied_requests: OrderedDict[str, tuple[int, dict | None]] = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Option plumbing.
@@ -354,7 +382,8 @@ class DesignSession:
         deadline: float | None = None,
         corner=None,
         use_cache: bool = True,
-    ) -> tuple[dict, bool, int]:
+        request_id: str | None = None,
+    ) -> tuple[dict, bool, int, bool]:
         """Apply device edits and re-analyze incrementally.
 
         Each edit is ``{"device": name, "w": metres?, "l": metres?}``.
@@ -363,11 +392,27 @@ class DesignSession:
         stage's arcs stay cached in the engine.  Atomic: the write lock
         spans edit + re-analysis, so no client ever reads a half-edited
         design, and the returned epoch identifies the new state.
+
+        ``request_id`` is a client-supplied idempotency key.  A key that
+        already applied is *not* re-applied: the call returns the
+        original epoch (and the original payload, when this process
+        still remembers it) with the final ``deduplicated`` flag set, so
+        an at-least-once retry never edits twice.  The edit and its key
+        are journaled (when a journal is attached) before this returns.
+
+        Returns ``(payload, cached, epoch, deduplicated)``.
         """
         policy = self._policy_for(on_error)
         tech = self._resolve_corner(corner)
         with self.lock.write_locked():
-            changed: list[str] = []
+            if request_id is not None and request_id in self._applied_requests:
+                return self._replay_duplicate(
+                    request_id, policy, input_arrivals, top_k, deadline, tech
+                )
+            # Validate every edit before touching anything, so a bad
+            # request can never leave the design half-edited or a bogus
+            # record in the journal.
+            applied: list[dict] = []
             for edit in edits:
                 if not isinstance(edit, dict) or "device" not in edit:
                     raise NetlistError(
@@ -378,33 +423,159 @@ class DesignSession:
                     raise NetlistError(
                         f"edit for {dev.name!r} changes neither 'w' nor 'l'"
                     )
+                record = {"device": dev.name}
                 if "w" in edit:
-                    dev.w = float(edit["w"])
+                    record["w"] = float(edit["w"])
                 if "l" in edit:
-                    dev.l = float(edit["l"])
+                    record["l"] = float(edit["l"])
+                applied.append(record)
+            changed: list[str] = []
+            for record in applied:
+                dev = self.netlist.device(record["device"])
+                dims = self._edited_dims.setdefault(dev.name, {})
+                if "w" in record:
+                    dev.w = dims["w"] = record["w"]
+                if "l" in record:
+                    dev.l = dims["l"] = record["l"]
                 changed.append(dev.name)
             self.analyzer.notify_changed(changed)
             self.epoch += 1
             self.deltas += 1
             self._sim_text = None
             self._results.clear()
+            if request_id is not None:
+                self._remember_request(request_id, self.epoch, None)
+            self._journal_delta(applied, request_id)
             key = self._key(policy, top_k, input_arrivals, tech)
             if use_cache:
                 payload = self.cache.get(key)
                 if payload is not None:
-                    return payload, True, self.epoch
+                    if request_id is not None:
+                        self._remember_request(request_id, self.epoch, payload)
+                    return payload, True, self.epoch, False
             _engine, result = self._run(
                 key, policy, input_arrivals, top_k, deadline, tech
             )
             payload = result.to_json()
             if use_cache and self._cacheable(result):
                 self.cache.put(key, payload)
-            return payload, False, self.epoch
+            if request_id is not None:
+                self._remember_request(request_id, self.epoch, payload)
+            return payload, False, self.epoch, False
+
+    def _replay_duplicate(
+        self, request_id, policy, input_arrivals, top_k, deadline, tech
+    ) -> tuple[dict, bool, int, bool]:
+        """Answer a retried delta without re-applying its edits.
+
+        Returns the payload produced when the key first applied when
+        this process still remembers it; after a crash the window is
+        rebuilt from the journal without payloads, so the answer is
+        recomputed against the current state (identical for the common
+        retry-the-last-edit case) under the recorded epoch.
+        """
+        epoch, payload = self._applied_requests[request_id]
+        self.deduplicated += 1
+        if payload is not None:
+            return payload, True, epoch, True
+        key = self._key(policy, top_k, input_arrivals, tech)
+        payload = self.cache.get(key)
+        cached = payload is not None
+        if payload is None:
+            _engine, result = self._run(
+                key, policy, input_arrivals, top_k, deadline, tech
+            )
+            payload = result.to_json()
+            if self._cacheable(result):
+                self.cache.put(key, payload)
+        self._remember_request(request_id, epoch, payload)
+        return payload, cached, epoch, True
+
+    def _remember_request(
+        self, request_id: str, epoch: int, payload: dict | None
+    ) -> None:
+        self._applied_requests[request_id] = (epoch, payload)
+        self._applied_requests.move_to_end(request_id)
+        while len(self._applied_requests) > _REQUEST_WINDOW:
+            self._applied_requests.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Durability.
+    # ------------------------------------------------------------------
+    def _journal_delta(
+        self, applied: list[dict], request_id: str | None
+    ) -> None:
+        """Append the applied delta to the journal (and maybe compact).
+
+        A failing journal (disk full, permissions) degrades the session
+        to memory-only with a recorded reason instead of refusing edits;
+        the daemon surfaces ``journal_error`` in ``/stats``.
+        """
+        if self.journal is None:
+            return
+        record = {"type": "delta", "epoch": self.epoch, "edits": applied}
+        if request_id is not None:
+            record["request_id"] = request_id
+        try:
+            self.journal.append(record)
+            self.journal.maybe_compact(self.snapshot_state())
+        except OSError as exc:
+            self.journal_error = str(exc)
+            self.journal = None
+
+    def snapshot_state(self) -> dict:
+        """The design's durable state, exactly (see module docstring)."""
+        return {
+            "version": 1,
+            "design": self.name,
+            "epoch": self.epoch,
+            "sim": self._load_sim_text,
+            "dims": {
+                dev: dict(dims) for dev, dims in self._edited_dims.items()
+            },
+            "model": self.model,
+            "on_error": self.analyzer.on_error,
+            "tech": self.netlist.tech.to_dict(),
+            "requests": [
+                [rid, epoch]
+                for rid, (epoch, _payload) in self._applied_requests.items()
+            ],
+        }
+
+    def restore(
+        self,
+        dims: dict[str, dict],
+        epoch: int,
+        requests: list[tuple[str, int]],
+    ) -> None:
+        """Re-apply recovered edits so the session matches the pre-crash one.
+
+        ``dims`` carries the exact final ``w``/``l`` floats from the
+        journal/snapshot, so the in-memory netlist -- and therefore every
+        ``analyze``/``explain`` payload and cache key -- is bit-identical
+        to the state the crashed daemon held.
+        """
+        changed: list[str] = []
+        for name, dd in dims.items():
+            dev = self.netlist.device(name)
+            if "w" in dd:
+                dev.w = float(dd["w"])
+            if "l" in dd:
+                dev.l = float(dd["l"])
+            self._edited_dims[name] = dict(dd)
+            changed.append(name)
+        if changed:
+            self.analyzer.notify_changed(changed)
+        self.epoch = epoch
+        self._sim_text = None
+        self._results.clear()
+        for rid, req_epoch in requests:
+            self._remember_request(rid, req_epoch, None)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Per-design introspection for ``/stats``."""
-        return {
+        stats = {
             "devices": len(self.netlist.devices),
             "stages": len(self.analyzer.stage_graph),
             "epoch": self.epoch,
@@ -412,6 +583,12 @@ class DesignSession:
             "model": self.model,
             "analyses": self.analyses,
             "deltas": self.deltas,
+            "deduplicated": self.deduplicated,
             "coverage": self.last_coverage,
             "lock": self.lock.stats(),
         }
+        if self.journal is not None:
+            stats["journal"] = self.journal.stats()
+        if self.journal_error is not None:
+            stats["journal_error"] = self.journal_error
+        return stats

@@ -9,6 +9,6 @@ mutation fuzzer used to prove that every failure path yields a typed
 :class:`~repro.errors.ReproError` or a clean degraded result.
 """
 
-from .faults import FaultPlan, NetlistFuzzer
+from .faults import FaultPlan, NetlistFuzzer, install_plan_from_env
 
-__all__ = ["FaultPlan", "NetlistFuzzer"]
+__all__ = ["FaultPlan", "NetlistFuzzer", "install_plan_from_env"]

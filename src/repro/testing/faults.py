@@ -3,13 +3,21 @@
 Two tools for proving the pipeline degrades instead of dying:
 
 * :class:`FaultPlan` -- a scripted set of faults (raise, hard process
-  kill, delay, corrupt return value) bound to the named injection sites
-  of :mod:`repro.robust` (``"worker-task"``, ``"worker-result"``,
-  ``"stage-arcs"``, ``"erc"``).  Install it, run an analysis, and the
-  plan fires exactly the faults you scripted -- deterministically, with
-  per-process counters (fork-based pool workers inherit the plan by
-  memory copy, so a ``times=1`` crash fires once in *each* worker that
-  reaches the site).
+  kill, SIGKILL, delay, corrupt or tear a payload) bound to the named
+  injection sites of :mod:`repro.robust` (``"worker-task"``,
+  ``"worker-result"``, ``"stage-arcs"``, ``"erc"``, and the durability
+  sites ``"journal-append"`` / ``"journal-fsync"`` /
+  ``"snapshot-write"`` / ``"journal-truncate"``).  Install it, run an
+  analysis, and the plan fires exactly the faults you scripted --
+  deterministically, with per-process counters (fork-based pool workers
+  inherit the plan by memory copy, so a ``times=1`` crash fires once in
+  *each* worker that reaches the site).  ``skip=N`` arms a fault only
+  after the site has been passed N times, which is how the chaos suite
+  kills a daemon at exactly the Nth journal append.
+  :func:`install_plan_from_env` builds and installs a plan from the
+  ``REPRO_FAULT_PLAN`` environment variable (a JSON list of specs), so
+  subprocess tests can script faults inside a real ``repro serve``
+  daemon and SIGKILL it mid-append or mid-compaction.
 * :class:`NetlistFuzzer` -- a seeded mutation fuzzer: structural netlist
   mutations (drop/rewire/short devices, float gates, flip kinds) built
   through the ordinary :class:`~repro.netlist.Netlist` API, plus textual
@@ -21,15 +29,25 @@ single ``None`` check inside :func:`repro.robust.fault_point`.
 
 from __future__ import annotations
 
+import json
 import os
 import random
+import signal
 import time
 from contextlib import contextmanager
 
 from .. import robust
 from ..netlist import Netlist
 
-__all__ = ["FaultPlan", "NetlistFuzzer", "CORRUPT_SENTINEL"]
+__all__ = [
+    "FaultPlan",
+    "NetlistFuzzer",
+    "CORRUPT_SENTINEL",
+    "install_plan_from_env",
+]
+
+#: Environment variable :func:`install_plan_from_env` reads.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: Replacement payload used by :meth:`FaultPlan.corrupt`.  Structurally
 #: invalid for every instrumented site, so supervision must detect and
@@ -40,13 +58,17 @@ CORRUPT_SENTINEL = "<corrupted-by-fault-plan>"
 class _Spec:
     """One scripted fault: a mode, its parameters, and a firing budget."""
 
-    def __init__(self, mode: str, times: int | None, **params):
+    def __init__(self, mode: str, times: int | None, skip: int = 0, **params):
         self.mode = mode
         self.times = times  # None = unlimited
+        self.skip = skip    # site passes to let through before arming
         self.params = params
 
     def take(self) -> bool:
         """Consume one firing; False once the budget is exhausted."""
+        if self.skip > 0:
+            self.skip -= 1
+            return False
         if self.times is None:
             return True
         if self.times <= 0:
@@ -88,16 +110,23 @@ class FaultPlan:
         site: str,
         *,
         times: int | None = 1,
+        skip: int = 0,
         exc_type: type = RuntimeError,
         message: str = "injected fault",
     ) -> "FaultPlan":
         """Raise ``exc_type(message)`` when ``site`` is reached."""
         return self._add(
-            site, _Spec("crash", times, exc_type=exc_type, message=message)
+            site,
+            _Spec("crash", times, skip, exc_type=exc_type, message=message),
         )
 
     def hard_crash(
-        self, site: str, *, times: int | None = 1, exit_code: int = 13
+        self,
+        site: str,
+        *,
+        times: int | None = 1,
+        skip: int = 0,
+        exit_code: int = 13,
     ) -> "FaultPlan":
         """Kill the whole process (``os._exit``) when ``site`` is reached.
 
@@ -105,16 +134,39 @@ class FaultPlan:
         worker: the parent sees a ``BrokenProcessPool``.  Do not script
         this on a parent-side site unless you mean it.
         """
-        return self._add(site, _Spec("hard-crash", times, exit_code=exit_code))
+        return self._add(
+            site, _Spec("hard-crash", times, skip, exit_code=exit_code)
+        )
+
+    def kill9(
+        self, site: str, *, times: int | None = 1, skip: int = 0
+    ) -> "FaultPlan":
+        """SIGKILL the whole process when ``site`` is reached.
+
+        The crash-recovery chaos tests script this inside a real daemon
+        subprocess: no atexit handlers, no flushes, no cleanup -- the
+        closest a test can get to a power cut.
+        """
+        return self._add(site, _Spec("kill9", times, skip))
 
     def delay(
-        self, site: str, seconds: float, *, times: int | None = 1
+        self,
+        site: str,
+        seconds: float,
+        *,
+        times: int | None = 1,
+        skip: int = 0,
     ) -> "FaultPlan":
         """Sleep ``seconds`` when ``site`` is reached (a simulated hang)."""
-        return self._add(site, _Spec("delay", times, seconds=seconds))
+        return self._add(site, _Spec("delay", times, skip, seconds=seconds))
 
     def corrupt(
-        self, site: str, *, times: int | None = 1, replacement=CORRUPT_SENTINEL
+        self,
+        site: str,
+        *,
+        times: int | None = 1,
+        skip: int = 0,
+        replacement=CORRUPT_SENTINEL,
     ) -> "FaultPlan":
         """Substitute the site's payload with ``replacement``.
 
@@ -123,8 +175,25 @@ class FaultPlan:
         corrupt-return detection must discard it.
         """
         return self._add(
-            site, _Spec("corrupt", times, replacement=replacement)
+            site, _Spec("corrupt", times, skip, replacement=replacement)
         )
+
+    def torn(
+        self,
+        site: str,
+        *,
+        times: int | None = 1,
+        skip: int = 0,
+        fraction: float = 0.5,
+    ) -> "FaultPlan":
+        """Truncate a sliceable payload to its leading ``fraction``.
+
+        Meaningful on ``"journal-append"`` (the framed record bytes):
+        paired with :meth:`kill9` on ``"journal-fsync"`` it simulates a
+        crash mid-write -- a torn record lands on disk and the process
+        dies before acknowledging anything.
+        """
+        return self._add(site, _Spec("torn", times, skip, fraction=fraction))
 
     # -- activation ----------------------------------------------------
     def install(self) -> None:
@@ -155,12 +224,63 @@ class FaultPlan:
                 raise spec.params["exc_type"](spec.params["message"])
             if spec.mode == "hard-crash":
                 os._exit(spec.params["exit_code"])
+            if spec.mode == "kill9":
+                os.kill(os.getpid(), signal.SIGKILL)
             if spec.mode == "delay":
                 time.sleep(spec.params["seconds"])
                 return None
             if spec.mode == "corrupt":
                 return spec.params["replacement"]
+            if spec.mode == "torn":
+                if payload is None:
+                    return None
+                keep = max(1, int(len(payload) * spec.params["fraction"]))
+                return payload[:keep]
         return None
+
+
+def install_plan_from_env(var: str = FAULT_PLAN_ENV) -> FaultPlan | None:
+    """Build and install a :class:`FaultPlan` scripted in the environment.
+
+    ``var`` holds a JSON list of fault specs, each
+    ``{"site": ..., "mode": ...}`` plus the mode's keyword parameters
+    (``times``, ``skip``, ``seconds``, ``exit_code``, ``fraction``,
+    ``message``).  Returns the installed plan, or ``None`` when the
+    variable is unset/empty.  This is how subprocess chaos tests arm
+    faults inside a real ``repro serve`` daemon::
+
+        REPRO_FAULT_PLAN='[{"site": "journal-fsync", "mode": "kill9",
+                            "skip": 2}]' repro serve --journal-dir d ...
+    """
+    spec_text = os.environ.get(var)
+    if not spec_text:
+        return None
+    plan = FaultPlan()
+    for spec in json.loads(spec_text):
+        mode = spec["mode"]
+        site = spec["site"]
+        times = spec.get("times", 1)
+        skip = spec.get("skip", 0)
+        if mode == "crash":
+            plan.crash(site, times=times, skip=skip,
+                       message=spec.get("message", "injected fault"))
+        elif mode == "hard-crash":
+            plan.hard_crash(site, times=times, skip=skip,
+                            exit_code=spec.get("exit_code", 13))
+        elif mode == "kill9":
+            plan.kill9(site, times=times, skip=skip)
+        elif mode == "delay":
+            plan.delay(site, spec["seconds"], times=times, skip=skip)
+        elif mode == "corrupt":
+            plan.corrupt(site, times=times, skip=skip,
+                         replacement=spec.get("replacement", CORRUPT_SENTINEL))
+        elif mode == "torn":
+            plan.torn(site, times=times, skip=skip,
+                      fraction=spec.get("fraction", 0.5))
+        else:
+            raise ValueError(f"unknown fault mode {mode!r} in {var}")
+    plan.install()
+    return plan
 
 
 # ----------------------------------------------------------------------

@@ -185,6 +185,37 @@ class TestResultCache:
         assert a != cache_key("sim a", {"vdd": 4.5}, {"top_k": 5})
         assert a != cache_key("sim a", {"vdd": 5.0}, {"top_k": 6})
 
+    def test_key_mixes_in_schema_version(self, monkeypatch):
+        # Bumping the report schema must retire every old cache key.
+        from repro.serve import cache as cache_module
+
+        a = cache_key("sim", {"vdd": 5.0}, {"top_k": 5})
+        monkeypatch.setattr(
+            cache_module, "REPORT_SCHEMA_VERSION", "999.0.0"
+        )
+        assert cache_key("sim", {"vdd": 5.0}, {"top_k": 5}) != a
+
+    def test_stale_schema_disk_entry_is_evicted(self, tmp_path):
+        # A disk entry stamped with a different schema version (a
+        # hand-copied or legacy file landing under a current key) is
+        # evicted on read, never served.
+        key = cache_key("sim", {}, {})
+        ResultCache(tmp_path).put(
+            key, {"schema_version": "0.0.1", "x": 4}
+        )
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is None
+        assert not list(tmp_path.iterdir())
+        assert fresh.stats()["stale_evictions"] == 1
+
+    def test_current_schema_disk_entry_is_served(self, tmp_path):
+        key = cache_key("sim", {}, {})
+        payload = {"schema_version": REPORT_SCHEMA_VERSION, "x": 5}
+        ResultCache(tmp_path).put(key, payload)
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) == payload
+        assert fresh.stats()["stale_evictions"] == 0
+
 
 # ----------------------------------------------------------------------
 # DesignSession.
@@ -203,14 +234,14 @@ class TestDesignSession:
         session.analyze()
         device = sorted(session.netlist.devices)[0]
         base_w = session.netlist.device(device).w
-        payload, cached, epoch = session.delta(
+        payload, cached, epoch, _dedup = session.delta(
             [{"device": device, "w": base_w * 1.2}]
         )
         assert cached is False and epoch == 1
         validate_report(payload)
         # Toggling the edit back restores the original content hash:
         # the very first report comes straight out of the cache.
-        _, cached_back, epoch_back = session.delta(
+        _, cached_back, epoch_back, _dedup = session.delta(
             [{"device": device, "w": base_w}]
         )
         assert cached_back is True and epoch_back == 2

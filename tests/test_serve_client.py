@@ -1,0 +1,264 @@
+"""TimingClient tests: retry policy, backoff, idempotent deltas.
+
+The contract under test:
+
+* transient failures -- connection errors and the daemon's own 429/503
+  backpressure -- are retried with exponential backoff and full jitter,
+  a ``Retry-After`` header setting the floor;
+* definite failures (4xx other than 429, and any unexpected status)
+  raise :class:`ClientError` immediately, carrying the decoded server
+  error -- retries are never spent on them;
+* :meth:`TimingClient.delta` draws one idempotency key per call and
+  sends it verbatim on every retry, so the daemon applies the edit
+  exactly once however many attempts the response takes.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import random
+import threading
+
+import pytest
+
+from repro.circuits import inverter_chain
+from repro.netlist import sim_dumps
+from repro.serve import ClientError, TimingClient, TimingServer
+
+
+class ScriptedHandler(http.server.BaseHTTPRequestHandler):
+    """Serve a scripted list of (status, headers, payload) replies."""
+
+    script: list = []
+    requests: list = []
+
+    def _reply(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        type(self).requests.append(
+            {
+                "method": self.command,
+                "path": self.path,
+                "body": json.loads(raw) if raw else None,
+            }
+        )
+        if type(self).script:
+            status, headers, payload = type(self).script.pop(0)
+        else:
+            status, headers, payload = 200, {}, {"ok": True}
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = do_DELETE = _reply
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture
+def scripted():
+    """A live stub server; yields (port, script list, request log)."""
+    ScriptedHandler.script = []
+    ScriptedHandler.requests = []
+    httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), ScriptedHandler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd.server_address[1], ScriptedHandler.script, \
+            ScriptedHandler.requests
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def make_client(port, **kwargs):
+    """A client with deterministic jitter and recorded (not real) sleeps."""
+    sleeps = []
+    client = TimingClient(
+        port=port,
+        rng=random.Random(7),
+        sleep=sleeps.append,
+        **kwargs,
+    )
+    return client, sleeps
+
+
+class TestRetryPolicy:
+    def test_success_needs_no_retry(self, scripted):
+        port, script, requests = scripted
+        script.append((200, {}, {"status": "ok"}))
+        client, sleeps = make_client(port)
+        assert client.healthz() == {"status": "ok"}
+        assert client.attempts == 1 and client.retried == 0
+        assert sleeps == []
+
+    def test_503_retries_until_success(self, scripted):
+        port, script, requests = scripted
+        script.extend([
+            (503, {}, {"error": {"message": "draining"}}),
+            (503, {}, {"error": {"message": "draining"}}),
+            (200, {}, {"status": "ok"}),
+        ])
+        client, sleeps = make_client(port, retries=5)
+        assert client.healthz() == {"status": "ok"}
+        assert client.attempts == 3 and client.retried == 2
+        assert len(sleeps) == 2
+
+    def test_retry_after_sets_the_floor(self, scripted):
+        port, script, requests = scripted
+        script.extend([
+            (429, {"Retry-After": "1.5"}, {"error": {"message": "busy"}}),
+            (200, {}, {"status": "ok"}),
+        ])
+        client, sleeps = make_client(port, retries=3, backoff=0.001)
+        client.healthz()
+        assert sleeps == [1.5]  # jittered backoff is microscopic; the
+        #                         header's floor wins
+
+    def test_backoff_is_exponential_and_jittered(self, scripted):
+        port, script, requests = scripted
+        script.extend([(503, {}, {})] * 4 + [(200, {}, {"status": "ok"})])
+        client, sleeps = make_client(port, retries=5, backoff=0.1,
+                                     backoff_cap=100.0)
+        client.healthz()
+        rng = random.Random(7)
+        expected = [0.1 * 2**n * (0.5 + rng.random()) for n in range(4)]
+        assert sleeps == pytest.approx(expected)
+
+    def test_backoff_is_capped(self, scripted):
+        port, script, requests = scripted
+        script.extend([(503, {}, {})] * 6 + [(200, {}, {"status": "ok"})])
+        client, sleeps = make_client(port, retries=8, backoff=0.1,
+                                     backoff_cap=0.4)
+        client.healthz()
+        assert max(sleeps) <= 0.4 * 1.5 + 1e-12
+
+    def test_retries_exhausted_raises_with_last_status(self, scripted):
+        port, script, requests = scripted
+        script.extend([(503, {}, {"error": {"message": "draining"}})] * 3)
+        client, _ = make_client(port, retries=2)
+        with pytest.raises(ClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 503
+        assert excinfo.value.attempts == 3
+
+    def test_definite_failure_is_not_retried(self, scripted):
+        port, script, requests = scripted
+        script.append(
+            (404, {}, {"error": {"code": "not-found",
+                                 "message": "no such design"}})
+        )
+        client, sleeps = make_client(port, retries=5)
+        with pytest.raises(ClientError) as excinfo:
+            client.analyze("ghost")
+        assert excinfo.value.status == 404
+        assert excinfo.value.attempts == 1
+        assert "no such design" in str(excinfo.value)
+        assert sleeps == []
+
+    def test_connection_refused_retries_then_raises(self):
+        # Bind-then-close guarantees a dead port.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client, sleeps = make_client(port, retries=2)
+        with pytest.raises(ClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status is None
+        assert excinfo.value.attempts == 3
+        assert len(sleeps) == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TimingClient(retries=-1)
+        with pytest.raises(ValueError):
+            TimingClient(backoff=-0.1)
+
+
+class TestIdempotentDelta:
+    def test_request_id_is_stable_across_retries(self, scripted):
+        port, script, requests = scripted
+        script.extend([
+            (503, {}, {"error": {"message": "draining"}}),
+            (503, {}, {"error": {"message": "draining"}}),
+            (200, {}, {"epoch": 1}),
+        ])
+        client, _ = make_client(port, retries=5)
+        client.delta("chip", [{"device": "m1", "w": 4e-6}])
+        ids = [r["body"]["request_id"] for r in requests]
+        assert len(ids) == 3 and len(set(ids)) == 1
+        assert ids[0]  # non-empty
+
+    def test_each_call_draws_a_fresh_id(self, scripted):
+        port, script, requests = scripted
+        client, _ = make_client(port)
+        client.delta("chip", [{"device": "m1", "w": 4e-6}])
+        client.delta("chip", [{"device": "m1", "w": 4e-6}])
+        ids = [r["body"]["request_id"] for r in requests]
+        assert len(set(ids)) == 2
+
+    def test_explicit_request_id_is_passed_through(self, scripted):
+        port, script, requests = scripted
+        client, _ = make_client(port)
+        client.delta("chip", [], request_id="caller-chose-this")
+        assert requests[0]["body"]["request_id"] == "caller-chose-this"
+
+
+class TestAgainstRealDaemon:
+    @pytest.fixture
+    def server(self):
+        server = TimingServer(port=0, max_inflight=4).start()
+        yield server
+        server.stop()
+
+    def test_lifecycle_and_exactly_once_delta(self, server):
+        client, _ = make_client(server.port, retries=3)
+        sim = sim_dumps(inverter_chain(6))
+        info = client.load("chip", sim)
+        assert info["devices"] == 12
+        assert client.designs() == ["chip"]
+        device = sorted(server.sessions["chip"].netlist.devices)[0]
+
+        first = client.delta("chip", [{"device": device, "w": 4e-6}],
+                             request_id="retry-me")
+        # The "retry" of a delta whose response was lost: same key.
+        second = client.delta("chip", [{"device": device, "w": 4e-6}],
+                              request_id="retry-me")
+        assert first["epoch"] == second["epoch"] == 1
+        assert first["deduplicated"] is False
+        assert second["deduplicated"] is True
+        assert second["report"] == first["report"]
+        assert server.sessions["chip"].epoch == 1  # applied exactly once
+
+        report = client.analyze("chip")["report"]
+        assert report["netlist"]["devices"] == 12
+        explain = client.explain("chip")
+        assert explain["explanation"]["records"]
+        client.unload("chip")
+        assert client.designs() == []
+
+    def test_bad_request_id_is_rejected(self, server):
+        client, _ = make_client(server.port)
+        client.load("chip", sim_dumps(inverter_chain(4)))
+        with pytest.raises(ClientError) as excinfo:
+            client.request(
+                "POST", "/designs/chip/delta",
+                {"edits": [], "request_id": ""},
+            )
+        assert excinfo.value.status == 400
+        with pytest.raises(ClientError) as excinfo:
+            client.request(
+                "POST", "/designs/chip/delta",
+                {"edits": [], "request_id": "x" * 201},
+            )
+        assert excinfo.value.status == 400

@@ -292,3 +292,238 @@ class TestSigtermSubprocess:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# SIGKILL chaos: crash a real daemon at each durability fault site,
+# restart it on the same journal directory, and prove recovery.
+# ----------------------------------------------------------------------
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestCrashRecoverySubprocess:
+    """Power-cut chaos against the write-ahead journal.
+
+    Each scenario arms a ``REPRO_FAULT_PLAN`` inside a real ``repro
+    serve`` daemon so a SIGKILL fires at one exact durability fault
+    site, then restarts a clean daemon on the same ``--journal-dir``
+    and asserts the recovery contract: the design comes back, torn
+    tails are quarantined as diagnostics (never a refused start), and
+    the client's retried delta -- same idempotency key -- lands exactly
+    once.
+    """
+
+    def _spawn(self, sim_path, journal_dir, *, plan=None, compact=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env.pop("REPRO_FAULT_PLAN", None)
+        env.pop("REPRO_JOURNAL_COMPACT_BYTES", None)
+        if plan is not None:
+            env["REPRO_FAULT_PLAN"] = json.dumps(plan)
+        if compact is not None:
+            env["REPRO_JOURNAL_COMPACT_BYTES"] = str(compact)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(sim_path),
+             "--port", "0", "--journal-dir", str(journal_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env, cwd=_REPO_ROOT,
+        )
+        match = None
+        for _ in range(10):
+            line = proc.stdout.readline()
+            match = re.search(r"http://[\w.]+:(\d+)", line)
+            if match:
+                break
+        assert match, f"no listen line: {line!r}"
+        return proc, int(match.group(1))
+
+    def _kill_via(self, port, path, body):
+        """Send the request that trips the armed SIGKILL; swallow the
+        connection death (the daemon never answers it)."""
+        try:
+            request(port, "POST", path, body)
+        except (OSError, http.client.HTTPException, ValueError):
+            pass
+
+    def _assert_killed(self, proc):
+        assert proc.wait(timeout=30) == -signal.SIGKILL
+
+    def _cleanup(self, proc):
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    @pytest.fixture
+    def sim_path(self, tmp_path):
+        path = tmp_path / "chip.sim"
+        path.write_text(sim_dumps(inverter_chain(8)))
+        return path
+
+    @pytest.fixture
+    def device(self, sim_path):
+        return sorted(sim_loads(sim_path.read_text()).devices)[0]
+
+    def _crash_then_recover(
+        self, sim_path, journal_dir, device, *,
+        plan, compact=None, edits_before_crash=0,
+    ):
+        """Common chaos shape: crash a daemon mid-delta, restart, and
+        return (proc, port, delta_reply) of the retried request."""
+        proc, port = self._spawn(
+            sim_path, journal_dir, plan=plan, compact=compact
+        )
+        try:
+            for i in range(edits_before_crash):
+                status, _ = request(
+                    port, "POST", "/designs/chip/delta",
+                    {"edits": [{"device": device, "w": (2 + i) * 1e-6}],
+                     "request_id": f"warm-{i}"},
+                )
+                assert status == 200
+            self._kill_via(
+                port, "/designs/chip/delta",
+                {"edits": [{"device": device, "w": 9.25e-6}],
+                 "request_id": "crashed-delta"},
+            )
+            self._assert_killed(proc)
+        finally:
+            self._cleanup(proc)
+
+        revived, port = self._spawn(sim_path, journal_dir)
+        # The at-least-once retry of the request the crash swallowed.
+        status, reply = request(
+            port, "POST", "/designs/chip/delta",
+            {"edits": [{"device": device, "w": 9.25e-6}],
+             "request_id": "crashed-delta"},
+        )
+        assert status == 200
+        return revived, port, reply
+
+    def test_kill_before_journal_append(self, tmp_path, sim_path, device):
+        # Crash window 1: the edit was never journaled, so recovery
+        # lacks it and the retry applies it exactly once.
+        journal_dir = tmp_path / "journal"
+        revived, port, reply = self._crash_then_recover(
+            sim_path, journal_dir, device,
+            # skip=1: the load record passes the site; the delta arms it.
+            plan=[{"site": "journal-append", "mode": "kill9", "skip": 1}],
+        )
+        try:
+            assert reply["epoch"] == 1 and reply["deduplicated"] is False
+            # A second retry of the same key now deduplicates.
+            status, again = request(
+                port, "POST", "/designs/chip/delta",
+                {"edits": [{"device": device, "w": 9.25e-6}],
+                 "request_id": "crashed-delta"},
+            )
+            assert status == 200
+            assert again["epoch"] == 1 and again["deduplicated"] is True
+            assert again["report"] == reply["report"]
+            _, stats = request(port, "GET", "/stats")
+            assert stats["journal"]["recovered_designs"] == ["chip"]
+        finally:
+            self._cleanup(revived)
+
+    def test_torn_write_then_kill_at_fsync(self, tmp_path, sim_path, device):
+        # Crash window 2: half a record lands on disk.  Recovery must
+        # quarantine the torn tail as a diagnostic and keep the valid
+        # prefix; the retry then applies the edit exactly once.
+        journal_dir = tmp_path / "journal"
+        revived, port, reply = self._crash_then_recover(
+            sim_path, journal_dir, device,
+            plan=[
+                {"site": "journal-append", "mode": "torn", "skip": 1,
+                 "fraction": 0.5},
+                {"site": "journal-fsync", "mode": "kill9", "skip": 1},
+            ],
+        )
+        try:
+            assert reply["epoch"] == 1 and reply["deduplicated"] is False
+            _, stats = request(port, "GET", "/stats")
+            codes = [d["code"]
+                     for d in stats["journal"]["recovery_diagnostics"]]
+            assert codes == ["journal-torn-tail"]
+            assert stats["journal"]["recovered_designs"] == ["chip"]
+            _, health = request(port, "GET", "/healthz")
+            assert health["status"] == "ok"
+            assert health["journal"]["recovery_diagnostics"] == 1
+        finally:
+            self._cleanup(revived)
+
+    def test_kill_during_snapshot_write(self, tmp_path, sim_path, device):
+        # Crash window 3: the delta was journaled (and acknowledged
+        # durability-wise) but the compaction snapshot died mid-write.
+        # atomic_write_json guarantees no torn snapshot; recovery
+        # replays the journal and the retry deduplicates.
+        journal_dir = tmp_path / "journal"
+        revived, port, reply = self._crash_then_recover(
+            sim_path, journal_dir, device,
+            plan=[{"site": "snapshot-write", "mode": "kill9"}],
+            compact=1,  # every delta triggers compaction
+        )
+        try:
+            assert reply["epoch"] == 1 and reply["deduplicated"] is True
+            _, stats = request(port, "GET", "/stats")
+            assert stats["journal"]["recovered_designs"] == ["chip"]
+            assert stats["journal"]["recovery_diagnostics"] == []
+            assert stats["designs"]["chip"]["epoch"] == 1
+        finally:
+            self._cleanup(revived)
+
+    def test_kill_before_journal_truncate(self, tmp_path, sim_path, device):
+        # Crash window 4: snapshot written, journal not yet truncated.
+        # Replay must skip the journal records the snapshot already
+        # covers (epoch <= snapshot epoch), not double-apply them.
+        journal_dir = tmp_path / "journal"
+        revived, port, reply = self._crash_then_recover(
+            sim_path, journal_dir, device,
+            plan=[{"site": "journal-truncate", "mode": "kill9"}],
+            compact=1,
+        )
+        try:
+            assert reply["epoch"] == 1 and reply["deduplicated"] is True
+            assert (journal_dir / "chip.snapshot.json").exists()
+            _, stats = request(port, "GET", "/stats")
+            assert stats["journal"]["recovery_diagnostics"] == []
+            assert stats["designs"]["chip"]["epoch"] == 1
+        finally:
+            self._cleanup(revived)
+
+    def test_recovered_state_matches_a_clean_daemon(
+        self, tmp_path, sim_path, device
+    ):
+        # The parity oracle: a daemon that survived a mid-compaction
+        # SIGKILL + journal replay answers byte-identically to a fresh
+        # daemon that applied the same edits with no crash at all.
+        journal_dir = tmp_path / "journal"
+        revived, port, _ = self._crash_then_recover(
+            sim_path, journal_dir, device,
+            # skip=2: the two warm-up deltas' compactions pass the site;
+            # the third delta's compaction trips the kill.
+            plan=[{"site": "snapshot-write", "mode": "kill9", "skip": 2}],
+            compact=1, edits_before_crash=2,
+        )
+        try:
+            status, recovered = request(
+                port, "POST", "/designs/chip/analyze", {}
+            )
+            assert status == 200
+        finally:
+            self._cleanup(revived)
+
+        clean, port = self._spawn(sim_path, tmp_path / "clean-journal")
+        try:
+            for i in range(2):
+                request(
+                    port, "POST", "/designs/chip/delta",
+                    {"edits": [{"device": device, "w": (2 + i) * 1e-6}]},
+                )
+            status, expected = request(
+                port, "POST", "/designs/chip/delta",
+                {"edits": [{"device": device, "w": 9.25e-6}]},
+            )
+            assert status == 200
+        finally:
+            self._cleanup(clean)
+        assert json.dumps(recovered["report"], sort_keys=True) == \
+            json.dumps(expected["report"], sort_keys=True)

@@ -1,0 +1,389 @@
+"""Durability-layer tests: journal framing, snapshots, crash recovery.
+
+The contract under test, from the durability invariants:
+
+* every acknowledged mutation is journaled (fsync'd) before the
+  response leaves the daemon, so a restarted daemon rebuilds sessions
+  whose ``analyze``/``explain`` payloads are byte-identical to the
+  pre-crash ones;
+* a torn tail or corrupt record ends replay at the longest valid
+  prefix and is quarantined as a typed diagnostic -- recovery never
+  refuses to start the daemon;
+* compaction (snapshot + truncate) is invisible to recovery, and a
+  crash between the snapshot write and the truncation is benign;
+* unload durably forgets the design, whatever the crash point;
+* the idempotency-key window survives recovery, so a retried delta
+  after a crash applies exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.circuits import inverter_chain
+from repro.netlist import sim_dumps
+from repro.serve import DesignJournal, JournalStore, TimingServer
+from repro.serve.journal import (
+    RecoveredState,
+    read_journal,
+    recover_design,
+)
+
+_FRAME = struct.Struct("<II")
+
+
+def frame(record: dict) -> bytes:
+    payload = json.dumps(record, sort_keys=True).encode()
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@pytest.fixture
+def chain_sim():
+    return sim_dumps(inverter_chain(8))
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Record framing and torn-tail decoding.
+# ----------------------------------------------------------------------
+class TestReadJournal:
+    def test_round_trip(self, tmp_path):
+        journal = DesignJournal(str(tmp_path), "chip")
+        journal.append({"type": "load", "sim": "x"})
+        journal.append({"type": "delta", "epoch": 1, "edits": []})
+        journal.close()
+        records, diags = read_journal(journal.path, "chip")
+        assert [r["type"] for r in records] == ["load", "delta"]
+        assert diags == []
+
+    def test_missing_file_is_empty_not_error(self, tmp_path):
+        records, diags = read_journal(str(tmp_path / "nope.journal"), "chip")
+        assert records == [] and diags == []
+
+    def test_torn_header_quarantined(self, tmp_path):
+        path = tmp_path / "chip.journal"
+        path.write_bytes(frame({"type": "load", "sim": "x"}) + b"\x07\x00")
+        records, diags = read_journal(str(path), "chip")
+        assert len(records) == 1
+        assert [d.code for d in diags] == ["journal-torn-tail"]
+        assert diags[0].action == "quarantined"
+
+    def test_torn_payload_quarantined(self, tmp_path):
+        path = tmp_path / "chip.journal"
+        whole = frame({"type": "delta", "epoch": 1, "edits": []})
+        path.write_bytes(frame({"type": "load", "sim": "x"}) + whole[:-3])
+        records, diags = read_journal(str(path), "chip")
+        assert [r["type"] for r in records] == ["load"]
+        assert [d.code for d in diags] == ["journal-torn-tail"]
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        path = tmp_path / "chip.journal"
+        bad = bytearray(frame({"type": "delta", "epoch": 1, "edits": []}))
+        bad[-1] ^= 0xFF  # bit rot inside the payload
+        path.write_bytes(frame({"type": "load", "sim": "x"}) + bytes(bad))
+        records, diags = read_journal(str(path), "chip")
+        assert [r["type"] for r in records] == ["load"]
+        assert [d.code for d in diags] == ["journal-corrupt-record"]
+
+    def test_implausible_length_quarantined(self, tmp_path):
+        path = tmp_path / "chip.journal"
+        path.write_bytes(_FRAME.pack(2**31, 0) + b"garbage")
+        records, diags = read_journal(str(path), "chip")
+        assert records == []
+        assert [d.code for d in diags] == ["journal-corrupt-record"]
+
+    def test_checksummed_garbage_is_not_a_record(self, tmp_path):
+        payload = b"[1, 2, 3]"  # valid JSON, not a record object
+        path = tmp_path / "chip.journal"
+        path.write_bytes(_FRAME.pack(len(payload), zlib.crc32(payload))
+                         + payload)
+        records, diags = read_journal(str(path), "chip")
+        assert records == []
+        assert [d.code for d in diags] == ["journal-corrupt-record"]
+
+
+# ----------------------------------------------------------------------
+# recover_design replay semantics.
+# ----------------------------------------------------------------------
+class TestRecoverDesign:
+    def test_load_then_deltas(self, tmp_path):
+        journal = DesignJournal(str(tmp_path), "chip")
+        journal.append({"type": "load", "sim": "SIM", "model": "elmore",
+                        "on_error": "strict", "tech": None})
+        journal.append({"type": "delta", "epoch": 1,
+                        "edits": [{"device": "m1", "w": 4e-6}],
+                        "request_id": "r1"})
+        journal.append({"type": "delta", "epoch": 2,
+                        "edits": [{"device": "m1", "l": 3e-6}]})
+        journal.close()
+        state, diags = recover_design(str(tmp_path), "chip")
+        assert diags == []
+        assert state.sim_text == "SIM" and state.epoch == 2
+        assert state.dims == {"m1": {"w": 4e-6, "l": 3e-6}}
+        assert state.requests == [("r1", 1)]
+
+    def test_unload_recovers_to_not_loaded(self, tmp_path):
+        journal = DesignJournal(str(tmp_path), "chip")
+        journal.append({"type": "load", "sim": "SIM"})
+        journal.append({"type": "unload"})
+        journal.close()
+        state, diags = recover_design(str(tmp_path), "chip")
+        assert state is None and diags == []
+
+    def test_snapshot_plus_stale_journal_records(self, tmp_path):
+        # Crash window: snapshot written, journal not yet truncated.
+        # Replay must skip records at or below the snapshot epoch.
+        journal = DesignJournal(str(tmp_path), "chip")
+        journal.append({"type": "delta", "epoch": 1,
+                        "edits": [{"device": "m1", "w": 1.0}]})
+        journal.append({"type": "delta", "epoch": 2,
+                        "edits": [{"device": "m1", "w": 7.5}]})
+        journal.close()
+        snapshot = {
+            "version": 1, "design": "chip", "epoch": 2, "sim": "SIM",
+            "dims": {"m1": {"w": 7.5}}, "model": "elmore",
+            "on_error": "strict", "tech": None, "requests": [],
+        }
+        with open(journal.snapshot_path, "w") as fp:
+            json.dump(snapshot, fp)
+        state, diags = recover_design(str(tmp_path), "chip")
+        assert diags == []
+        assert state.epoch == 2 and state.dims == {"m1": {"w": 7.5}}
+
+    def test_corrupt_snapshot_falls_back_to_journal(self, tmp_path):
+        journal = DesignJournal(str(tmp_path), "chip")
+        journal.append({"type": "load", "sim": "SIM"})
+        journal.close()
+        with open(journal.snapshot_path, "w") as fp:
+            fp.write("{not json")
+        state, diags = recover_design(str(tmp_path), "chip")
+        assert state is not None and state.sim_text == "SIM"
+        assert [d.code for d in diags] == ["snapshot-corrupt"]
+
+    def test_orphan_delta_quarantined(self, tmp_path):
+        journal = DesignJournal(str(tmp_path), "chip")
+        journal.append({"type": "delta", "epoch": 1, "edits": []})
+        journal.close()
+        state, diags = recover_design(str(tmp_path), "chip")
+        assert state is None
+        codes = [d.code for d in diags]
+        assert "journal-orphan-record" in codes
+        assert "journal-unrecoverable" in codes
+
+    def test_request_window_is_bounded(self):
+        state = RecoveredState(name="chip", sim_text="SIM", tech=None,
+                               model="elmore", on_error="strict")
+        for i in range(200):
+            state.apply_delta({"epoch": i + 1, "edits": [],
+                               "request_id": f"r{i}"})
+        assert len(state.requests) == 64
+        assert state.requests[-1] == ("r199", 200)
+
+
+# ----------------------------------------------------------------------
+# End-to-end recovery parity on a real server.
+# ----------------------------------------------------------------------
+class TestRecoveryParity:
+    def test_restart_is_byte_identical(self, tmp_path, chain_sim):
+        journal_dir = str(tmp_path / "journal")
+        server = TimingServer(port=0, journal_dir=journal_dir)
+        server.load("chip", {"sim": chain_sim})
+        session = server.sessions["chip"]
+        device = sorted(session.netlist.devices)[0]
+        _, _, epoch, _ = session.delta(
+            [{"device": device, "w": 4.321e-6}], request_id="req-1"
+        )
+        analyze_before = canonical(session.analyze()[0])
+        explain_before = canonical(session.explain()[0])
+        server.stop()  # drops everything in memory
+
+        revived = TimingServer(port=0, journal_dir=journal_dir)
+        assert revived.recovered_designs == ["chip"]
+        assert revived.recovery_diagnostics == []
+        session = revived.sessions["chip"]
+        assert canonical(session.analyze()[0]) == analyze_before
+        assert canonical(session.explain()[0]) == explain_before
+        assert session.epoch == epoch
+        revived.stop()
+
+    def test_recovery_survives_compaction(self, tmp_path, chain_sim):
+        journal_dir = str(tmp_path / "journal")
+        server = TimingServer(port=0, journal_dir=journal_dir)
+        server.journal_store.compact_bytes = 1  # compact on every delta
+        server.load("chip", {"sim": chain_sim})
+        session = server.sessions["chip"]
+        device = sorted(session.netlist.devices)[0]
+        session.delta([{"device": device, "w": 4e-6}])
+        session.delta([{"device": device, "w": 5.5e-6}])
+        assert session.journal.compactions >= 1
+        assert os.path.exists(session.journal.snapshot_path)
+        analyze_before = canonical(session.analyze()[0])
+        server.stop()
+
+        revived = TimingServer(port=0, journal_dir=journal_dir)
+        assert revived.recovery_diagnostics == []
+        session = revived.sessions["chip"]
+        assert canonical(session.analyze()[0]) == analyze_before
+        assert session.epoch == 2
+        revived.stop()
+
+    def test_dedupe_survives_restart(self, tmp_path, chain_sim):
+        journal_dir = str(tmp_path / "journal")
+        server = TimingServer(port=0, journal_dir=journal_dir)
+        server.load("chip", {"sim": chain_sim})
+        session = server.sessions["chip"]
+        device = sorted(session.netlist.devices)[0]
+        payload, _, epoch, dedup = session.delta(
+            [{"device": device, "w": 4e-6}], request_id="req-1"
+        )
+        assert dedup is False
+        server.stop()
+
+        revived = TimingServer(port=0, journal_dir=journal_dir)
+        session = revived.sessions["chip"]
+        replayed, _, epoch2, dedup2 = session.delta(
+            [{"device": device, "w": 4e-6}], request_id="req-1"
+        )
+        assert dedup2 is True and epoch2 == epoch
+        assert canonical(replayed) == canonical(payload)
+        assert session.epoch == epoch  # the edit did NOT re-apply
+        revived.stop()
+
+    def test_duplicate_delta_returns_original_epoch_and_payload(
+        self, tmp_path, chain_sim
+    ):
+        server = TimingServer(port=0, journal_dir=str(tmp_path / "j"))
+        server.load("chip", {"sim": chain_sim})
+        session = server.sessions["chip"]
+        device = sorted(session.netlist.devices)[0]
+        first, _, epoch1, _ = session.delta(
+            [{"device": device, "w": 4e-6}], request_id="a"
+        )
+        session.delta([{"device": device, "w": 6e-6}], request_id="b")
+        # Replaying the FIRST request id must return its original
+        # epoch/payload, not re-edit at the current epoch.
+        replay, cached, epoch, dedup = session.delta(
+            [{"device": device, "w": 4e-6}], request_id="a"
+        )
+        assert dedup is True and cached is True
+        assert epoch == epoch1 and canonical(replay) == canonical(first)
+        assert session.epoch == 2
+        assert session.deduplicated == 1
+        server.stop()
+
+    def test_unload_removes_durable_state(self, tmp_path, chain_sim):
+        journal_dir = str(tmp_path / "journal")
+        server = TimingServer(port=0, journal_dir=journal_dir)
+        server.load("chip", {"sim": chain_sim})
+        server.unload("chip")
+        assert os.listdir(journal_dir) == []
+        server.stop()
+        revived = TimingServer(port=0, journal_dir=journal_dir)
+        assert revived.recovered_designs == []
+        assert revived.recovery_diagnostics == []
+        revived.stop()
+
+    def test_reload_supersedes_old_journal(self, tmp_path, chain_sim):
+        journal_dir = str(tmp_path / "journal")
+        server = TimingServer(port=0, journal_dir=journal_dir)
+        server.load("chip", {"sim": chain_sim})
+        device = sorted(server.sessions["chip"].netlist.devices)[0]
+        server.sessions["chip"].delta([{"device": device, "w": 9e-6}])
+        server.load("chip", {"sim": chain_sim})  # explicit re-load
+        server.stop()
+        revived = TimingServer(port=0, journal_dir=journal_dir)
+        session = revived.sessions["chip"]
+        assert session.epoch == 0  # the re-load reset durable state too
+        assert session.netlist.device(device).w != 9e-6
+        revived.stop()
+
+    def test_torn_tail_quarantined_and_surfaced(self, tmp_path, chain_sim):
+        journal_dir = str(tmp_path / "journal")
+        server = TimingServer(port=0, journal_dir=journal_dir)
+        server.load("chip", {"sim": chain_sim})
+        session = server.sessions["chip"]
+        device = sorted(session.netlist.devices)[0]
+        session.delta([{"device": device, "w": 4e-6}])
+        analyze_good = canonical(session.analyze()[0])
+        journal_path = session.journal.path
+        server.stop()
+        # Tear the last record: keep the first half of its bytes.
+        blob = open(journal_path, "rb").read()
+        second = frame({"device": device})  # just to size a plausible cut
+        with open(journal_path, "wb") as fp:
+            fp.write(blob[: len(blob) - max(4, len(second) // 2)])
+
+        revived = TimingServer(port=0, journal_dir=journal_dir)
+        assert revived.recovered_designs == ["chip"]
+        codes = [d.code for d in revived.recovery_diagnostics]
+        assert codes == ["journal-torn-tail"]
+        # The valid prefix (the load) recovered; the torn delta did not.
+        session = revived.sessions["chip"]
+        assert session.epoch == 0
+        assert canonical(session.analyze()[0]) != analyze_good
+        # Diagnostics are surfaced over HTTP.
+        revived.start()
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", revived.port,
+                                          timeout=30)
+        try:
+            conn.request("GET", "/stats")
+            stats = json.loads(conn.getresponse().read())
+            conn.request("GET", "/healthz")
+            health = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+        assert health["journal"]["recovery_diagnostics"] == 1
+        assert (stats["journal"]["recovery_diagnostics"][0]["code"]
+                == "journal-torn-tail")
+        revived.stop()
+
+    def test_recovery_never_refuses_to_start(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        journal_dir.mkdir()
+        # A journal whose only load record carries an unparseable netlist:
+        # session rebuild fails, the daemon still starts.
+        journal = DesignJournal(str(journal_dir), "broken")
+        journal.append({"type": "load", "sim": "e bad record"})
+        journal.close()
+        server = TimingServer(port=0, journal_dir=str(journal_dir))
+        assert server.recovered_designs == []
+        assert "broken" not in server.sessions
+        codes = [d.code for d in server.recovery_diagnostics]
+        assert codes == ["journal-recovery-failed"]
+        server.stop()
+
+    def test_design_names_round_trip_awkward_characters(self, tmp_path):
+        store = JournalStore(str(tmp_path))
+        name = "chip/rev 2%final"
+        store.begin(name, {"sim": "SIM"})
+        assert store.design_names() == [name]
+        store.unload(name)
+        assert store.design_names() == []
+        store.close()
+
+    def test_journal_write_failure_degrades_to_memory_only(
+        self, tmp_path, chain_sim
+    ):
+        journal_dir = str(tmp_path / "journal")
+        server = TimingServer(port=0, journal_dir=journal_dir)
+        server.load("chip", {"sim": chain_sim})
+        session = server.sessions["chip"]
+        device = sorted(session.netlist.devices)[0]
+        # Simulate the disk going away under the daemon.
+        os.close(session.journal._fd) if session.journal._fd else None
+        session.journal._fd = os.open(os.devnull, os.O_RDONLY)
+        payload, _, epoch, _ = session.delta([{"device": device, "w": 4e-6}])
+        assert epoch == 1  # the edit still applied, service continued
+        assert session.journal is None and session.journal_error
+        assert "journal_error" in session.stats()
+        server.stop()
